@@ -1,0 +1,71 @@
+// Command seedb-server runs the SeeDB middleware as an HTTP service —
+// the server half of the paper's client/server architecture (Figure 3).
+// Any HTTP client plays the role of the SeeDB frontend.
+//
+//	seedb-server -listen :8080 -dataset census
+//
+//	curl localhost:8080/api/datasets
+//	curl -X POST localhost:8080/api/recommend -d '{
+//	  "table": "census",
+//	  "target_where": "marital = '\''Unmarried'\''",
+//	  "reference": "complement",
+//	  "k": 3
+//	}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"seedb/internal/dataset"
+	"seedb/internal/server"
+	"seedb/internal/sqldb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "seedb-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen    = flag.String("listen", ":8080", "listen address")
+		preload   = flag.String("dataset", "", "comma-separated built-in datasets to preload")
+		layoutStr = flag.String("layout", "col", "physical layout for preloaded datasets")
+		rows      = flag.Int("rows", 0, "row override for preloaded datasets (0 = defaults)")
+	)
+	flag.Parse()
+
+	db := sqldb.NewDB()
+	layout := sqldb.LayoutCol
+	if strings.EqualFold(*layoutStr, "row") {
+		layout = sqldb.LayoutRow
+	}
+	if *preload != "" {
+		for _, name := range strings.Split(*preload, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			spec, err := dataset.ByName(name)
+			if err != nil {
+				return err
+			}
+			if *rows > 0 {
+				spec = spec.WithRows(*rows)
+			}
+			if _, err := dataset.Build(db, spec, layout); err != nil {
+				return err
+			}
+			fmt.Printf("loaded %s: %d rows (%s)\n", spec.Name, spec.Rows, layout)
+		}
+	}
+
+	fmt.Printf("SeeDB middleware listening on %s\n", *listen)
+	return http.ListenAndServe(*listen, server.New(db))
+}

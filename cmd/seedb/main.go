@@ -1,0 +1,287 @@
+// Command seedb is the SeeDB command-line frontend: load a dataset (one
+// of the paper's built-ins or a CSV file), issue the analyst's query, and
+// receive ranked visualization recommendations as terminal bar charts —
+// the CLI equivalent of the paper's mixed-initiative web frontend
+// (Figure 2).
+//
+// Examples:
+//
+//	# The paper's running example: unmarried vs married adults.
+//	seedb -dataset census -target "marital = 'Unmarried'" -k 5
+//
+//	# Bring your own data.
+//	seedb -csv sales.csv -table sales -target "region = 'EMEA'" -k 3
+//
+//	# Manual (non-recommended) SQL, the other half of the frontend.
+//	seedb -dataset census -sql "SELECT sex, AVG(age) FROM census GROUP BY sex"
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"seedb"
+	"seedb/internal/dataset"
+	"seedb/internal/distance"
+	"seedb/internal/sqldb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "seedb:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dsName    = flag.String("dataset", "", "built-in dataset to load ("+strings.Join(dataset.Names(), ", ")+")")
+		rows      = flag.Int("rows", 0, "override generated row count for -dataset")
+		csvPath   = flag.String("csv", "", "CSV file to load instead of a built-in dataset")
+		tableName = flag.String("table", "", "table name for -csv (default: file name)")
+		layoutStr = flag.String("layout", "col", "physical layout: row or col")
+		target    = flag.String("target", "", "target predicate (the analyst's query), e.g. \"marital = 'Unmarried'\"")
+		reference = flag.String("reference", "all", "reference dataset: all, complement, or a SQL predicate")
+		k         = flag.Int("k", 5, "number of recommendations")
+		strategy  = flag.String("strategy", "comb", "execution strategy: noopt, sharing, comb, combearly")
+		pruning   = flag.String("pruning", "ci", "pruning scheme: none, ci, mab")
+		distName  = flag.String("distance", "EMD", "distance function: EMD, EUCLIDEAN, KL, JS, MAX_DIFF")
+		dims      = flag.String("dimensions", "", "comma-separated dimension attributes (default: derive from metadata)")
+		measures  = flag.String("measures", "", "comma-separated measure attributes (default: derive from metadata)")
+		sqlQuery  = flag.String("sql", "", "run a manual SQL query instead of recommending")
+		showStats = flag.Bool("stats", false, "print execution metrics")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "recommendation timeout")
+	)
+	flag.Parse()
+
+	layout := seedb.ColumnLayout
+	switch strings.ToLower(*layoutStr) {
+	case "row":
+		layout = seedb.RowLayout
+	case "col", "column":
+		layout = seedb.ColumnLayout
+	default:
+		return fmt.Errorf("unknown layout %q (want row or col)", *layoutStr)
+	}
+
+	client := seedb.New()
+	table := ""
+	switch {
+	case *dsName != "":
+		spec, err := dataset.ByName(*dsName)
+		if err != nil {
+			return err
+		}
+		n := spec.Rows
+		if *rows > 0 {
+			n = *rows
+		}
+		if err := client.LoadDatasetRows(*dsName, layout, n); err != nil {
+			return err
+		}
+		table = spec.Name
+		fmt.Printf("loaded dataset %s: %d rows, layout %s\n", spec.Name, n, layout)
+		if *target == "" && *sqlQuery == "" {
+			*target = spec.TargetPredicate()
+			fmt.Printf("using the dataset's canonical target predicate: %s\n", *target)
+		}
+	case *csvPath != "":
+		name := *tableName
+		if name == "" {
+			base := *csvPath
+			if i := strings.LastIndexByte(base, '/'); i >= 0 {
+				base = base[i+1:]
+			}
+			name = strings.TrimSuffix(base, ".csv")
+		}
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		schema, err := inferCSVSchema(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := client.LoadCSV(name, schema, layout, f); err != nil {
+			return err
+		}
+		table = name
+		tab, _ := client.DB().Table(name)
+		fmt.Printf("loaded %s: %d rows, layout %s\n", name, tab.NumRows(), layout)
+	default:
+		flag.Usage()
+		return fmt.Errorf("need -dataset or -csv")
+	}
+
+	if *sqlQuery != "" {
+		res, err := client.Query(*sqlQuery)
+		if err != nil {
+			return err
+		}
+		printSQLResult(res)
+		return nil
+	}
+	if *target == "" {
+		return fmt.Errorf("need -target predicate for recommendations")
+	}
+
+	dist, err := distance.ParseFunc(strings.ToUpper(*distName))
+	if err != nil {
+		return err
+	}
+	opts := seedb.Options{K: *k, Distance: dist}
+	switch strings.ToLower(*strategy) {
+	case "noopt":
+		opts.Strategy = seedb.NoOpt
+	case "sharing":
+		opts.Strategy = seedb.Sharing
+	case "comb":
+		opts.Strategy = seedb.Comb
+	case "combearly", "early":
+		opts.Strategy = seedb.CombEarly
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	switch strings.ToLower(*pruning) {
+	case "none":
+		opts.Pruning = seedb.NoPruning
+	case "ci":
+		opts.Pruning = seedb.CIPruning
+	case "mab":
+		opts.Pruning = seedb.MABPruning
+	default:
+		return fmt.Errorf("unknown pruning scheme %q", *pruning)
+	}
+
+	req := seedb.Request{Table: table, TargetWhere: *target}
+	refLabel := "reference: entire table"
+	switch strings.ToLower(*reference) {
+	case "all", "":
+		req.Reference = seedb.RefAll
+	case "complement":
+		req.Reference = seedb.RefComplement
+		refLabel = "reference: complement of target"
+	default:
+		req.Reference = seedb.RefCustom
+		req.ReferenceWhere = *reference
+		refLabel = "reference: " + *reference
+	}
+	if *dims != "" {
+		req.Dimensions = splitList(*dims)
+	}
+	if *measures != "" {
+		req.Measures = splitList(*measures)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	res, err := client.Recommend(ctx, req, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\ntarget: %s   (%s)\n", *target, refLabel)
+	fmt.Printf("top-%d recommended visualizations (%s, %s pruning, %s):\n\n",
+		len(res.Recommendations), opts.Strategy, opts.Pruning, dist)
+	for i, rec := range res.Recommendations {
+		fmt.Printf("#%d  %s", i+1, seedb.RenderChartLabeled(rec, "target", "reference"))
+		fmt.Println()
+	}
+	if *showStats {
+		m := res.Metrics
+		fmt.Printf("metrics: %d views, %d queries, %d rows scanned, %d phases, %d pruned, early=%v, %v\n",
+			m.Views, m.QueriesIssued, m.RowsScanned, m.PhasesRun, m.PrunedViews, m.EarlyStopped, m.Elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+// splitList splits a comma-separated flag value.
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// inferCSVSchema reads the CSV header and first data row to guess column
+// types: numeric fields become FLOAT, everything else TEXT.
+func inferCSVSchema(path string) (*seedb.Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	header, err := r.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading CSV header: %w", err)
+	}
+	sample, err := r.Read()
+	if err != nil {
+		sample = nil // empty file: default everything to TEXT
+	}
+	cols := make([]seedb.Column, len(header))
+	for i, h := range header {
+		typ := sqldb.TypeString
+		if sample != nil && i < len(sample) && looksNumeric(sample[i]) {
+			typ = sqldb.TypeFloat
+		}
+		cols[i] = seedb.Column{Name: h, Type: typ}
+	}
+	return seedb.NewSchema(cols...)
+}
+
+// looksNumeric reports whether a CSV field parses as a float.
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	var f float64
+	_, err := fmt.Sscanf(s, "%g", &f)
+	return err == nil
+}
+
+// printSQLResult renders a raw query result as an aligned table.
+func printSQLResult(res *seedb.SQLResult) {
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			cells[r][i] = v.String()
+			if len(cells[r][i]) > widths[i] {
+				widths[i] = len(cells[r][i])
+			}
+		}
+	}
+	for i, c := range res.Columns {
+		if i > 0 {
+			fmt.Print("  ")
+		}
+		fmt.Printf("%-*s", widths[i], c)
+	}
+	fmt.Println()
+	for _, row := range cells {
+		for i, c := range row {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Printf("%-*s", widths[i], c)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}

@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"seedb/internal/core"
+	"seedb/internal/dataset"
+	"seedb/internal/distance"
+	"seedb/internal/sqldb"
+)
+
+// Ablations runs the design-choice studies DESIGN.md calls out beyond the
+// paper's own figures: distance-function agreement (the TR's claim that
+// other distance functions give comparable results), phase-count
+// sensitivity, CI δ sensitivity, and the early-return error.
+func Ablations(ctx context.Context, cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	var out []*Table
+	for _, fn := range []func(context.Context, Config) ([]*Table, error){
+		AblationDistance, AblationPhases, AblationDelta, AblationEarlyError,
+	} {
+		ts, err := fn(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+// AblationDistance measures how much the top-k sets under alternative
+// distance functions agree with EMD's top-k (the paper: "using other
+// distance functions gives comparable results").
+func AblationDistance(ctx context.Context, cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	spec, err := dataset.ByName("bank")
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.WithRows(cfg.rowsFor(spec))
+	db, err := build(spec, sqldb.LayoutCol)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(db)
+	req := requestFor(spec)
+
+	const k = 10
+	baseline, err := eng.ExactTopK(ctx, req, distance.EMD, k)
+	if err != nil {
+		return nil, err
+	}
+	baseTop := core.TopViews(baseline, k)
+
+	t := &Table{
+		ID:     "ablation-distance",
+		Title:  fmt.Sprintf("Top-%d agreement of alternative distance functions with EMD (bank)", k),
+		Header: []string{"distance", "top-k overlap", "top-1 same"},
+	}
+	for _, f := range distance.Funcs() {
+		res, err := eng.ExactTopK(ctx, req, f, k)
+		if err != nil {
+			return nil, err
+		}
+		top := core.TopViews(res, k)
+		overlap := core.Accuracy(baseTop, top)
+		same := "no"
+		if len(top) > 0 && len(baseTop) > 0 && top[0].Key() == baseTop[0].Key() {
+			same = "yes"
+		}
+		t.AddRow(f.String(), f3(overlap), same)
+	}
+	t.Notes = append(t.Notes, "TR claim: rankings under EMD, L2, KL, JS and MAX_DIFF are comparable")
+	return []*Table{t}, nil
+}
+
+// AblationPhases sweeps the phase count for CI pruning: fewer phases
+// prune later (slower but safer), more phases prune earlier per row but
+// add per-phase overhead.
+func AblationPhases(ctx context.Context, cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	spec, err := dataset.ByName("bank")
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.WithRows(cfg.rowsFor(spec))
+	db, err := build(spec, sqldb.LayoutCol)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(db)
+	req := requestFor(spec)
+	const k = 10
+	oracle, err := eng.ExactTopK(ctx, req, distance.EMD, spec.NumViews())
+	if err != nil {
+		return nil, err
+	}
+	trueTop := core.TopViews(oracle, k)
+	trueUtil := core.TrueUtilityMap(oracle)
+
+	t := &Table{
+		ID:     "ablation-phases",
+		Title:  fmt.Sprintf("CI pruning vs phase count (bank, k=%d)", k),
+		Header: []string{"phases", "latency", "rows-scanned", "accuracy", "utility-distance"},
+	}
+	sweep := []int{2, 5, 10, 20, 50}
+	if cfg.Quick {
+		sweep = []int{2, 10, 50}
+	}
+	for _, phases := range sweep {
+		d, res, err := timeRecommend(ctx, eng, req, core.Options{
+			Strategy: core.Comb, Pruning: core.CIPruning, K: k, Phases: phases,
+		})
+		if err != nil {
+			return nil, err
+		}
+		got := core.ViewsOf(res.Recommendations)
+		t.AddRow(fmt.Sprintf("%d", phases), ms(d),
+			fmt.Sprintf("%d", res.Metrics.RowsScanned),
+			f3(core.Accuracy(trueTop, got)),
+			f4(core.UtilityDistance(trueUtil, trueTop, got)))
+	}
+	t.Notes = append(t.Notes, "the paper fixes 10 phases; this sweep shows the latency/quality trade-off around that choice")
+	return []*Table{t}, nil
+}
+
+// AblationDelta sweeps the CI failure probability δ.
+func AblationDelta(ctx context.Context, cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	spec, err := dataset.ByName("diab")
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.WithRows(cfg.rowsFor(spec))
+	db, err := build(spec, sqldb.LayoutCol)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(db)
+	req := requestFor(spec)
+	const k = 5
+	oracle, err := eng.ExactTopK(ctx, req, distance.EMD, spec.NumViews())
+	if err != nil {
+		return nil, err
+	}
+	trueTop := core.TopViews(oracle, k)
+	trueUtil := core.TrueUtilityMap(oracle)
+
+	t := &Table{
+		ID:     "ablation-delta",
+		Title:  fmt.Sprintf("CI pruning vs δ (diab, k=%d)", k),
+		Header: []string{"delta", "rows-scanned", "pruned-views", "accuracy", "utility-distance"},
+	}
+	for _, delta := range []float64{0.01, 0.05, 0.1, 0.25} {
+		_, res, err := timeRecommend(ctx, eng, req, core.Options{
+			Strategy: core.Comb, Pruning: core.CIPruning, K: k, Delta: delta,
+		})
+		if err != nil {
+			return nil, err
+		}
+		got := core.ViewsOf(res.Recommendations)
+		t.AddRow(fmt.Sprintf("%.2f", delta),
+			fmt.Sprintf("%d", res.Metrics.RowsScanned),
+			fmt.Sprintf("%d", res.Metrics.PrunedViews),
+			f3(core.Accuracy(trueTop, got)),
+			f4(core.UtilityDistance(trueUtil, trueTop, got)))
+	}
+	t.Notes = append(t.Notes, "larger δ narrows the intervals: more pruning, less scanning, slightly riskier results")
+	return []*Table{t}, nil
+}
+
+// AblationEarlyError quantifies the cost of COMB_EARLY's approximate
+// results: how far the early top-k is from COMB's full top-k.
+func AblationEarlyError(ctx context.Context, cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:     "ablation-early",
+		Title:  "COMB_EARLY approximation error vs COMB",
+		Header: []string{"dataset", "k", "rows-early", "rows-full", "accuracy", "utility-distance", "early-stopped"},
+	}
+	for _, name := range []string{"bank", "air"} {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		spec = spec.WithRows(cfg.rowsFor(spec))
+		db, err := build(spec, sqldb.LayoutCol)
+		if err != nil {
+			return nil, err
+		}
+		eng := core.NewEngine(db)
+		req := requestFor(spec)
+		oracle, err := eng.ExactTopK(ctx, req, distance.EMD, spec.NumViews())
+		if err != nil {
+			return nil, err
+		}
+		trueUtil := core.TrueUtilityMap(oracle)
+		for _, k := range []int{1, 5, 10} {
+			trueTop := core.TopViews(oracle, k)
+			_, full, err := timeRecommend(ctx, eng, req, core.Options{
+				Strategy: core.Comb, Pruning: core.CIPruning, K: k,
+			})
+			if err != nil {
+				return nil, err
+			}
+			_, early, err := timeRecommend(ctx, eng, req, core.Options{
+				Strategy: core.CombEarly, Pruning: core.CIPruning, K: k,
+			})
+			if err != nil {
+				return nil, err
+			}
+			got := core.ViewsOf(early.Recommendations)
+			stopped := "no"
+			if early.Metrics.EarlyStopped {
+				stopped = "yes"
+			}
+			t.AddRow(name, fmt.Sprintf("%d", k),
+				fmt.Sprintf("%d", early.Metrics.RowsScanned),
+				fmt.Sprintf("%d", full.Metrics.RowsScanned),
+				f3(core.Accuracy(trueTop, got)),
+				f4(core.UtilityDistance(trueUtil, trueTop, got)),
+				stopped)
+		}
+	}
+	t.Notes = append(t.Notes, "paper: early return trades a near-zero utility distance for interactive latency on large datasets")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,314 @@
+package bench
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"seedb/internal/dataset"
+	"seedb/internal/sqldb"
+)
+
+// tinyConfig keeps experiment smoke tests fast.
+func tinyConfig() Config {
+	return Config{Quick: true, Runs: 2, Seed: 42}
+}
+
+// runExperiment executes one experiment and sanity-checks its tables.
+func runExperiment(t *testing.T, id string) []*Table {
+	t.Helper()
+	exp, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := exp.Run(context.Background(), tinyConfig())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tables) == 0 {
+		t.Fatalf("%s: no tables", id)
+	}
+	for _, tab := range tables {
+		if tab.ID == "" || tab.Title == "" || len(tab.Header) == 0 || len(tab.Rows) == 0 {
+			t.Errorf("%s: incomplete table %+v", id, tab)
+		}
+		out := tab.String()
+		if !strings.Contains(out, tab.ID) {
+			t.Errorf("%s: rendering missing ID", id)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("%s/%s: row width %d != header %d", id, tab.ID, len(row), len(tab.Header))
+			}
+		}
+	}
+	return tables
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Errorf("registered %d experiments, want 13", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Name == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestTable1Inventory(t *testing.T) {
+	tables := runExperiment(t, "table1")
+	tab := tables[0]
+	if len(tab.Rows) != 10 {
+		t.Errorf("Table 1 rows = %d, want 10 datasets", len(tab.Rows))
+	}
+	// The view counts must match Table 1 of the paper.
+	wantViews := map[string]string{
+		"bank": "77", "diab": "88", "air": "108", "air10": "108",
+		"census": "40", "housing": "40", "movies": "64", "syn": "1000",
+	}
+	for _, row := range tab.Rows {
+		if want, ok := wantViews[row[0]]; ok && row[6] != want {
+			t.Errorf("%s views = %s, want %s", row[0], row[6], want)
+		}
+	}
+}
+
+func parseMS(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
+		if err != nil {
+			t.Fatalf("bad ms %q", s)
+		}
+		return v
+	case strings.HasSuffix(s, "s"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "s"), 64)
+		if err != nil {
+			t.Fatalf("bad s %q", s)
+		}
+		return v * 1000
+	}
+	t.Fatalf("unparseable duration %q", s)
+	return 0
+}
+
+func TestFigure5ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	tables := runExperiment(t, "fig5")
+	if len(tables) != 2 {
+		t.Fatalf("fig5 should produce 2 tables (ROW, COL)")
+	}
+	// On every dataset and store, SHARING must beat NO_OPT and
+	// COMB_EARLY must not be slower than SHARING by more than noise.
+	for _, tab := range tables {
+		for _, row := range tab.Rows {
+			noopt := parseMS(t, row[3])
+			sharing := parseMS(t, row[4])
+			if sharing >= noopt {
+				t.Errorf("%s/%s: SHARING (%v) not faster than NO_OPT (%v)", tab.ID, row[0], row[4], row[3])
+			}
+		}
+	}
+}
+
+func TestFigure6LatencyGrowsWithRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	tables := runExperiment(t, "fig6")
+	tab := tables[0] // 6a: rows sweep
+	first := parseMS(t, tab.Rows[0][1])
+	last := parseMS(t, tab.Rows[len(tab.Rows)-1][1])
+	if last <= first {
+		t.Errorf("ROW latency should grow with rows: %v → %v", first, last)
+	}
+	// COL faster than ROW at the largest size.
+	rowLat := parseMS(t, tab.Rows[len(tab.Rows)-1][1])
+	colLat := parseMS(t, tab.Rows[len(tab.Rows)-1][2])
+	if colLat >= rowLat {
+		t.Errorf("COL (%v) should beat ROW (%v) on NO_OPT", colLat, rowLat)
+	}
+}
+
+func TestFigure10UtilityProfileShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	tables := runExperiment(t, "fig10")
+	bank := tables[0]
+	// Measured top-2 separation: Δ1 and Δ2 clearly above the 3..9
+	// cluster gaps.
+	gap := func(tab *Table, r int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[r][3], 64)
+		if err != nil {
+			t.Fatalf("bad gap %q", tab.Rows[r][3])
+		}
+		return v
+	}
+	d2 := gap(bank, 1)
+	clusterMax := 0.0
+	for r := 2; r <= 7; r++ {
+		if g := gap(bank, r); g > clusterMax {
+			clusterMax = g
+		}
+	}
+	if d2 < clusterMax {
+		t.Errorf("bank Δ2 (%.4f) should exceed the 3-9 cluster gaps (max %.4f)", d2, clusterMax)
+	}
+	// DIAB: top-10 clustered — every gap among ranks 1..9 small.
+	diab := tables[1]
+	for r := 0; r < 9; r++ {
+		if g := gap(diab, r); g > 0.02 {
+			t.Errorf("diab top-10 gap at rank %d = %.4f, want tightly clustered", r+1, g)
+		}
+	}
+}
+
+func TestFigure11QualityBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	tables := runExperiment(t, "fig11")
+	acc := tables[0]
+	for _, row := range acc.Rows {
+		ci, _ := strconv.ParseFloat(row[1], 64)
+		nopru, _ := strconv.ParseFloat(row[3], 64)
+		random, _ := strconv.ParseFloat(row[4], 64)
+		if nopru != 1 {
+			t.Errorf("NO_PRU accuracy = %v, want 1.0", row[3])
+		}
+		if ci < random {
+			t.Errorf("k=%s: CI accuracy (%v) below RANDOM (%v)", row[0], row[1], row[4])
+		}
+	}
+}
+
+func TestFigure15AUROCHigh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	tables := runExperiment(t, "fig15")
+	title := tables[1].Title
+	idx := strings.Index(title, "AUROC ")
+	if idx < 0 {
+		t.Fatalf("no AUROC in title %q", title)
+	}
+	auroc, err := strconv.ParseFloat(strings.TrimSpace(title[idx+6:]), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auroc < 0.75 {
+		t.Errorf("AUROC = %.3f, want ≥ 0.75 (paper: 0.903)", auroc)
+	}
+	if auroc > 0.995 {
+		t.Errorf("AUROC = %.3f suspiciously perfect — expert noise should produce misses", auroc)
+	}
+}
+
+func TestTable2RateRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	tables := runExperiment(t, "table2")
+	tab := tables[0]
+	var seedbRate, manualRate float64
+	for _, row := range tab.Rows {
+		if row[0] == "pooled" {
+			v, err := strconv.ParseFloat(row[4], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if row[1] == "SEEDB" {
+				seedbRate = v
+			} else {
+				manualRate = v
+			}
+		}
+	}
+	if seedbRate < 2*manualRate {
+		t.Errorf("pooled bookmark rates: SEEDB %.2f vs MANUAL %.2f, want ≥2x (paper ≈3x)", seedbRate, manualRate)
+	}
+}
+
+func TestBuildShuffledPreservesContent(t *testing.T) {
+	spec := dataset.Housing().WithRows(200)
+	db1, err := buildShuffled(spec, sqldb.LayoutCol, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := buildShuffled(spec, sqldb.LayoutCol, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := "SELECT COUNT(*), SUM(price) FROM housing"
+	r1, err := db1.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db2.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Rows[0][0].I != r2.Rows[0][0].I {
+		t.Error("shuffling changed row count")
+	}
+	s1, _ := r1.Rows[0][1].AsFloat()
+	s2, _ := r2.Rows[0][1].AsFloat()
+	if diff := s1 - s2; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("shuffling changed content: %v vs %v", s1, s2)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "x", Title: "T", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Notes = append(tab.Notes, "hello")
+	out := tab.String()
+	for _, want := range []string{"== x: T ==", "a", "bb", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMsFormatting(t *testing.T) {
+	cases := []struct {
+		us   int64
+		want string
+	}{
+		{1500, "1.50ms"},
+		{150_000, "150ms"},
+		{1_500_000, "1.5s"},
+	}
+	for _, c := range cases {
+		d := time.Duration(c.us) * time.Microsecond
+		if got := ms(d); got != c.want {
+			t.Errorf("ms(%dus) = %q, want %q", c.us, got, c.want)
+		}
+	}
+}
+
+func TestSpeedupFormatting(t *testing.T) {
+	if got := speedup(10*time.Second, 2*time.Second); got != "5.0x" {
+		t.Errorf("speedup = %q", got)
+	}
+	if got := speedup(time.Second, 0); got != "-" {
+		t.Errorf("zero-division speedup = %q", got)
+	}
+}

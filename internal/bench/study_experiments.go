@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"seedb/internal/core"
+	"seedb/internal/dataset"
+	"seedb/internal/sqldb"
+	"seedb/internal/study"
+)
+
+// studyDims returns the view dimensions for the user-study experiments:
+// the selector (query) attribute is excluded even when the spec keeps it
+// in the general view space — grouping by the attribute the query
+// conditions on yields degenerate single-group charts no analyst would
+// call a finding.
+func studyDims(spec dataset.Spec) []string {
+	var out []string
+	for _, d := range spec.ViewDimNames() {
+		if d != spec.Selector().Name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// interestMapFor builds the ground-truth interestingness map (view key →
+// planted intended utility) for a dataset's study view space.
+func interestMapFor(spec dataset.Spec) map[string]float64 {
+	interest := make(map[string]float64)
+	for _, d := range studyDims(spec) {
+		for _, m := range spec.MeasureNames() {
+			v := core.View{Dimension: d, Measure: m, Agg: core.AggAvg}
+			interest[v.Key()] = spec.IntendedUtility(d, m)
+		}
+	}
+	return interest
+}
+
+// rankedViewKeys returns the oracle's deviation ranking as view keys.
+func rankedViewKeys(oracle *core.Result) []string {
+	out := make([]string, len(oracle.AllViews))
+	for i, r := range oracle.AllViews {
+		out[i] = r.View.Key()
+	}
+	return out
+}
+
+// Figure15 regenerates Figures 15a and 15b: the expert-vote heatmap over
+// the deviation ranking, and the ROC curve with AUROC, for the census
+// study task.
+func Figure15(ctx context.Context, cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	spec := dataset.Census()
+	spec = spec.WithRows(cfg.rowsFor(spec))
+	db, err := build(spec, sqldb.LayoutCol)
+	if err != nil {
+		return nil, err
+	}
+	req := requestFor(spec)
+	req.Dimensions = studyDims(spec)
+	oracle, err := oracleFor(ctx, db, req, spec.NumViews())
+	if err != nil {
+		return nil, err
+	}
+	ranked := rankedViewKeys(oracle)
+	interest := interestMapFor(spec)
+	// Panel threshold calibrated so the majority labels ≈10-15% of views
+	// interesting, the fraction the paper's expert panel produced (6/48).
+	labels := study.SimulateLabels(study.PanelConfig{Seed: cfg.Seed, Threshold: 0.15}, interest)
+
+	nInteresting := 0
+	for _, yes := range labels.Interesting {
+		if yes {
+			nInteresting++
+		}
+	}
+
+	// Figure 15a: votes by utility rank.
+	heat := study.Heatmap(ranked, labels)
+	tA := &Table{
+		ID:     "figure15a",
+		Title:  fmt.Sprintf("Expert votes by utility rank (census; %d/%d views interesting by majority of %d experts)", nInteresting, len(ranked), labels.Experts),
+		Header: []string{"rank", "view", "utility", "votes", "interesting"},
+	}
+	for i, key := range ranked {
+		yes := ""
+		if labels.Interesting[key] {
+			yes = "yes"
+		}
+		tA.AddRow(fmt.Sprintf("%d", i+1), oracle.AllViews[i].View.String(),
+			f4(oracle.AllViews[i].Utility), fmt.Sprintf("%d", heat[i]), yes)
+	}
+	tA.Notes = append(tA.Notes, "paper: popular (high-vote) views concentrate at the top of the utility ordering; ~6 of 48 views interesting")
+
+	// Figure 15b: ROC.
+	points := study.ROC(ranked, labels.Interesting)
+	auroc := study.AUROC(points)
+	tB := &Table{
+		ID:     "figure15b",
+		Title:  fmt.Sprintf("ROC of deviation ranking vs ground truth (census) — AUROC %.3f", auroc),
+		Header: []string{"k", "TPR", "FPR"},
+	}
+	for _, p := range points {
+		if p.K%3 == 0 || p.K <= 6 || p.K == len(ranked) {
+			tB.AddRow(fmt.Sprintf("%d", p.K), f3(p.TPR), f3(p.FPR))
+		}
+	}
+	tB.Notes = append(tB.Notes,
+		"paper: AUROC 0.903 (above 0.9 is excellent); e.g. k=3 → TPR 0.5, FPR 0",
+		"false positives are views with high deviation the experts did not care about — the paper observed the same (Figure 14c)")
+	return []*Table{tA, tB}, nil
+}
+
+// Table2 regenerates Table 2: SEEDB vs MANUAL bookmarking behaviour over
+// the Housing and Movies study datasets with 16 simulated analysts.
+func Table2(ctx context.Context, cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:     "table2",
+		Title:  "Aggregate visualizations: bookmarking behaviour (16 simulated analysts, 8-minute sessions)",
+		Header: []string{"dataset", "tool", "total_viz", "num_bookmarks", "bookmark_rate"},
+	}
+	var pooled [2][]study.ToolStats
+	for _, name := range []string{"housing", "movies"} {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		spec = spec.WithRows(cfg.rowsFor(spec))
+		db, err := build(spec, sqldb.LayoutCol)
+		if err != nil {
+			return nil, err
+		}
+		req := requestFor(spec)
+		req.Dimensions = studyDims(spec)
+		oracle, err := oracleFor(ctx, db, req, spec.NumViews())
+		if err != nil {
+			return nil, err
+		}
+		seedbStats, manualStats := study.SimulateStudy(
+			study.StudyConfig{Seed: cfg.Seed}, rankedViewKeys(oracle), interestMapFor(spec))
+		pooled[0] = append(pooled[0], seedbStats)
+		pooled[1] = append(pooled[1], manualStats)
+		for _, s := range []study.ToolStats{manualStats, seedbStats} {
+			t.AddRow(name, s.Tool,
+				fmt.Sprintf("%.1f ± %.2f", s.TotalViz, s.TotalVizSD),
+				fmt.Sprintf("%.1f ± %.2f", s.Bookmarks, s.BookmarksSD),
+				fmt.Sprintf("%.2f ± %.2f", s.BookmarkRate, s.BookmarkRateSD))
+		}
+	}
+	// Pooled rows, the form Table 2 reports.
+	for i, tool := range []string{"SEEDB", "MANUAL"} {
+		var viz, book, rate float64
+		for _, s := range pooled[i] {
+			viz += s.TotalViz
+			book += s.Bookmarks
+			rate += s.BookmarkRate
+		}
+		n := float64(len(pooled[i]))
+		t.AddRow("pooled", tool,
+			fmt.Sprintf("%.1f", viz/n), fmt.Sprintf("%.1f", book/n), fmt.Sprintf("%.2f", rate/n))
+	}
+	t.Notes = append(t.Notes,
+		"paper: MANUAL 6.3 viz / 1.1 bookmarks / 0.14 rate; SEEDB 10.8 / 3.5 / 0.43 (≈3x bookmark rate)")
+	return []*Table{t}, nil
+}

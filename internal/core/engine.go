@@ -1,0 +1,349 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"seedb/internal/distance"
+	"seedb/internal/sqldb"
+)
+
+// Engine is the SeeDB execution engine: it evaluates the candidate view
+// space for a request and returns the k most interesting (highest
+// deviation) visualizations.
+type Engine struct {
+	db  *sqldb.DB
+	gen *ViewGenerator
+}
+
+// NewEngine creates an engine over db.
+func NewEngine(db *sqldb.DB) *Engine {
+	return &Engine{db: db, gen: NewViewGenerator(db)}
+}
+
+// DB returns the underlying database.
+func (e *Engine) DB() *sqldb.DB { return e.db }
+
+// Generator returns the engine's view generator.
+func (e *Engine) Generator() *ViewGenerator { return e.gen }
+
+// Metrics reports what one Recommend invocation cost.
+type Metrics struct {
+	// Views is the number of candidate views enumerated.
+	Views int
+	// QueriesIssued counts SQL queries executed against the DBMS.
+	QueriesIssued int
+	// RowsScanned sums base-table rows visited across all queries.
+	RowsScanned int64
+	// MaxGroups is the peak distinct-group count of any single query
+	// (the memory-utilization proxy).
+	MaxGroups int
+	// PhasesRun counts executed phases (1 for non-phased strategies).
+	PhasesRun int
+	// PrunedViews counts views discarded before full processing.
+	PrunedViews int
+	// EarlyStopped reports whether COMB_EARLY returned before scanning
+	// everything.
+	EarlyStopped bool
+	// Elapsed is wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// Recommendation is one scored view with its distributions, ready to
+// render as a bar chart.
+type Recommendation struct {
+	View View
+	// Utility is the deviation-based utility estimate. For pruned views
+	// it reflects only the data processed before pruning.
+	Utility float64
+	// Groups is the shared group axis (sorted union of target and
+	// reference groups).
+	Groups []string
+	// Target and Reference are the normalized probability distributions
+	// over Groups.
+	Target, Reference []float64
+	// TargetAgg and ReferenceAgg are the raw (unnormalized) aggregate
+	// values per group.
+	TargetAgg, ReferenceAgg map[string]float64
+	// Partial marks estimates computed from a strict subset of the data
+	// (early-returned or pruned views).
+	Partial bool
+}
+
+// Result is the output of one Recommend invocation.
+type Result struct {
+	// Recommendations holds the top-k views, highest utility first.
+	Recommendations []Recommendation
+	// AllViews holds every enumerated view's final state (only when
+	// Options.KeepAllViews is set), in utility order.
+	AllViews []Recommendation
+	// Metrics reports execution cost.
+	Metrics Metrics
+}
+
+// execState carries one invocation's working state.
+type execState struct {
+	db      *sqldb.DB
+	req     Request
+	opts    Options
+	views   []View
+	accums  []*viewAccum
+	alive   []bool
+	partial []bool // per-view: estimate computed from a strict data subset
+	metrics Metrics
+}
+
+// Recommend evaluates the view space for req and returns the top-k
+// recommendations under the configured options.
+func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Result, error) {
+	start := time.Now()
+	if req.TargetWhere == "" {
+		return nil, fmt.Errorf("core: request needs a target predicate (TargetWhere)")
+	}
+	if req.Reference == RefCustom && req.ReferenceWhere == "" {
+		return nil, fmt.Errorf("core: RefCustom requires ReferenceWhere")
+	}
+	t, ok := e.db.Table(req.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: table %q does not exist", req.Table)
+	}
+	views, err := e.gen.Views(req)
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(t.Layout(), len(views))
+	if opts.K > len(views) {
+		opts.K = len(views)
+	}
+
+	st := &execState{
+		db:    e.db,
+		req:   req,
+		opts:  opts,
+		views: views,
+	}
+	st.metrics.Views = len(views)
+	st.accums = make([]*viewAccum, len(views))
+	st.alive = make([]bool, len(views))
+	for i, v := range views {
+		st.accums[i] = newViewAccum(v)
+		st.alive[i] = true
+	}
+
+	qb := &queryBuilder{table: req.Table, req: req, opts: opts}
+	if opts.GroupBy == GroupByBinPack && opts.Strategy != NoOpt {
+		dims := dimensionSet(views)
+		cards, err := e.gen.DimensionCardinalities(req.Table, dims)
+		if err != nil {
+			return nil, err
+		}
+		qb.distinct = make(map[string]int, len(dims))
+		for i, d := range dims {
+			qb.distinct[d] = cards[i]
+		}
+	}
+
+	switch opts.Strategy {
+	case NoOpt, Sharing:
+		err = st.runSinglePass(ctx, qb)
+	case Comb, CombEarly:
+		err = st.runPhased(ctx, qb, t.NumRows())
+	default:
+		err = fmt.Errorf("core: unknown strategy %v", opts.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := st.buildResult()
+	res.Metrics.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runSinglePass executes NO_OPT or SHARING: one full pass over the data.
+func (st *execState) runSinglePass(ctx context.Context, qb *queryBuilder) error {
+	queries := qb.build(st.views, st.alive)
+	st.metrics.PhasesRun = 1
+	return st.runQueries(ctx, queries, 0, 0)
+}
+
+// runPhased executes COMB / COMB_EARLY: the phased execution framework of
+// Section 3. Phase i processes the i-th of n equal partitions for the
+// views still alive, then the pruner discards low-utility views.
+func (st *execState) runPhased(ctx context.Context, qb *queryBuilder, totalRows int) error {
+	phases := st.opts.Phases
+	if phases > totalRows && totalRows > 0 {
+		phases = totalRows
+	}
+	if phases < 1 {
+		phases = 1
+	}
+	p := newPruner(st.opts)
+	ps := &phaseState{
+		estimates: make([]float64, len(st.views)),
+		alive:     st.alive,
+		accepted:  make([]bool, len(st.views)),
+		totalRows: totalRows,
+		k:         st.opts.K,
+	}
+
+	for phase := 0; phase < phases; phase++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lo := phase * totalRows / phases
+		hi := (phase + 1) * totalRows / phases
+		if hi <= lo {
+			continue
+		}
+		// Rebuild queries for the views still alive so pruned views
+		// stop consuming scan and aggregation work.
+		queries := qb.build(st.views, st.alive)
+		if err := st.runQueries(ctx, queries, lo, hi); err != nil {
+			return err
+		}
+		st.metrics.PhasesRun++
+		ps.rowsSeen = hi
+
+		for i := range st.views {
+			if st.alive[i] {
+				ps.estimates[i] = st.accums[i].utility(st.opts.Distance)
+			}
+		}
+		p.prune(ps)
+
+		if st.opts.Strategy == CombEarly && p.decided(ps) {
+			if hi < totalRows {
+				st.metrics.EarlyStopped = true
+			}
+			break
+		}
+	}
+
+	// A view's estimate is partial when it stopped being scanned before
+	// the data ran out: pruned, bandit-accepted mid-run, or the whole
+	// run returned early.
+	st.partial = make([]bool, len(st.views))
+	for i := range st.views {
+		st.partial[i] = !st.alive[i] || st.metrics.EarlyStopped
+	}
+	// Views the bandit accepted count as winners, not as pruned.
+	for i := range st.views {
+		if ps.accepted[i] {
+			st.alive[i] = true
+		}
+	}
+	for _, a := range st.alive {
+		if !a {
+			st.metrics.PrunedViews++
+		}
+	}
+	return nil
+}
+
+// buildResult ranks views and materializes recommendations.
+func (st *execState) buildResult() *Result {
+	type scored struct {
+		idx     int
+		utility float64
+	}
+	ranked := make([]scored, 0, len(st.views))
+	var pruned []scored
+	for i := range st.views {
+		u := st.accums[i].utility(st.opts.Distance)
+		if st.alive[i] {
+			ranked = append(ranked, scored{i, u})
+		} else {
+			pruned = append(pruned, scored{i, u})
+		}
+	}
+	byUtility := func(s []scored) func(a, b int) bool {
+		return func(a, b int) bool {
+			if s[a].utility != s[b].utility {
+				return s[a].utility > s[b].utility
+			}
+			return s[a].idx < s[b].idx
+		}
+	}
+	sort.Slice(ranked, byUtility(ranked))
+	sort.Slice(pruned, byUtility(pruned))
+
+	res := &Result{Metrics: st.metrics}
+
+	emit := func(s scored) Recommendation {
+		acc := st.accums[s.idx]
+		tAgg := acc.target.finalize(acc.view.Agg)
+		rAgg := acc.reference.finalize(acc.view.Agg)
+		groups, tv, rv := distance.Align(tAgg, rAgg)
+		// Surviving views of a full run saw every partition and are
+		// exact; pruned, bandit-accepted and early-returned views are
+		// partial (st.partial is nil for single-pass strategies, which
+		// are always exact).
+		partial := st.partial != nil && st.partial[s.idx]
+		return Recommendation{
+			View:         acc.view,
+			Utility:      s.utility,
+			Groups:       groups,
+			Target:       distance.Normalize(tv),
+			Reference:    distance.Normalize(rv),
+			TargetAgg:    tAgg,
+			ReferenceAgg: rAgg,
+			Partial:      partial,
+		}
+	}
+
+	k := st.opts.K
+	for _, s := range ranked {
+		if len(res.Recommendations) >= k {
+			break
+		}
+		res.Recommendations = append(res.Recommendations, emit(s))
+	}
+	// If pruning overshot (fewer than k survivors), backfill from the
+	// best pruned estimates.
+	for _, s := range pruned {
+		if len(res.Recommendations) >= k {
+			break
+		}
+		res.Recommendations = append(res.Recommendations, emit(s))
+	}
+
+	if st.opts.KeepAllViews {
+		all := append(append([]scored(nil), ranked...), pruned...)
+		sort.Slice(all, byUtility(all))
+		res.AllViews = make([]Recommendation, 0, len(all))
+		for _, s := range all {
+			res.AllViews = append(res.AllViews, emit(s))
+		}
+	}
+	return res
+}
+
+// dimensionSet returns the distinct dimensions across views, in
+// first-use order.
+func dimensionSet(views []View) []string {
+	var dims []string
+	seen := make(map[string]bool)
+	for _, v := range views {
+		if !seen[v.Dimension] {
+			seen[v.Dimension] = true
+			dims = append(dims, v.Dimension)
+		}
+	}
+	return dims
+}
+
+// ExactTopK computes ground-truth utilities for every view of a request
+// with the SHARING strategy and no pruning — the oracle the evaluation
+// metrics compare against.
+func (e *Engine) ExactTopK(ctx context.Context, req Request, dist distance.Func, k int) (*Result, error) {
+	return e.Recommend(ctx, req, Options{
+		Strategy:     Sharing,
+		Pruning:      NoPruning,
+		Distance:     dist,
+		K:            k,
+		KeepAllViews: true,
+	})
+}

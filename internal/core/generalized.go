@@ -1,0 +1,83 @@
+package core
+
+import "sort"
+
+// This file implements the generalized utility metric sketched in
+// Section 7 of the paper: deviation is one component of interestingness,
+// combinable with metadata-driven attribute relevance (task-relevant
+// columns), aesthetics (charts with too many groups are hard to read),
+// and explicit user preference. The optimization strategies are agnostic
+// to the scoring function, so generalization happens as a re-scoring pass
+// over the engine's deviation-ranked output.
+
+// UtilityWeights configures the generalized utility metric
+//
+//	U(V) = Deviation·S(P_target, P_ref)
+//	     + DimensionBoost[V.a] + MeasureBoost[V.m]
+//	     − GroupPenalty·max(0, |groups| − PreferredGroups)
+type UtilityWeights struct {
+	// Deviation scales the deviation component (default 1).
+	Deviation float64
+	// DimensionBoost adds a per-dimension relevance bonus (metadata or
+	// user preference: "the analyst chooses attributes of interest").
+	DimensionBoost map[string]float64
+	// MeasureBoost adds a per-measure relevance bonus.
+	MeasureBoost map[string]float64
+	// GroupPenalty is subtracted for every group beyond PreferredGroups
+	// (an aesthetics proxy: wide bar charts are hard to read).
+	GroupPenalty float64
+	// PreferredGroups is the widest chart considered fully readable
+	// (default 12).
+	PreferredGroups int
+}
+
+// withDefaults fills zero fields.
+func (w UtilityWeights) withDefaults() UtilityWeights {
+	if w.Deviation == 0 {
+		w.Deviation = 1
+	}
+	if w.PreferredGroups <= 0 {
+		w.PreferredGroups = 12
+	}
+	return w
+}
+
+// Score computes the generalized utility of one recommendation.
+func (w UtilityWeights) Score(rec Recommendation) float64 {
+	w = w.withDefaults()
+	u := w.Deviation * rec.Utility
+	if b, ok := w.DimensionBoost[rec.View.Dimension]; ok {
+		u += b
+	}
+	if b, ok := w.MeasureBoost[rec.View.Measure]; ok {
+		u += b
+	}
+	if over := len(rec.Groups) - w.PreferredGroups; over > 0 && w.GroupPenalty > 0 {
+		u -= w.GroupPenalty * float64(over)
+	}
+	return u
+}
+
+// Rerank re-scores recommendations under the generalized metric and
+// returns them in descending generalized-utility order (stable for
+// ties). The input is not modified; Utility fields of the returned
+// slice hold the generalized scores.
+func (w UtilityWeights) Rerank(recs []Recommendation) []Recommendation {
+	out := make([]Recommendation, len(recs))
+	copy(out, recs)
+	scores := make([]float64, len(out))
+	for i := range out {
+		scores[i] = w.Score(out[i])
+	}
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	ranked := make([]Recommendation, len(out))
+	for pos, i := range idx {
+		ranked[pos] = out[i]
+		ranked[pos].Utility = scores[i]
+	}
+	return ranked
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"seedb/internal/sqldb"
+)
+
+// maxDimensionCardinality is the default ceiling on distinct values for a
+// column to qualify as a dimension attribute when dimensions are derived
+// from metadata. Columns beyond this produce unreadably wide bar charts.
+const maxDimensionCardinality = 1000
+
+// ViewGenerator enumerates the candidate aggregate views for a request
+// from system metadata (the "view generator" component in the paper's
+// architecture, Figure 3).
+type ViewGenerator struct {
+	db *sqldb.DB
+}
+
+// NewViewGenerator creates a generator over db.
+func NewViewGenerator(db *sqldb.DB) *ViewGenerator {
+	return &ViewGenerator{db: db}
+}
+
+// Views enumerates V = A × M × F for the request. Explicitly listed
+// dimensions/measures are validated against the schema; otherwise
+// dimension attributes are string-typed columns (or integer columns with
+// at most maxDimensionCardinality distinct values) and measures are
+// numeric columns. A column never plays both roles in the derived
+// enumeration: low-cardinality numerics become dimensions, the rest
+// measures.
+func (g *ViewGenerator) Views(req Request) ([]View, error) {
+	t, ok := g.db.Table(req.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: table %q does not exist", req.Table)
+	}
+	schema := t.Schema()
+
+	dims := req.Dimensions
+	measures := req.Measures
+	if len(dims) == 0 || len(measures) == 0 {
+		stats, err := g.db.Stats(req.Table)
+		if err != nil {
+			return nil, err
+		}
+		var derivedDims, derivedMeasures []string
+		for _, cs := range stats.Columns {
+			switch cs.Type {
+			case sqldb.TypeString, sqldb.TypeBool:
+				if cs.Distinct <= maxDimensionCardinality {
+					derivedDims = append(derivedDims, cs.Name)
+				}
+			case sqldb.TypeInt:
+				if cs.Distinct <= maxDimensionCardinality/10 {
+					derivedDims = append(derivedDims, cs.Name)
+				} else {
+					derivedMeasures = append(derivedMeasures, cs.Name)
+				}
+			case sqldb.TypeFloat:
+				derivedMeasures = append(derivedMeasures, cs.Name)
+			}
+		}
+		if len(dims) == 0 {
+			dims = derivedDims
+		}
+		if len(measures) == 0 {
+			measures = derivedMeasures
+		}
+	}
+	for _, d := range dims {
+		if _, ok := schema.Lookup(d); !ok {
+			return nil, fmt.Errorf("core: dimension %q not in table %s", d, req.Table)
+		}
+	}
+	for _, m := range measures {
+		if _, ok := schema.Lookup(m); !ok {
+			return nil, fmt.Errorf("core: measure %q not in table %s", m, req.Table)
+		}
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("core: no dimension attributes found in table %s", req.Table)
+	}
+	if len(measures) == 0 {
+		return nil, fmt.Errorf("core: no measure attributes found in table %s", req.Table)
+	}
+
+	aggs := req.Aggs
+	if len(aggs) == 0 {
+		aggs = []AggFunc{AggAvg}
+	}
+	for _, f := range aggs {
+		if !ValidAggFunc(f) {
+			return nil, fmt.Errorf("core: unsupported aggregate %q", f)
+		}
+	}
+
+	views := make([]View, 0, len(dims)*len(measures)*len(aggs))
+	for _, a := range dims {
+		for _, m := range measures {
+			if a == m {
+				continue
+			}
+			for _, f := range aggs {
+				views = append(views, View{Dimension: a, Measure: m, Agg: f})
+			}
+		}
+	}
+	if len(views) == 0 {
+		return nil, fmt.Errorf("core: view space is empty for table %s", req.Table)
+	}
+	return views, nil
+}
+
+// DimensionCardinalities returns the distinct-value count for each named
+// dimension, in order — the |a_i| inputs to the bin-packing optimizer.
+func (g *ViewGenerator) DimensionCardinalities(table string, dims []string) ([]int, error) {
+	stats, err := g.db.Stats(table)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(dims))
+	for i, d := range dims {
+		cs, ok := stats.Column(d)
+		if !ok {
+			return nil, fmt.Errorf("core: no statistics for column %q", d)
+		}
+		out[i] = cs.Distinct
+		if out[i] < 1 {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}

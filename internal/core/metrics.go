@@ -1,0 +1,81 @@
+package core
+
+// This file implements the result-quality metrics from Section 5.4 of the
+// paper: accuracy (fraction of true top-k views returned) and utility
+// distance (how far the returned set's true average utility is from the
+// true top-k's average utility).
+
+// Accuracy returns |{νT} ∩ {νS}| / |{νT}|: the fraction of the true
+// top-k views that appear in the returned set.
+func Accuracy(trueTop, returned []View) float64 {
+	if len(trueTop) == 0 {
+		return 1
+	}
+	got := make(map[string]bool, len(returned))
+	for _, v := range returned {
+		got[v.Key()] = true
+	}
+	hits := 0
+	for _, v := range trueTop {
+		if got[v.Key()] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(trueTop))
+}
+
+// UtilityDistance returns the difference between the average true utility
+// of the true top-k views and the average true utility of the returned
+// views: (Σ U(νT_i) − Σ U(νS_i)) / k. Utilities are looked up in
+// trueUtil (keyed by View.Key()); unknown returned views count as utility
+// 0. The result is non-negative for any returned set when trueTop really
+// is the top-k.
+func UtilityDistance(trueUtil map[string]float64, trueTop, returned []View) float64 {
+	if len(trueTop) == 0 || len(returned) == 0 {
+		return 0
+	}
+	var sumTrue float64
+	for _, v := range trueTop {
+		sumTrue += trueUtil[v.Key()]
+	}
+	var sumGot float64
+	for _, v := range returned {
+		sumGot += trueUtil[v.Key()]
+	}
+	d := sumTrue/float64(len(trueTop)) - sumGot/float64(len(returned))
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// TrueUtilityMap builds the View.Key() → utility lookup from an oracle
+// result (ExactTopK with KeepAllViews).
+func TrueUtilityMap(oracle *Result) map[string]float64 {
+	m := make(map[string]float64, len(oracle.AllViews))
+	for _, r := range oracle.AllViews {
+		m[r.View.Key()] = r.Utility
+	}
+	return m
+}
+
+// ViewsOf extracts the view identities from recommendations.
+func ViewsOf(recs []Recommendation) []View {
+	out := make([]View, len(recs))
+	for i, r := range recs {
+		out[i] = r.View
+	}
+	return out
+}
+
+// TopViews returns the first k views of an oracle's ranked AllViews.
+func TopViews(oracle *Result, k int) []View {
+	if k > len(oracle.AllViews) {
+		k = len(oracle.AllViews)
+	}
+	out := make([]View, k)
+	for i := 0; i < k; i++ {
+		out[i] = oracle.AllViews[i].View
+	}
+	return out
+}

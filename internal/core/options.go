@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"seedb/internal/distance"
+	"seedb/internal/sqldb"
+)
+
+// Strategy selects the execution strategy, mirroring the paper's
+// evaluation configurations (Figure 5).
+type Strategy int
+
+// Execution strategies.
+const (
+	// NoOpt is the basic framework: two serial SQL queries per view.
+	NoOpt Strategy = iota
+	// Sharing applies all sharing optimizations (Section 4.1) in a
+	// single pass over the data: combined aggregates, combined group-bys
+	// under a memory budget, combined target/reference queries, and
+	// parallel query execution.
+	Sharing
+	// Comb composes sharing with the phased execution framework and
+	// pruning (Sections 3 and 4.2).
+	Comb
+	// CombEarly is Comb with early result return: execution stops as
+	// soon as the top-k set is decided and approximate results are
+	// returned (the paper's COMB_EARLY).
+	CombEarly
+)
+
+// String returns the paper's name for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case NoOpt:
+		return "NO_OPT"
+	case Sharing:
+		return "SHARING"
+	case Comb:
+		return "COMB"
+	case CombEarly:
+		return "COMB_EARLY"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// PruningScheme selects the pruning optimization (Section 4.2).
+type PruningScheme int
+
+// Pruning schemes.
+const (
+	// NoPruning (NO_PRU) processes all data for all views.
+	NoPruning PruningScheme = iota
+	// CIPruning discards views whose Hoeffding–Serfling confidence
+	// interval upper bound falls below the lower bound of at least k
+	// views.
+	CIPruning
+	// MABPruning runs the Successive Accepts and Rejects bandit
+	// strategy: each phase accepts the top view or rejects the bottom
+	// view based on the Δ1 vs Δn comparison.
+	MABPruning
+	// RandomPruning returns a random k-subset (the paper's RANDOM
+	// baseline; a lower bound on accuracy).
+	RandomPruning
+)
+
+// String returns the paper's name for the scheme.
+func (p PruningScheme) String() string {
+	switch p {
+	case NoPruning:
+		return "NO_PRU"
+	case CIPruning:
+		return "CI"
+	case MABPruning:
+		return "MAB"
+	case RandomPruning:
+		return "RANDOM"
+	default:
+		return fmt.Sprintf("PruningScheme(%d)", int(p))
+	}
+}
+
+// GroupByStrategy selects how dimension attributes combine into
+// multi-attribute GROUP BY queries (Section 4.1, Problem 4.1).
+type GroupByStrategy int
+
+// Group-by combination strategies.
+const (
+	// GroupBySingle issues one single-attribute GROUP BY per dimension
+	// (no combining) — the paper's choice for column stores, whose small
+	// memory budget biases optimal groupings toward single attributes.
+	GroupBySingle GroupByStrategy = iota
+	// GroupByBinPack packs dimensions with first-fit so each query's
+	// worst-case distinct-group count stays under MemoryBudget (the
+	// paper's BP).
+	GroupByBinPack
+	// GroupByMaxN caps the number of group-by attributes per query at
+	// MaxGroupBy regardless of cardinality (the paper's MAX_GB
+	// baseline).
+	GroupByMaxN
+)
+
+// String returns a short name for the strategy.
+func (g GroupByStrategy) String() string {
+	switch g {
+	case GroupBySingle:
+		return "SINGLE"
+	case GroupByBinPack:
+		return "BP"
+	case GroupByMaxN:
+		return "MAX_GB"
+	default:
+		return fmt.Sprintf("GroupByStrategy(%d)", int(g))
+	}
+}
+
+// Default memory budgets (maximum distinct groups per query), matching
+// the empirical thresholds in Figure 8a of the paper.
+const (
+	DefaultRowMemoryBudget = 10000
+	DefaultColMemoryBudget = 100
+)
+
+// Options configures the SeeDB engine.
+type Options struct {
+	// Strategy is the execution strategy (default Comb).
+	Strategy Strategy
+	// Pruning selects the pruning scheme for Comb/CombEarly (default
+	// CIPruning).
+	Pruning PruningScheme
+	// Distance is the utility distance function (default EMD, the
+	// paper's default).
+	Distance distance.Func
+	// K is the number of visualizations to recommend (default 10).
+	K int
+	// Phases is the number of partitions for phased execution. 0 means
+	// automatic: 10 for CI (the paper's configuration), and enough
+	// phases for one bandit action per view for MAB.
+	Phases int
+	// Parallelism caps concurrently executing view queries (default:
+	// GOMAXPROCS, matching the paper's "number of cores" guidance).
+	Parallelism int
+	// GroupBy selects the group-by combining strategy. Defaults to
+	// GroupByBinPack for row stores and GroupBySingle for column stores.
+	GroupBy GroupByStrategy
+	// GroupBySet forces GroupBy to be honored even when it is the zero
+	// value (GroupBySingle); otherwise layout defaults apply.
+	GroupBySet bool
+	// MemoryBudget is the maximum estimated distinct groups per query
+	// for GroupByBinPack. 0 picks the layout default.
+	MemoryBudget int
+	// MaxGroupBy is the attribute cap for GroupByMaxN (default 3).
+	MaxGroupBy int
+	// MaxAggregatesPerQuery caps how many measures one shared query may
+	// aggregate (the paper's nagg experiment, Figure 7a). 0 = unlimited.
+	MaxAggregatesPerQuery int
+	// CombineAggregates enables the multiple-aggregates optimization.
+	// Only honored by Sharing/Comb strategies; disabled implies one
+	// measure per query. Default true.
+	DisableCombineAggregates bool
+	// DisableCombineTargetRef disables rewriting target+reference into a
+	// single flag-grouped query; the engine then issues separate target
+	// and reference queries. Default false (combining on).
+	DisableCombineTargetRef bool
+	// Delta is the CI pruning failure probability δ (default 0.05).
+	Delta float64
+	// ConfidenceScale multiplies the Hoeffding–Serfling half-width; 1.0
+	// is the theoretical worst-case interval. Values below 1 prune more
+	// aggressively (default 1.0).
+	ConfidenceScale float64
+	// Seed drives the RANDOM pruning baseline and any tie-breaking
+	// shuffles (default 1).
+	Seed int64
+	// KeepAllViews retains per-view estimates for every enumerated view
+	// in the result (needed by the evaluation harness; default false
+	// keeps only the top-k).
+	KeepAllViews bool
+}
+
+// withDefaults fills unset options given the table layout.
+func (o Options) withDefaults(layout sqldb.Layout, numViews int) Options {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if !o.GroupBySet {
+		if layout == sqldb.LayoutRow {
+			o.GroupBy = GroupByBinPack
+		} else {
+			o.GroupBy = GroupBySingle
+		}
+	}
+	if o.MemoryBudget <= 0 {
+		if layout == sqldb.LayoutRow {
+			o.MemoryBudget = DefaultRowMemoryBudget
+		} else {
+			o.MemoryBudget = DefaultColMemoryBudget
+		}
+	}
+	if o.MaxGroupBy <= 0 {
+		o.MaxGroupBy = 3
+	}
+	if o.Delta <= 0 || o.Delta >= 1 {
+		o.Delta = 0.05
+	}
+	if o.ConfidenceScale <= 0 {
+		o.ConfidenceScale = 1.0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Phases <= 0 {
+		switch o.Pruning {
+		case MABPruning:
+			o.Phases = numViews - o.K
+			if o.Phases < 10 {
+				o.Phases = 10
+			}
+		default:
+			o.Phases = 10
+		}
+	}
+	return o
+}
+
+// RefMode selects the reference dataset D_R (Section 2).
+type RefMode int
+
+// Reference modes.
+const (
+	// RefAll uses the entire dataset D as the reference (the paper's
+	// default when the analyst does not specify one).
+	RefAll RefMode = iota
+	// RefComplement uses D − D_Q, the complement of the target subset.
+	RefComplement
+	// RefCustom uses the rows matching Request.ReferenceWhere (an
+	// arbitrary query Q′).
+	RefCustom
+)
+
+// String names the reference mode.
+func (m RefMode) String() string {
+	switch m {
+	case RefAll:
+		return "ALL"
+	case RefComplement:
+		return "COMPLEMENT"
+	case RefCustom:
+		return "CUSTOM"
+	default:
+		return fmt.Sprintf("RefMode(%d)", int(m))
+	}
+}
+
+// Request describes one SeeDB invocation: the analyst's query plus the
+// candidate-view space.
+type Request struct {
+	// Table is the fact table to analyze.
+	Table string
+	// TargetWhere is the SQL predicate selecting the target subset D_Q,
+	// e.g. "marital = 'Unmarried'".
+	TargetWhere string
+	// Reference selects D_R (default RefAll).
+	Reference RefMode
+	// ReferenceWhere is the predicate for RefCustom.
+	ReferenceWhere string
+	// Dimensions optionally restricts the dimension attributes A; empty
+	// means derive from table metadata (string-typed or low-cardinality
+	// columns).
+	Dimensions []string
+	// Measures optionally restricts the measure attributes M; empty
+	// means derive from metadata (numeric columns).
+	Measures []string
+	// Aggs lists the aggregate functions F (default {AVG}).
+	Aggs []AggFunc
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"seedb/internal/stats"
+)
+
+// phaseState is the information a pruner sees at the end of each phase.
+type phaseState struct {
+	// estimates[i] is view i's utility estimate from the data processed
+	// so far (cumulative across phases), clamped to [0,1] for the
+	// statistical bounds.
+	estimates []float64
+	// alive[i] marks views still being processed.
+	alive []bool
+	// accepted[i] marks views the pruner has already locked into the
+	// top-k (MAB accepts); accepted views stop being scanned.
+	accepted []bool
+	// rowsSeen/totalRows track scan progress for interval width.
+	rowsSeen, totalRows int
+	// k is the number of views requested.
+	k int
+}
+
+// aliveCount returns how many views are still being processed.
+func (ps *phaseState) aliveCount() int {
+	n := 0
+	for _, a := range ps.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// acceptedCount returns how many views have been accepted.
+func (ps *phaseState) acceptedCount() int {
+	n := 0
+	for _, a := range ps.accepted {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// pruner is the per-phase pruning policy (Section 4.2).
+type pruner interface {
+	// prune inspects the end-of-phase state and discards (alive=false)
+	// or accepts (accepted=true, alive=false) views in place.
+	prune(ps *phaseState)
+	// decided reports whether the top-k set is already determined, which
+	// lets COMB_EARLY stop scanning.
+	decided(ps *phaseState) bool
+}
+
+// newPruner builds the pruner for the configured scheme.
+func newPruner(opts Options) pruner {
+	switch opts.Pruning {
+	case CIPruning:
+		return &ciPruner{delta: opts.Delta, scale: opts.ConfidenceScale}
+	case MABPruning:
+		return &mabPruner{}
+	case RandomPruning:
+		return &randomPruner{rng: rand.New(rand.NewSource(opts.Seed))}
+	default:
+		return noPruner{}
+	}
+}
+
+// noPruner is the NO_PRU baseline: every view is processed on all data.
+type noPruner struct{}
+
+func (noPruner) prune(*phaseState)        {}
+func (noPruner) decided(*phaseState) bool { return false }
+
+// ciPruner implements confidence-interval pruning: maintain a
+// Hoeffding–Serfling interval around each view's utility estimate and
+// discard a view when its upper bound falls below the lower bound of at
+// least k views (Figure 4 in the paper).
+type ciPruner struct {
+	delta float64
+	scale float64
+}
+
+func (p *ciPruner) prune(ps *phaseState) {
+	eps := stats.HoeffdingSerfling(ps.rowsSeen, ps.totalRows, p.delta) * p.scale
+	if eps != eps || eps < 0 { // NaN guard
+		return
+	}
+	// All views share m and N, so every interval has the same width and
+	// the rule reduces to: prune v if est(v)+ε < L, where L is the k-th
+	// largest est−ε among live views.
+	var lowers []float64
+	for i, alive := range ps.alive {
+		if alive || ps.accepted[i] {
+			lowers = append(lowers, clamp01(ps.estimates[i])-eps)
+		}
+	}
+	if len(lowers) <= ps.k {
+		return
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(lowers)))
+	threshold := lowers[ps.k-1]
+	for i, alive := range ps.alive {
+		if !alive {
+			continue
+		}
+		if clamp01(ps.estimates[i])+eps < threshold {
+			ps.alive[i] = false
+		}
+	}
+}
+
+func (p *ciPruner) decided(ps *phaseState) bool {
+	return ps.aliveCount()+ps.acceptedCount() <= ps.k
+}
+
+// mabPruner implements the Successive Accepts and Rejects bandit strategy
+// [Bubeck et al. 2013]: per phase, rank live views by estimated utility;
+// let Δ1 be the gap between the best and the (k+1)-st, and Δn the gap
+// between the k-th and the worst. Accept the best view if Δ1 > Δn,
+// otherwise reject the worst.
+type mabPruner struct{}
+
+func (p *mabPruner) prune(ps *phaseState) {
+	kRemaining := ps.k - ps.acceptedCount()
+	if kRemaining <= 0 {
+		// Top-k fully accepted: discard everything still running.
+		for i := range ps.alive {
+			ps.alive[i] = false
+		}
+		return
+	}
+	// Rank live views by estimate, descending.
+	type ranked struct {
+		idx int
+		est float64
+	}
+	var live []ranked
+	for i, alive := range ps.alive {
+		if alive {
+			live = append(live, ranked{i, ps.estimates[i]})
+		}
+	}
+	if len(live) <= kRemaining {
+		// Everything left is needed; accept them all.
+		for _, r := range live {
+			ps.alive[r.idx] = false
+			ps.accepted[r.idx] = true
+		}
+		return
+	}
+	sort.Slice(live, func(a, b int) bool {
+		if live[a].est != live[b].est {
+			return live[a].est > live[b].est
+		}
+		return live[a].idx < live[b].idx
+	})
+	delta1 := live[0].est - live[kRemaining].est
+	deltaN := live[kRemaining-1].est - live[len(live)-1].est
+	if delta1 > deltaN {
+		best := live[0].idx
+		ps.alive[best] = false
+		ps.accepted[best] = true
+	} else {
+		worst := live[len(live)-1].idx
+		ps.alive[worst] = false
+	}
+}
+
+func (p *mabPruner) decided(ps *phaseState) bool {
+	return ps.acceptedCount() >= ps.k || ps.aliveCount()+ps.acceptedCount() <= ps.k
+}
+
+// randomPruner is the RANDOM baseline: after the first phase it keeps a
+// uniformly random k-subset of the views and discards the rest. It lower
+// bounds accuracy and upper bounds utility distance.
+type randomPruner struct {
+	rng  *rand.Rand
+	done bool
+}
+
+func (p *randomPruner) prune(ps *phaseState) {
+	if p.done {
+		return
+	}
+	p.done = true
+	var live []int
+	for i, alive := range ps.alive {
+		if alive {
+			live = append(live, i)
+		}
+	}
+	p.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	for j, idx := range live {
+		if j >= ps.k {
+			ps.alive[idx] = false
+		}
+	}
+}
+
+func (p *randomPruner) decided(ps *phaseState) bool { return p.done }
+
+// clamp01 clamps a utility into [0, 1] for the statistical machinery.
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

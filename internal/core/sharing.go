@@ -1,0 +1,452 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"seedb/internal/binpack"
+	"seedb/internal/sqldb"
+)
+
+// accumRole identifies how one aggregate output column folds into a view
+// accumulator cell.
+type accumRole uint8
+
+const (
+	roleSum accumRole = iota
+	roleCount
+	roleMin
+	roleMax
+)
+
+// rolesFor returns the aggregate SQL expressions a view's aggregate
+// function needs, with the accumulator role each one feeds. Partial
+// results must merge across phases and across the sub-groups of a
+// multi-attribute GROUP BY, so AVG decomposes into SUM+COUNT, and
+// SUM/COUNT also carry COUNT to track group presence.
+func rolesFor(f AggFunc, measure string) []roleExpr {
+	switch f {
+	case AggAvg:
+		return []roleExpr{
+			{role: roleSum, expr: fmt.Sprintf("SUM(%s)", measure)},
+			{role: roleCount, expr: fmt.Sprintf("COUNT(%s)", measure)},
+		}
+	case AggSum:
+		return []roleExpr{
+			{role: roleSum, expr: fmt.Sprintf("SUM(%s)", measure)},
+			{role: roleCount, expr: fmt.Sprintf("COUNT(%s)", measure)},
+		}
+	case AggCount:
+		return []roleExpr{
+			{role: roleCount, expr: fmt.Sprintf("COUNT(%s)", measure)},
+		}
+	case AggMin:
+		return []roleExpr{
+			{role: roleMin, expr: fmt.Sprintf("MIN(%s)", measure)},
+		}
+	case AggMax:
+		return []roleExpr{
+			{role: roleMax, expr: fmt.Sprintf("MAX(%s)", measure)},
+		}
+	default:
+		return nil
+	}
+}
+
+// roleExpr pairs an aggregate SQL expression with the role it feeds.
+type roleExpr struct {
+	role accumRole
+	expr string
+}
+
+// consumer routes one aggregate output column of a shared query into one
+// view's accumulator.
+type consumer struct {
+	viewIdx int       // index into the engine's view list
+	dimPos  int       // which group-by column holds this view's dimension
+	col     int       // which aggregate output column to read
+	role    accumRole // how to fold it
+}
+
+// querySide tells the executor which accumulator side(s) a concrete query
+// execution feeds.
+type querySide uint8
+
+const (
+	// sideCombined: the query carries a target-flag group column; rows
+	// route by flag (and reference mode).
+	sideCombined querySide = iota
+	// sideTarget: a WHERE-target query feeding only target accumulators.
+	sideTarget
+	// sideReference: a reference query feeding only reference
+	// accumulators.
+	sideReference
+)
+
+// sharedQuery is one executable SQL query serving one or more views.
+type sharedQuery struct {
+	sql       string
+	numDims   int
+	side      querySide
+	consumers []consumer
+}
+
+// flagColumn is the alias of the injected target/reference flag.
+const flagColumn = "__seedb_flag"
+
+// viewGroup is a set of views evaluated by one family of shared queries:
+// they share the group-by dimension list.
+type viewGroup struct {
+	dims     []string
+	viewIdxs []int
+}
+
+// queryBuilder turns view groups into shared queries according to the
+// sharing options.
+type queryBuilder struct {
+	table    string
+	req      Request
+	opts     Options
+	distinct map[string]int // dimension → distinct count
+}
+
+// partitionViews builds the view groups for the configured group-by
+// strategy over the alive views. NoOpt gets one group per view
+// (no sharing at all).
+func (qb *queryBuilder) partitionViews(views []View, alive []bool) []viewGroup {
+	if qb.opts.Strategy == NoOpt {
+		var groups []viewGroup
+		for i, v := range views {
+			if alive[i] {
+				groups = append(groups, viewGroup{dims: []string{v.Dimension}, viewIdxs: []int{i}})
+			}
+		}
+		return groups
+	}
+
+	// Collect distinct dimensions of alive views, in first-use order.
+	var dims []string
+	seen := make(map[string]bool)
+	byDim := make(map[string][]int)
+	for i, v := range views {
+		if !alive[i] {
+			continue
+		}
+		if !seen[v.Dimension] {
+			seen[v.Dimension] = true
+			dims = append(dims, v.Dimension)
+		}
+		byDim[v.Dimension] = append(byDim[v.Dimension], i)
+	}
+
+	var dimGroups [][]string
+	switch qb.opts.GroupBy {
+	case GroupByBinPack:
+		counts := make([]int, len(dims))
+		for i, d := range dims {
+			counts[i] = qb.distinct[d]
+			if counts[i] < 1 {
+				counts[i] = 1
+			}
+		}
+		budget := qb.opts.MemoryBudget
+		if !qb.opts.DisableCombineTargetRef && qb.req.Reference != RefCustom {
+			// The flag column doubles the worst-case group count.
+			budget /= 2
+			if budget < 1 {
+				budget = 1
+			}
+		}
+		for _, bin := range binpack.PackAttributes(counts, budget) {
+			g := make([]string, len(bin))
+			for j, idx := range bin {
+				g[j] = dims[idx]
+			}
+			dimGroups = append(dimGroups, g)
+		}
+	case GroupByMaxN:
+		n := qb.opts.MaxGroupBy
+		for i := 0; i < len(dims); i += n {
+			end := i + n
+			if end > len(dims) {
+				end = len(dims)
+			}
+			dimGroups = append(dimGroups, dims[i:end])
+		}
+	default: // GroupBySingle
+		for _, d := range dims {
+			dimGroups = append(dimGroups, []string{d})
+		}
+	}
+
+	groups := make([]viewGroup, 0, len(dimGroups))
+	for _, g := range dimGroups {
+		var idxs []int
+		for _, d := range g {
+			idxs = append(idxs, byDim[d]...)
+		}
+		sort.Ints(idxs)
+		groups = append(groups, viewGroup{dims: g, viewIdxs: idxs})
+	}
+	return groups
+}
+
+// build compiles the alive views into concrete shared queries.
+func (qb *queryBuilder) build(views []View, alive []bool) []*sharedQuery {
+	var queries []*sharedQuery
+	for _, vg := range qb.partitionViews(views, alive) {
+		queries = append(queries, qb.buildGroup(views, vg)...)
+	}
+	return queries
+}
+
+// buildGroup emits the queries for one view group, applying the
+// multiple-aggregates combining (with the nagg cap) and the combined
+// target/reference rewrite.
+func (qb *queryBuilder) buildGroup(views []View, vg viewGroup) []*sharedQuery {
+	dimPos := make(map[string]int, len(vg.dims))
+	for i, d := range vg.dims {
+		dimPos[d] = i
+	}
+
+	// Chunk the group's views by measure so one query aggregates at
+	// most nagg measures ("Combine Multiple Aggregates", Figure 7a).
+	type chunkT struct {
+		measures []string
+		viewIdxs []int
+	}
+	nagg := qb.opts.MaxAggregatesPerQuery
+	if qb.opts.DisableCombineAggregates {
+		nagg = 1
+	}
+	var chunks []chunkT
+	measureChunk := make(map[string]int) // measure → chunk index
+	for _, vi := range vg.viewIdxs {
+		m := views[vi].Measure
+		ci, ok := measureChunk[m]
+		if !ok {
+			// Place the measure in the last chunk with room, else open
+			// a new chunk.
+			ci = -1
+			if len(chunks) > 0 {
+				last := len(chunks) - 1
+				if nagg <= 0 || len(chunks[last].measures) < nagg {
+					ci = last
+				}
+			}
+			if ci < 0 {
+				chunks = append(chunks, chunkT{})
+				ci = len(chunks) - 1
+			}
+			chunks[ci].measures = append(chunks[ci].measures, m)
+			measureChunk[m] = ci
+		}
+		chunks[ci].viewIdxs = append(chunks[ci].viewIdxs, vi)
+	}
+
+	// NO_OPT is the unoptimized baseline: it never combines target and
+	// reference into one query (2 × f × a × m queries, Section 3).
+	combined := qb.opts.Strategy != NoOpt &&
+		!qb.opts.DisableCombineTargetRef && qb.req.Reference != RefCustom
+
+	var queries []*sharedQuery
+	for _, ch := range chunks {
+		// Deduplicate aggregate expressions across this chunk's views.
+		var exprs []string
+		exprCol := make(map[string]int)
+		var consumers []consumer
+		for _, vi := range ch.viewIdxs {
+			v := views[vi]
+			for _, re := range rolesFor(v.Agg, v.Measure) {
+				col, ok := exprCol[re.expr]
+				if !ok {
+					col = len(exprs)
+					exprCol[re.expr] = col
+					exprs = append(exprs, re.expr)
+				}
+				consumers = append(consumers, consumer{
+					viewIdx: vi,
+					dimPos:  dimPos[v.Dimension],
+					col:     col,
+					role:    re.role,
+				})
+			}
+		}
+
+		if combined {
+			queries = append(queries, &sharedQuery{
+				sql:       qb.renderSQL(vg.dims, exprs, "", true),
+				numDims:   len(vg.dims),
+				side:      sideCombined,
+				consumers: consumers,
+			})
+			continue
+		}
+		// Separate target and reference executions.
+		queries = append(queries, &sharedQuery{
+			sql:       qb.renderSQL(vg.dims, exprs, qb.req.TargetWhere, false),
+			numDims:   len(vg.dims),
+			side:      sideTarget,
+			consumers: consumers,
+		})
+		refWhere := ""
+		switch qb.req.Reference {
+		case RefComplement:
+			refWhere = fmt.Sprintf("NOT (%s)", qb.req.TargetWhere)
+		case RefCustom:
+			refWhere = qb.req.ReferenceWhere
+		}
+		queries = append(queries, &sharedQuery{
+			sql:       qb.renderSQL(vg.dims, exprs, refWhere, false),
+			numDims:   len(vg.dims),
+			side:      sideReference,
+			consumers: consumers,
+		})
+	}
+	return queries
+}
+
+// renderSQL assembles one view query. With flag=true the target predicate
+// becomes a CASE group column (the paper's combined target/reference
+// rewrite); otherwise where (possibly empty) filters the scan.
+func (qb *queryBuilder) renderSQL(dims, exprs []string, where string, flag bool) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	b.WriteString(strings.Join(dims, ", "))
+	if flag {
+		fmt.Fprintf(&b, ", CASE WHEN %s THEN 1 ELSE 0 END AS %s", qb.req.TargetWhere, flagColumn)
+	}
+	for _, e := range exprs {
+		b.WriteString(", ")
+		b.WriteString(e)
+	}
+	fmt.Fprintf(&b, " FROM %s", qb.table)
+	if where != "" {
+		fmt.Fprintf(&b, " WHERE %s", where)
+	}
+	b.WriteString(" GROUP BY ")
+	b.WriteString(strings.Join(dims, ", "))
+	if flag {
+		fmt.Fprintf(&b, ", CASE WHEN %s THEN 1 ELSE 0 END", qb.req.TargetWhere)
+	}
+	return b.String()
+}
+
+// runQueries executes the shared queries over table rows [lo, hi) on a
+// worker pool and merges every result into the view accumulators.
+// Results merge in deterministic (query-index) order.
+func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, hi int) error {
+	if len(queries) == 0 {
+		return nil
+	}
+	par := s.opts.Parallelism
+	if s.opts.Strategy == NoOpt {
+		par = 1 // the basic framework executes serially
+	}
+	if par > len(queries) {
+		par = len(queries)
+	}
+	if par < 1 {
+		par = 1
+	}
+
+	results := make([]*sqldb.Result, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range work {
+				results[qi], errs[qi] = s.db.QueryOpts(queries[qi].sql, sqldb.ExecOptions{Ctx: ctx, Lo: lo, Hi: hi})
+			}
+		}()
+	}
+	for qi := range queries {
+		work <- qi
+	}
+	close(work)
+	wg.Wait()
+
+	for qi, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: view query failed: %w (sql: %s)", err, queries[qi].sql)
+		}
+	}
+	for qi, res := range results {
+		s.metrics.QueriesIssued++
+		s.metrics.RowsScanned += int64(res.Stats.RowsScanned)
+		if res.Stats.Groups > s.metrics.MaxGroups {
+			s.metrics.MaxGroups = res.Stats.Groups
+		}
+		s.mergeResult(queries[qi], res)
+	}
+	return nil
+}
+
+// mergeResult folds one query result into the accumulators.
+func (s *execState) mergeResult(q *sharedQuery, res *sqldb.Result) {
+	aggBase := q.numDims
+	flagPos := -1
+	if q.side == sideCombined {
+		flagPos = q.numDims
+		aggBase = q.numDims + 1
+	}
+	for _, row := range res.Rows {
+		isTarget := false
+		switch q.side {
+		case sideCombined:
+			isTarget = row[flagPos].Truthy()
+		case sideTarget:
+			isTarget = true
+		}
+		for _, c := range q.consumers {
+			v := row[aggBase+c.col]
+			if v.IsNull() {
+				continue
+			}
+			f, ok := v.AsFloat()
+			if !ok {
+				continue
+			}
+			group := row[c.dimPos].String()
+			acc := s.accums[c.viewIdx]
+			if acc == nil {
+				continue // view pruned between build and merge (defensive)
+			}
+			switch q.side {
+			case sideCombined:
+				if isTarget {
+					fold(acc.target.at(group), c.role, f)
+				}
+				// Reference side: RefAll folds every row (D_R = D);
+				// RefComplement folds only non-target rows.
+				if s.req.Reference == RefAll || !isTarget {
+					fold(acc.reference.at(group), c.role, f)
+				}
+			case sideTarget:
+				fold(acc.target.at(group), c.role, f)
+			case sideReference:
+				fold(acc.reference.at(group), c.role, f)
+			}
+		}
+	}
+}
+
+// fold applies one role update to a cell.
+func fold(c *cell, role accumRole, v float64) {
+	switch role {
+	case roleSum:
+		c.addSum(v)
+	case roleCount:
+		c.addCount(v)
+	case roleMin:
+		c.addMin(v)
+	case roleMax:
+		c.addMax(v)
+	}
+}

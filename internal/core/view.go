@@ -1,0 +1,184 @@
+// Package core implements the SeeDB engine: metadata-driven enumeration
+// of candidate aggregate views, the deviation-based utility metric, and
+// the execution engine with the paper's sharing optimizations (combined
+// aggregates, bin-packed multi-attribute GROUP BYs, combined
+// target/reference queries, parallel execution) and pruning optimizations
+// (confidence-interval and multi-armed-bandit pruning) composed through
+// the phased execution framework.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"seedb/internal/distance"
+)
+
+// AggFunc is an aggregate function applicable to a measure attribute.
+type AggFunc string
+
+// Supported aggregate functions (the paper's F = {COUNT, SUM, AVG}; MIN
+// and MAX are also supported).
+const (
+	AggAvg   AggFunc = "AVG"
+	AggSum   AggFunc = "SUM"
+	AggCount AggFunc = "COUNT"
+	AggMin   AggFunc = "MIN"
+	AggMax   AggFunc = "MAX"
+)
+
+// ValidAggFunc reports whether f is a supported aggregate.
+func ValidAggFunc(f AggFunc) bool {
+	switch f {
+	case AggAvg, AggSum, AggCount, AggMin, AggMax:
+		return true
+	}
+	return false
+}
+
+// View is one candidate aggregate view V ≡ (a, m, f): group rows by
+// dimension attribute a and aggregate measure m with f (Section 2 of the
+// paper). Applied to the target data D_Q it yields the target view;
+// applied to the reference data D_R, the reference view.
+type View struct {
+	Dimension string
+	Measure   string
+	Agg       AggFunc
+}
+
+// String renders the view as "f(m) BY a".
+func (v View) String() string {
+	return fmt.Sprintf("%s(%s) BY %s", v.Agg, v.Measure, v.Dimension)
+}
+
+// Key returns a unique map key for the view.
+func (v View) Key() string {
+	return v.Dimension + "\x00" + v.Measure + "\x00" + string(v.Agg)
+}
+
+// TargetSQL returns the view query over the target subset (QT in the
+// paper).
+func (v View) TargetSQL(table, targetWhere string) string {
+	return fmt.Sprintf("SELECT %s, %s(%s) FROM %s WHERE %s GROUP BY %s",
+		v.Dimension, v.Agg, v.Measure, table, targetWhere, v.Dimension)
+}
+
+// ReferenceSQL returns the view query over the reference data (QR in the
+// paper). An empty refWhere means the whole table (D_R = D, the paper's
+// default).
+func (v View) ReferenceSQL(table, refWhere string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT %s, %s(%s) FROM %s", v.Dimension, v.Agg, v.Measure, table)
+	if refWhere != "" {
+		fmt.Fprintf(&b, " WHERE %s", refWhere)
+	}
+	fmt.Fprintf(&b, " GROUP BY %s", v.Dimension)
+	return b.String()
+}
+
+// cell is the mergeable accumulator for one group of one side of a view.
+// All aggregate functions finalize from these four fields, which is what
+// lets partial results accumulate across phases and across the subgroups
+// of a bin-packed multi-attribute GROUP BY.
+type cell struct {
+	sum      float64
+	count    float64
+	min, max float64
+	seen     bool
+}
+
+// addSum folds a partial SUM.
+func (c *cell) addSum(v float64) { c.sum += v }
+
+// addCount folds a partial COUNT.
+func (c *cell) addCount(v float64) { c.count += v }
+
+// addMin folds a partial MIN.
+func (c *cell) addMin(v float64) {
+	if !c.seen || v < c.min {
+		c.min = v
+	}
+	if !c.seen {
+		c.max = v
+		c.seen = true
+	}
+}
+
+// addMax folds a partial MAX.
+func (c *cell) addMax(v float64) {
+	if !c.seen || v > c.max {
+		c.max = v
+	}
+	if !c.seen {
+		c.min = v
+		c.seen = true
+	}
+}
+
+// sideAccum accumulates one side (target or reference) of a view:
+// group value → cell.
+type sideAccum map[string]*cell
+
+// at returns (allocating) the cell for a group.
+func (s sideAccum) at(group string) *cell {
+	c, ok := s[group]
+	if !ok {
+		c = &cell{}
+		s[group] = c
+	}
+	return c
+}
+
+// finalize converts the accumulated cells into group → aggregate value
+// under the view's aggregate function. Groups with no contributing rows
+// (count 0 for COUNT/SUM/AVG, nothing seen for MIN/MAX) are omitted.
+func (s sideAccum) finalize(f AggFunc) map[string]float64 {
+	out := make(map[string]float64, len(s))
+	for g, c := range s {
+		switch f {
+		case AggAvg:
+			if c.count > 0 {
+				out[g] = c.sum / c.count
+			}
+		case AggSum:
+			if c.count > 0 {
+				out[g] = c.sum
+			}
+		case AggCount:
+			out[g] = c.count
+		case AggMin:
+			if c.seen {
+				out[g] = c.min
+			}
+		case AggMax:
+			if c.seen {
+				out[g] = c.max
+			}
+		}
+	}
+	return out
+}
+
+// viewAccum is the running state of one candidate view during execution.
+type viewAccum struct {
+	view      View
+	target    sideAccum
+	reference sideAccum
+}
+
+// newViewAccum creates empty accumulators for a view.
+func newViewAccum(v View) *viewAccum {
+	return &viewAccum{view: v, target: make(sideAccum), reference: make(sideAccum)}
+}
+
+// utility computes the deviation-based utility from the current partial
+// state: normalize both sides into probability distributions and measure
+// their distance (Section 2).
+func (a *viewAccum) utility(f distance.Func) float64 {
+	t := a.target.finalize(a.view.Agg)
+	r := a.reference.finalize(a.view.Agg)
+	if len(t) == 0 && len(r) == 0 {
+		return 0
+	}
+	return distance.Deviation(f, t, r)
+}

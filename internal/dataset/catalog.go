@@ -1,0 +1,489 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Catalog returns every dataset spec from Table 1 of the paper, keyed by
+// canonical name.
+func Catalog() map[string]Spec {
+	return map[string]Spec{
+		"syn":     SYN(),
+		"syn10":   SYNStar(10),
+		"syn100":  SYNStar(100),
+		"bank":    Bank(),
+		"diab":    Diabetes(),
+		"air":     Air(),
+		"air10":   Air10(),
+		"census":  Census(),
+		"housing": Housing(),
+		"movies":  Movies(),
+	}
+}
+
+// Names returns the catalog's dataset names, sorted.
+func Names() []string {
+	c := Catalog()
+	names := make([]string, 0, len(c))
+	for n := range c {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName resolves a dataset spec by (case-insensitive) name.
+func ByName(name string) (Spec, error) {
+	spec, ok := Catalog()[strings.ToLower(name)]
+	if !ok {
+		return Spec{}, fmt.Errorf("dataset: unknown dataset %q (have %v)", name, Names())
+	}
+	return spec, nil
+}
+
+// SYN is the paper's main synthetic dataset: 1M rows (scaled down by
+// default), 50 dimensions with distinct counts varying from 1 to 1000,
+// and 20 measures — 1000 candidate views.
+func SYN() Spec {
+	dims := make([]Dim, 50)
+	// Distinct counts sweep 1..1000 roughly geometrically, as in the
+	// paper ("attributes with between 1 – 1000 distinct values").
+	cards := []int{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000}
+	for i := range dims {
+		dims[i] = Dim{Name: fmt.Sprintf("d%02d", i), Cardinality: cards[i%len(cards)]}
+	}
+	// dims[1] has cardinality 2 and acts as the selector.
+	dims[1].Values = []string{"ref", "target"}
+	measures := make([]Measure, 20)
+	for j := range measures {
+		measures[j] = Measure{Name: fmt.Sprintf("m%02d", j), Base: 100 + 10*float64(j), Noise: 5}
+	}
+	effects := make([]float64, len(dims)*len(measures))
+	for k := range effects {
+		// Mild planted deviation so pruning has something to find; the
+		// sharing experiments only measure latency.
+		effects[k] = 0.25 * float64(k%7) / 7
+	}
+	return Spec{
+		Name:            "syn",
+		Description:     "Randomly distributed, varying # distinct values",
+		Rows:            100_000,
+		PaperRows:       1_000_000,
+		PaperSizeMB:     411,
+		Dims:            dims,
+		Measures:        measures,
+		SelectorIdx:     1,
+		SelectorInViews: true,
+		TargetValue:     "target",
+		TargetFrac:      0.5,
+		Effects:         effects,
+		Seed:            101,
+	}
+}
+
+// SYNStar is SYN*-10 / SYN*-100: 20 dimensions with a uniform distinct
+// count (10 or 100) and a single measure; used for the group-by memory
+// experiments (Figure 8a).
+func SYNStar(distinct int) Spec {
+	dims := make([]Dim, 20)
+	for i := range dims {
+		dims[i] = Dim{Name: fmt.Sprintf("d%02d", i), Cardinality: distinct}
+	}
+	return Spec{
+		Name:            fmt.Sprintf("syn%d", distinct),
+		Description:     fmt.Sprintf("Randomly distributed, %d distinct values/dim", distinct),
+		Rows:            100_000,
+		PaperRows:       1_000_000,
+		PaperSizeMB:     21,
+		Dims:            dims,
+		Measures:        []Measure{{Name: "m00", Base: 100, Noise: 5}},
+		SelectorIdx:     0,
+		SelectorInViews: true,
+		TargetValue:     dims[0].Value(0),
+		TargetFrac:      1.0 / float64(distinct),
+		Seed:            103,
+	}
+}
+
+// bankUtilityProfile shapes BANK's per-view effects to match Figure 10a:
+// the top two views well separated from the rest, views 3–9 clustered
+// (Δ<0.002), #10 separated again, a dense tail through rank ~25 (Δ<0.001
+// — the paper's experiments sweep k up to 25), and a fast decay beyond.
+// The fast far-tail decay keeps the total measure tilt per column small,
+// so the generator's planted utilities are achieved without clamping
+// distortion (see Spec.effectTable).
+func bankUtilityProfile(views int) []float64 {
+	u := make([]float64, views)
+	for k := range u {
+		switch {
+		case k == 0:
+			u[k] = 0.36
+		case k == 1:
+			u[k] = 0.32
+		case k <= 8:
+			u[k] = 0.28 - 0.0015*float64(k-2)
+		case k == 9:
+			u[k] = 0.25
+		case k <= 25:
+			u[k] = 0.17 - 0.0008*float64(k-10)
+		default:
+			u[k] = 0.15 * math.Exp(-float64(k-25)/5)
+			if u[k] < 0.012 {
+				u[k] = 0.012
+			}
+		}
+	}
+	return u
+}
+
+// Bank models the UCI bank-marketing dataset: 40K rows, 11 dimensions,
+// 7 measures (77 views). The target subset is customers with housing
+// loans.
+func Bank() Spec {
+	dims := []Dim{
+		{Name: "housing", Cardinality: 2, Values: []string{"no", "yes"}},
+		{Name: "job", Cardinality: 12},
+		{Name: "marital", Cardinality: 3, Values: []string{"married", "single", "divorced"}},
+		{Name: "education", Cardinality: 4, Values: []string{"primary", "secondary", "tertiary", "unknown"}},
+		{Name: "default_credit", Cardinality: 2, Values: []string{"no", "yes"}},
+		{Name: "loan", Cardinality: 2, Values: []string{"no", "yes"}},
+		{Name: "contact", Cardinality: 3, Values: []string{"cellular", "telephone", "unknown"}},
+		{Name: "month", Cardinality: 12},
+		{Name: "poutcome", Cardinality: 4, Values: []string{"failure", "other", "success", "unknown"}},
+		{Name: "deposit", Cardinality: 2, Values: []string{"no", "yes"}},
+		{Name: "region", Cardinality: 8},
+		{Name: "age_band", Cardinality: 6},
+	}
+	measures := []Measure{
+		{Name: "age", Base: 41, Noise: 4},
+		{Name: "balance", Base: 1400, Noise: 140},
+		{Name: "duration", Base: 260, Noise: 26},
+		{Name: "campaign", Base: 2.8, Noise: 0.28},
+		{Name: "pdays", Base: 40, Noise: 4},
+		{Name: "previous", Base: 0.8, Noise: 0.08},
+		{Name: "day", Base: 15.8, Noise: 1.6},
+	}
+	return Spec{
+		Name:        "bank",
+		Description: "Customer Loan dataset",
+		Rows:        40_000,
+		PaperRows:   40_000,
+		PaperSizeMB: 6.7,
+		Dims:        dims,
+		Measures:    measures,
+		SelectorIdx: 0,
+		TargetValue: "yes",
+		TargetFrac:  0.44,
+		Effects:     bankUtilityProfile((len(dims) - 1) * len(measures)),
+		Seed:        107,
+	}
+}
+
+// diabUtilityProfile shapes DIAB's effects to match Figure 10b: the top
+// ten views tightly clustered (Δ<0.002, e.g. U(V5)=0.257, U(V6)=0.254,
+// U(V7)=0.252) with a sparser distribution below.
+func diabUtilityProfile(views int) []float64 {
+	u := make([]float64, views)
+	for k := 0; k < 10 && k < views; k++ {
+		u[k] = 0.262 - 0.0017*float64(k)
+	}
+	for k := 10; k < views; k++ {
+		u[k] = 0.21 - 0.004*float64(k-10)
+		if u[k] < 0.01 {
+			u[k] = 0.01
+		}
+	}
+	return u
+}
+
+// Diabetes models the UCI hospital-readmission diabetes dataset: 100K
+// rows, 11 dimensions, 8 measures (88 views). The target subset is
+// readmitted patients.
+func Diabetes() Spec {
+	dims := []Dim{
+		{Name: "readmitted", Cardinality: 2, Values: []string{"no", "yes"}},
+		{Name: "race", Cardinality: 6},
+		{Name: "gender", Cardinality: 2, Values: []string{"female", "male"}},
+		{Name: "age_bracket", Cardinality: 10},
+		{Name: "admission_type", Cardinality: 8},
+		{Name: "discharge_disposition", Cardinality: 26},
+		{Name: "admission_source", Cardinality: 17},
+		{Name: "insulin", Cardinality: 4, Values: []string{"no", "steady", "up", "down"}},
+		{Name: "diabetes_med", Cardinality: 2, Values: []string{"no", "yes"}},
+		{Name: "payer_code", Cardinality: 18},
+		{Name: "specialty", Cardinality: 20},
+		{Name: "weight_band", Cardinality: 9},
+	}
+	measures := []Measure{
+		{Name: "time_in_hospital", Base: 4.4, Noise: 0.44},
+		{Name: "num_lab_procedures", Base: 43, Noise: 4.3},
+		{Name: "num_procedures", Base: 1.3, Noise: 0.13},
+		{Name: "num_medications", Base: 16, Noise: 1.6},
+		{Name: "number_outpatient", Base: 4, Noise: 0.4},
+		{Name: "number_emergency", Base: 2, Noise: 0.2},
+		{Name: "number_inpatient", Base: 6, Noise: 0.6},
+		{Name: "number_diagnoses", Base: 7.4, Noise: 0.74},
+	}
+	return Spec{
+		Name:        "diab",
+		Description: "Hospital data about diabetic patients",
+		Rows:        50_000,
+		PaperRows:   100_000,
+		PaperSizeMB: 23,
+		Dims:        dims,
+		Measures:    measures,
+		SelectorIdx: 0,
+		TargetValue: "yes",
+		TargetFrac:  0.46,
+		Effects:     diabUtilityProfile((len(dims) - 1) * len(measures)),
+		Seed:        109,
+	}
+}
+
+// airEffects gives AIR a geometrically decaying utility distribution:
+// clearly separated top views (so confidence-interval pruning can decide
+// the top-k early — the paper's AIR is where COMB_EARLY shines) over a
+// thin tail.
+func airEffects(views int) []float64 {
+	u := make([]float64, views)
+	for k := 0; k < views; k++ {
+		u[k] = 0.32 * math.Pow(0.93, float64(k))
+		if u[k] < 0.008 {
+			u[k] = 0.008
+		}
+	}
+	return u
+}
+
+// Air models the US DOT airline on-time dataset: 6M rows (scaled down by
+// default), 12 dimensions, 9 measures (108 views). The target subset is
+// delayed flights.
+func Air() Spec {
+	dims := []Dim{
+		{Name: "delayed", Cardinality: 2, Values: []string{"no", "yes"}},
+		{Name: "carrier", Cardinality: 14},
+		{Name: "origin_state", Cardinality: 52},
+		{Name: "dest_state", Cardinality: 52},
+		{Name: "month", Cardinality: 12},
+		{Name: "day_of_week", Cardinality: 7},
+		{Name: "dep_block", Cardinality: 6},
+		{Name: "arr_block", Cardinality: 6},
+		{Name: "distance_band", Cardinality: 8},
+		{Name: "aircraft_type", Cardinality: 10},
+		{Name: "origin_size", Cardinality: 4, Values: []string{"small", "medium", "large", "hub"}},
+		{Name: "cancel_code", Cardinality: 5},
+		{Name: "dep_hour", Cardinality: 24},
+	}
+	measures := []Measure{
+		{Name: "dep_delay", Base: 12, Noise: 1.2},
+		{Name: "arr_delay", Base: 10, Noise: 1},
+		{Name: "taxi_out", Base: 16, Noise: 1.6},
+		{Name: "taxi_in", Base: 7, Noise: 0.7},
+		{Name: "air_time", Base: 110, Noise: 11},
+		{Name: "distance", Base: 750, Noise: 75},
+		{Name: "carrier_delay", Base: 4, Noise: 0.4},
+		{Name: "weather_delay", Base: 1, Noise: 0.1},
+		{Name: "late_aircraft_delay", Base: 5, Noise: 0.5},
+	}
+	return Spec{
+		Name:        "air",
+		Description: "Airline delays dataset",
+		Rows:        100_000,
+		PaperRows:   6_000_000,
+		PaperSizeMB: 974,
+		Dims:        dims,
+		Measures:    measures,
+		SelectorIdx: 0,
+		TargetValue: "yes",
+		TargetFrac:  0.22,
+		Effects:     airEffects(12 * 9),
+		Seed:        113,
+	}
+}
+
+// Air10 is AIR scaled 10X (60M rows in the paper; 10× the default AIR
+// scale here).
+func Air10() Spec {
+	s := Air()
+	s.Name = "air10"
+	s.Description = "Airline dataset scaled 10X"
+	s.Rows = 1_000_000
+	s.PaperRows = 60_000_000
+	s.PaperSizeMB = 9737
+	s.Seed = 127
+	return s
+}
+
+// censusEffects plants the user-study structure over the 40 census views
+// (10 dims × 4 measures): roughly six strongly deviating views (the
+// number the expert panel labelled interesting), with the worked example
+// of Figure 1 — (sex, capital_gain) deviating, (sex, age) flat — encoded
+// directly. Effects are assigned in order (no permutation) so view
+// indices are meaningful.
+func censusEffects(dims, measures int) []float64 {
+	e := make([]float64, dims*measures)
+	idx := func(d, m int) int { return d*measures + m }
+	// Measures: 0=age, 1=capital_gain, 2=capital_loss, 3=hours_per_week.
+	// Dims: 0=marital(selector),1=sex,2=race,3=education,4=workclass,
+	//       5=occupation,6=relationship,7=country,8=income,9=age_decade.
+	e[idx(1, 1)] = 0.26  // sex × capital_gain       — Figure 1a (interesting)
+	e[idx(1, 0)] = 0.005 // sex × age               — Figure 1b (boring)
+	e[idx(4, 1)] = 0.24  // workclass × capital_gain — Figure 14a (self-inc earning gap)
+	e[idx(3, 1)] = 0.22  // education × capital_gain
+	e[idx(5, 3)] = 0.20  // occupation × hours_per_week
+	e[idx(8, 1)] = 0.19  // income × capital_gain
+	e[idx(6, 3)] = 0.17  // relationship × hours_per_week
+	// A handful of mild deviations that the deviation metric ranks high
+	// but experts may not care about (the paper's false positives).
+	e[idx(2, 2)] = 0.12
+	e[idx(7, 2)] = 0.10
+	e[idx(9, 0)] = 0.09
+	// Everything else: small noise-level deviation.
+	for k := range e {
+		if e[k] == 0 {
+			e[k] = 0.01 + 0.0005*float64(k%13)
+		}
+	}
+	return e
+}
+
+// Census models the UCI adult census dataset used in the user study and
+// the paper's running example (Section 1): 21K rows, 10 dimensions, 4
+// measures. The analyst's query compares unmarried adults (target)
+// against married adults.
+func Census() Spec {
+	dims := []Dim{
+		{Name: "marital", Cardinality: 2, Values: []string{"Married", "Unmarried"}},
+		{Name: "sex", Cardinality: 2, Values: []string{"Female", "Male"}},
+		{Name: "race", Cardinality: 5},
+		{Name: "education", Cardinality: 8},
+		{Name: "workclass", Cardinality: 7, Values: []string{"private", "self-inc", "self-not-inc", "federal", "state", "local", "unemployed"}},
+		{Name: "occupation", Cardinality: 14},
+		{Name: "relationship", Cardinality: 6},
+		{Name: "country", Cardinality: 10},
+		{Name: "income", Cardinality: 2, Values: []string{"<=50K", ">50K"}},
+		{Name: "age_decade", Cardinality: 7},
+	}
+	measures := []Measure{
+		{Name: "age", Base: 40, Noise: 9},
+		{Name: "capital_gain", Base: 1100, Noise: 300},
+		{Name: "capital_loss", Base: 90, Noise: 30},
+		{Name: "hours_per_week", Base: 40, Noise: 8},
+	}
+	return Spec{
+		Name:            "census",
+		Description:     "Census data",
+		Rows:            21_000,
+		PaperRows:       21_000,
+		PaperSizeMB:     2.7,
+		Dims:            dims,
+		Measures:        measures,
+		SelectorIdx:     0,
+		SelectorInViews: true,
+		TargetValue:     "Unmarried",
+		TargetFrac:      0.47,
+		Effects:         censusEffects(10, 4),
+		EffectsInOrder:  true,
+		Seed:            131,
+	}
+}
+
+// studyProfile shapes the user-study datasets' interestingness: a handful
+// of genuinely interesting views (as the paper's expert panel found for
+// census: ~10-15% of views) and a long boring tail. Table 2's MANUAL
+// bookmark rate (~0.14) is the base rate of interesting views an analyst
+// hits when examining views in arbitrary order.
+func studyProfile(views, interesting int) []float64 {
+	u := make([]float64, views)
+	for k := range u {
+		if k < interesting {
+			u[k] = 0.30 - 0.018*float64(k)
+		} else {
+			u[k] = 0.015 + 0.0005*float64(k%7)
+		}
+	}
+	return u
+}
+
+// Housing models the user-study housing-prices dataset: 0.5K rows, 4
+// dimensions, 10 measures (40 views).
+func Housing() Spec {
+	dims := []Dim{
+		{Name: "near_river", Cardinality: 2, Values: []string{"no", "yes"}},
+		{Name: "neighborhood", Cardinality: 10},
+		{Name: "house_type", Cardinality: 4, Values: []string{"detached", "semi", "terraced", "flat"}},
+		{Name: "decade_built", Cardinality: 8},
+		{Name: "school_district", Cardinality: 12},
+	}
+	measures := []Measure{
+		{Name: "price", Base: 320_000, Noise: 80_000},
+		{Name: "sqft", Base: 1500, Noise: 350},
+		{Name: "lot_size", Base: 6000, Noise: 1500},
+		{Name: "bedrooms", Base: 3.1, Noise: 0.8},
+		{Name: "bathrooms", Base: 1.9, Noise: 0.5},
+		{Name: "crime_rate", Base: 3.6, Noise: 1.1},
+		{Name: "school_score", Base: 6.8, Noise: 1.4},
+		{Name: "tax_rate", Base: 1.2, Noise: 0.3},
+		{Name: "commute_min", Base: 28, Noise: 8},
+		{Name: "age_years", Base: 42, Noise: 15},
+	}
+	effects := studyProfile((len(dims)-1)*len(measures), 6)
+	return Spec{
+		Name:        "housing",
+		Description: "Housing prices",
+		Rows:        500,
+		PaperRows:   500,
+		PaperSizeMB: 0.9,
+		Dims:        dims,
+		Measures:    measures,
+		SelectorIdx: 0,
+		TargetValue: "yes",
+		TargetFrac:  0.3,
+		Effects:     effects,
+		Seed:        137,
+	}
+}
+
+// Movies models the user-study movie-sales dataset: 1K rows, 8
+// dimensions, 8 measures (64 views).
+func Movies() Spec {
+	dims := []Dim{
+		{Name: "franchise", Cardinality: 2, Values: []string{"no", "yes"}},
+		{Name: "genre", Cardinality: 12},
+		{Name: "studio", Cardinality: 9},
+		{Name: "rating", Cardinality: 5, Values: []string{"G", "PG", "PG-13", "R", "NR"}},
+		{Name: "decade", Cardinality: 6},
+		{Name: "country", Cardinality: 8},
+		{Name: "format", Cardinality: 3, Values: []string{"live-action", "animated", "documentary"}},
+		{Name: "season", Cardinality: 4, Values: []string{"winter", "spring", "summer", "fall"}},
+		{Name: "era", Cardinality: 3, Values: []string{"classic", "modern", "contemporary"}},
+	}
+	measures := []Measure{
+		{Name: "gross_sales", Base: 95e6, Noise: 30e6},
+		{Name: "budget", Base: 45e6, Noise: 15e6},
+		{Name: "opening_weekend", Base: 22e6, Noise: 8e6},
+		{Name: "run_time", Base: 112, Noise: 15},
+		{Name: "critic_score", Base: 61, Noise: 14},
+		{Name: "audience_score", Base: 64, Noise: 13},
+		{Name: "screens", Base: 2600, Noise: 700},
+		{Name: "weeks_in_theaters", Base: 11, Noise: 4},
+	}
+	effects := studyProfile((len(dims)-1)*len(measures), 7)
+	return Spec{
+		Name:        "movies",
+		Description: "Movie sales",
+		Rows:        1000,
+		PaperRows:   1000,
+		PaperSizeMB: 1.2,
+		Dims:        dims,
+		Measures:    measures,
+		SelectorIdx: 0,
+		TargetValue: "yes",
+		TargetFrac:  0.35,
+		Effects:     effects,
+		Seed:        139,
+	}
+}

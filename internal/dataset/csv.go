@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"seedb/internal/sqldb"
+)
+
+// WriteCSV writes a table (header + all rows) as CSV.
+func WriteCSV(w io.Writer, t sqldb.Table) error {
+	cw := csv.NewWriter(w)
+	schema := t.Schema()
+	header := make([]string, schema.NumColumns())
+	cols := make([]int, schema.NumColumns())
+	for i := range header {
+		header[i] = schema.Column(i).Name
+		cols[i] = i
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	record := make([]string, len(header))
+	err := t.ScanRange(0, t.NumRows(), cols, func(row sqldb.RowView) error {
+		for i := range record {
+			v := row.Value(i)
+			if v.IsNull() {
+				record[i] = ""
+			} else {
+				record[i] = v.String()
+			}
+		}
+		return cw.Write(record)
+	})
+	if err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCSV reads CSV data (with a header row naming columns) into a new
+// table. Column types are taken from the provided schema; the CSV header
+// must list exactly the schema's columns, in order. Empty fields load as
+// NULL.
+func LoadCSV(db *sqldb.DB, name string, schema *sqldb.Schema, layout sqldb.Layout, r io.Reader) (sqldb.Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) != schema.NumColumns() {
+		return nil, fmt.Errorf("dataset: CSV has %d columns, schema has %d", len(header), schema.NumColumns())
+	}
+	for i, h := range header {
+		if h != schema.Column(i).Name {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema says %q", i, h, schema.Column(i).Name)
+		}
+	}
+	t, err := db.CreateTable(name, schema, layout)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]sqldb.Value, schema.NumColumns())
+	for line := 2; ; line++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		for i, field := range record {
+			v, err := parseField(field, schema.Column(i).Type)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d column %s: %w", line, schema.Column(i).Name, err)
+			}
+			vals[i] = v
+		}
+		if err := t.AppendRow(vals); err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+	}
+	return t, nil
+}
+
+// parseField converts one CSV field to a Value of the given type.
+func parseField(s string, typ sqldb.ColumnType) (sqldb.Value, error) {
+	if s == "" {
+		return sqldb.Null(), nil
+	}
+	switch typ {
+	case sqldb.TypeInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return sqldb.Null(), fmt.Errorf("bad int %q", s)
+		}
+		return sqldb.Int(i), nil
+	case sqldb.TypeFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return sqldb.Null(), fmt.Errorf("bad float %q", s)
+		}
+		return sqldb.Float(f), nil
+	case sqldb.TypeBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return sqldb.Null(), fmt.Errorf("bad bool %q", s)
+		}
+		return sqldb.Bool(b), nil
+	default:
+		return sqldb.Str(s), nil
+	}
+}

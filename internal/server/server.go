@@ -1,0 +1,366 @@
+// Package server implements SeeDB's middleware HTTP API — the
+// client/server architecture of Figure 3 in the paper. The SeeDB client
+// (the paper's web frontend; here any HTTP client) issues the analyst's
+// query and receives ranked visualization recommendations; the manual
+// chart-building half of the mixed-initiative frontend maps to a raw
+// query endpoint.
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz               liveness probe
+//	GET  /api/datasets          built-in dataset generators
+//	POST /api/datasets/load     {"name","layout","rows"} → load a builtin
+//	GET  /api/tables            tables with schemas and row counts
+//	POST /api/query             {"sql"} → columns + rows
+//	POST /api/recommend         RecommendRequest → RecommendResponse
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"seedb/internal/chart"
+	"seedb/internal/core"
+	"seedb/internal/dataset"
+	"seedb/internal/distance"
+	"seedb/internal/sqldb"
+)
+
+// Server is the SeeDB middleware server.
+type Server struct {
+	db     *sqldb.DB
+	engine *core.Engine
+	mux    *http.ServeMux
+	// Timeout bounds each recommendation request (default 2 minutes).
+	Timeout time.Duration
+}
+
+// New creates a server over db.
+func New(db *sqldb.DB) *Server {
+	s := &Server{
+		db:      db,
+		engine:  core.NewEngine(db),
+		mux:     http.NewServeMux(),
+		Timeout: 2 * time.Minute,
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/datasets", s.handleDatasets)
+	s.mux.HandleFunc("POST /api/datasets/load", s.handleLoadDataset)
+	s.mux.HandleFunc("GET /api/tables", s.handleTables)
+	s.mux.HandleFunc("POST /api/query", s.handleQuery)
+	s.mux.HandleFunc("POST /api/recommend", s.handleRecommend)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorResponse is the uniform error payload.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a JSON error.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// handleHealth implements GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// datasetInfo describes one built-in dataset.
+type datasetInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	DefaultRows int    `json:"default_rows"`
+	PaperRows   int    `json:"paper_rows"`
+	Dimensions  int    `json:"dimensions"`
+	Measures    int    `json:"measures"`
+	Views       int    `json:"views"`
+	TargetWhere string `json:"target_where"`
+}
+
+// handleDatasets implements GET /api/datasets.
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	var out []datasetInfo
+	for _, name := range dataset.Names() {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out = append(out, datasetInfo{
+			Name:        spec.Name,
+			Description: spec.Description,
+			DefaultRows: spec.Rows,
+			PaperRows:   spec.PaperRows,
+			Dimensions:  len(spec.ViewDims()),
+			Measures:    len(spec.Measures),
+			Views:       spec.NumViews(),
+			TargetWhere: spec.TargetPredicate(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// loadRequest is the POST /api/datasets/load payload.
+type loadRequest struct {
+	Name   string `json:"name"`
+	Layout string `json:"layout"` // "row" or "col" (default col)
+	Rows   int    `json:"rows"`   // 0 = dataset default
+}
+
+// handleLoadDataset implements POST /api/datasets/load.
+func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {
+	var req loadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	spec, err := dataset.ByName(req.Name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if req.Rows > 0 {
+		spec = spec.WithRows(req.Rows)
+	}
+	layout, err := parseLayout(req.Layout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := dataset.Build(s.db, spec, layout); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"table": spec.Name, "rows": spec.Rows})
+}
+
+// tableInfo describes one loaded table.
+type tableInfo struct {
+	Name    string   `json:"name"`
+	Rows    int      `json:"rows"`
+	Layout  string   `json:"layout"`
+	Columns []string `json:"columns"`
+}
+
+// handleTables implements GET /api/tables.
+func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
+	out := []tableInfo{}
+	for _, name := range s.db.TableNames() {
+		t, ok := s.db.Table(name)
+		if !ok {
+			continue
+		}
+		info := tableInfo{Name: t.Name(), Rows: t.NumRows(), Layout: t.Layout().String()}
+		for _, c := range t.Schema().Columns() {
+			info.Columns = append(info.Columns, fmt.Sprintf("%s %s", c.Name, c.Type))
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// queryRequest is the POST /api/query payload.
+type queryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// queryResponse carries a raw SQL result.
+type queryResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Count   int        `json:"count"`
+}
+
+// handleQuery implements POST /api/query — the manual chart-construction
+// path of the mixed-initiative frontend.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	res, err := s.db.QueryContext(r.Context(), req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := queryResponse{Columns: res.Columns, Count: len(res.Rows), Rows: [][]string{}}
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		resp.Rows = append(resp.Rows, cells)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RecommendRequest is the POST /api/recommend payload.
+type RecommendRequest struct {
+	Table          string   `json:"table"`
+	TargetWhere    string   `json:"target_where"`
+	Reference      string   `json:"reference"`       // "all" (default), "complement", "custom"
+	ReferenceWhere string   `json:"reference_where"` // for "custom"
+	K              int      `json:"k"`
+	Strategy       string   `json:"strategy"` // "noopt","sharing","comb","combearly"
+	Pruning        string   `json:"pruning"`  // "none","ci","mab"
+	Distance       string   `json:"distance"` // "EMD" (default), ...
+	Dimensions     []string `json:"dimensions"`
+	Measures       []string `json:"measures"`
+	Aggregates     []string `json:"aggregates"`
+}
+
+// RecommendedView is one ranked visualization.
+type RecommendedView struct {
+	Rank      int       `json:"rank"`
+	Dimension string    `json:"dimension"`
+	Measure   string    `json:"measure"`
+	Aggregate string    `json:"aggregate"`
+	Utility   float64   `json:"utility"`
+	Partial   bool      `json:"partial"`
+	Groups    []string  `json:"groups"`
+	Target    []float64 `json:"target"`
+	Reference []float64 `json:"reference"`
+	Chart     string    `json:"chart"`
+}
+
+// RecommendResponse is the recommendation result.
+type RecommendResponse struct {
+	Recommendations []RecommendedView `json:"recommendations"`
+	Views           int               `json:"views_evaluated"`
+	QueriesIssued   int               `json:"queries_issued"`
+	RowsScanned     int64             `json:"rows_scanned"`
+	PrunedViews     int               `json:"pruned_views"`
+	EarlyStopped    bool              `json:"early_stopped"`
+	ElapsedMS       float64           `json:"elapsed_ms"`
+}
+
+// handleRecommend implements POST /api/recommend.
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req RecommendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	coreReq := core.Request{
+		Table:          req.Table,
+		TargetWhere:    req.TargetWhere,
+		ReferenceWhere: req.ReferenceWhere,
+		Dimensions:     req.Dimensions,
+		Measures:       req.Measures,
+	}
+	switch strings.ToLower(req.Reference) {
+	case "", "all":
+		coreReq.Reference = core.RefAll
+	case "complement":
+		coreReq.Reference = core.RefComplement
+	case "custom":
+		coreReq.Reference = core.RefCustom
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown reference %q", req.Reference))
+		return
+	}
+	for _, a := range req.Aggregates {
+		coreReq.Aggs = append(coreReq.Aggs, core.AggFunc(strings.ToUpper(a)))
+	}
+
+	opts := core.Options{K: req.K}
+	switch strings.ToLower(req.Strategy) {
+	case "noopt":
+		opts.Strategy = core.NoOpt
+	case "sharing":
+		opts.Strategy = core.Sharing
+	case "", "comb":
+		opts.Strategy = core.Comb
+	case "combearly", "early":
+		opts.Strategy = core.CombEarly
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown strategy %q", req.Strategy))
+		return
+	}
+	switch strings.ToLower(req.Pruning) {
+	case "none":
+		opts.Pruning = core.NoPruning
+	case "", "ci":
+		opts.Pruning = core.CIPruning
+	case "mab":
+		opts.Pruning = core.MABPruning
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown pruning %q", req.Pruning))
+		return
+	}
+	if req.Distance != "" {
+		f, err := distance.ParseFunc(strings.ToUpper(req.Distance))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		opts.Distance = f
+	}
+
+	ctx := r.Context()
+	if s.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.Timeout)
+		defer cancel()
+	}
+	res, err := s.engine.Recommend(ctx, coreReq, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	resp := RecommendResponse{
+		Recommendations: []RecommendedView{},
+		Views:           res.Metrics.Views,
+		QueriesIssued:   res.Metrics.QueriesIssued,
+		RowsScanned:     res.Metrics.RowsScanned,
+		PrunedViews:     res.Metrics.PrunedViews,
+		EarlyStopped:    res.Metrics.EarlyStopped,
+		ElapsedMS:       float64(res.Metrics.Elapsed.Microseconds()) / 1000,
+	}
+	for i, rec := range res.Recommendations {
+		title := fmt.Sprintf("%s    [utility %.4f]", rec.View.String(), rec.Utility)
+		resp.Recommendations = append(resp.Recommendations, RecommendedView{
+			Rank:      i + 1,
+			Dimension: rec.View.Dimension,
+			Measure:   rec.View.Measure,
+			Aggregate: string(rec.View.Agg),
+			Utility:   rec.Utility,
+			Partial:   rec.Partial,
+			Groups:    rec.Groups,
+			Target:    rec.Target,
+			Reference: rec.Reference,
+			Chart:     chart.Render(title, rec.Groups, rec.Target, rec.Reference, chart.Options{ASCII: true}),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseLayout resolves a layout name.
+func parseLayout(s string) (sqldb.Layout, error) {
+	switch strings.ToLower(s) {
+	case "", "col", "column":
+		return sqldb.LayoutCol, nil
+	case "row":
+		return sqldb.LayoutRow, nil
+	default:
+		return 0, fmt.Errorf("unknown layout %q (want row or col)", s)
+	}
+}

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"seedb/internal/dataset"
+	"seedb/internal/sqldb"
+)
+
+// newTestServer loads a small census into a fresh server.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	db := sqldb.NewDB()
+	spec := dataset.Census().WithRows(4000)
+	if _, err := dataset.Build(db, spec, sqldb.LayoutCol); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(db))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// postJSON posts v and decodes the response into out, returning status.
+func postJSON(t *testing.T, url string, v any, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newTestServer(t)
+	var out map[string]string
+	if code := getJSON(t, srv.URL+"/healthz", &out); code != 200 || out["status"] != "ok" {
+		t.Errorf("healthz = %d %v", code, out)
+	}
+}
+
+func TestDatasetsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	var out []map[string]any
+	if code := getJSON(t, srv.URL+"/api/datasets", &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(out) != 10 {
+		t.Errorf("datasets = %d, want 10", len(out))
+	}
+}
+
+func TestTablesEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	var out []tableInfo
+	if code := getJSON(t, srv.URL+"/api/tables", &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(out) != 1 || out[0].Name != "census" || out[0].Rows != 4000 {
+		t.Errorf("tables = %+v", out)
+	}
+	if len(out[0].Columns) != 14 {
+		t.Errorf("columns = %v", out[0].Columns)
+	}
+}
+
+func TestLoadDatasetEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	var out map[string]any
+	code := postJSON(t, srv.URL+"/api/datasets/load",
+		loadRequest{Name: "housing", Layout: "row", Rows: 100}, &out)
+	if code != 200 {
+		t.Fatalf("status %d: %v", code, out)
+	}
+	// Duplicate load conflicts.
+	code = postJSON(t, srv.URL+"/api/datasets/load", loadRequest{Name: "housing"}, nil)
+	if code != http.StatusConflict {
+		t.Errorf("duplicate load status = %d, want 409", code)
+	}
+	// Unknown dataset.
+	code = postJSON(t, srv.URL+"/api/datasets/load", loadRequest{Name: "nope"}, nil)
+	if code != http.StatusNotFound {
+		t.Errorf("unknown dataset status = %d, want 404", code)
+	}
+	// Bad layout.
+	code = postJSON(t, srv.URL+"/api/datasets/load", loadRequest{Name: "movies", Layout: "diagonal"}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("bad layout status = %d, want 400", code)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	var out queryResponse
+	code := postJSON(t, srv.URL+"/api/query",
+		queryRequest{SQL: "SELECT sex, COUNT(*) FROM census GROUP BY sex ORDER BY sex"}, &out)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if out.Count != 2 || out.Rows[0][0] != "Female" {
+		t.Errorf("query result = %+v", out)
+	}
+	// SQL errors surface as 400 with a JSON error.
+	var e errorResponse
+	code = postJSON(t, srv.URL+"/api/query", queryRequest{SQL: "SELECT nosuch FROM census"}, &e)
+	if code != http.StatusBadRequest || e.Error == "" {
+		t.Errorf("bad query = %d %v", code, e)
+	}
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	var out RecommendResponse
+	code := postJSON(t, srv.URL+"/api/recommend", RecommendRequest{
+		Table:       "census",
+		TargetWhere: "marital = 'Unmarried'",
+		Reference:   "complement",
+		K:           3,
+		Strategy:    "comb",
+		Pruning:     "ci",
+	}, &out)
+	if code != 200 {
+		t.Fatalf("status %d: %+v", code, out)
+	}
+	if len(out.Recommendations) != 3 {
+		t.Fatalf("got %d recommendations", len(out.Recommendations))
+	}
+	r0 := out.Recommendations[0]
+	if r0.Rank != 1 || r0.Utility <= 0 || len(r0.Groups) == 0 {
+		t.Errorf("rec 0 = %+v", r0)
+	}
+	if len(r0.Target) != len(r0.Groups) || len(r0.Reference) != len(r0.Groups) {
+		t.Error("distribution lengths mismatch")
+	}
+	if !strings.Contains(r0.Chart, "#") {
+		t.Errorf("chart missing bars:\n%s", r0.Chart)
+	}
+	if out.Views != 40 || out.QueriesIssued == 0 || out.RowsScanned == 0 {
+		t.Errorf("metrics = %+v", out)
+	}
+}
+
+func TestRecommendEndpointOptions(t *testing.T) {
+	srv := newTestServer(t)
+	// Custom distance, explicit views, sharing strategy, MAB.
+	var out RecommendResponse
+	code := postJSON(t, srv.URL+"/api/recommend", RecommendRequest{
+		Table:       "census",
+		TargetWhere: "marital = 'Unmarried'",
+		K:           2,
+		Strategy:    "sharing",
+		Distance:    "JS",
+		Dimensions:  []string{"sex", "race"},
+		Measures:    []string{"capital_gain"},
+		Aggregates:  []string{"avg", "sum"},
+	}, &out)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if out.Views != 4 { // 2 dims × 1 measure × 2 aggs
+		t.Errorf("views = %d, want 4", out.Views)
+	}
+}
+
+func TestRecommendEndpointErrors(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []struct {
+		name string
+		req  RecommendRequest
+		want int
+	}{
+		{"missing target", RecommendRequest{Table: "census"}, 400},
+		{"bad table", RecommendRequest{Table: "zzz", TargetWhere: "a = 1"}, 400},
+		{"bad strategy", RecommendRequest{Table: "census", TargetWhere: "sex = 'Female'", Strategy: "warp"}, 400},
+		{"bad pruning", RecommendRequest{Table: "census", TargetWhere: "sex = 'Female'", Pruning: "guess"}, 400},
+		{"bad distance", RecommendRequest{Table: "census", TargetWhere: "sex = 'Female'", Distance: "COSINE"}, 400},
+		{"bad reference", RecommendRequest{Table: "census", TargetWhere: "sex = 'Female'", Reference: "sideways"}, 400},
+		{"bad aggregate", RecommendRequest{Table: "census", TargetWhere: "sex = 'Female'", Aggregates: []string{"median"}}, 400},
+	}
+	for _, c := range cases {
+		var e errorResponse
+		if code := postJSON(t, srv.URL+"/api/recommend", c.req, &e); code != c.want {
+			t.Errorf("%s: status %d, want %d (%v)", c.name, code, c.want, e)
+		}
+	}
+}
+
+func TestMalformedJSONBodies(t *testing.T) {
+	srv := newTestServer(t)
+	for _, path := range []string{"/api/query", "/api/recommend", "/api/datasets/load"} {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s malformed body: %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	srv := newTestServer(t)
+	// GET on a POST-only endpoint 405s (Go 1.22 method patterns).
+	resp, err := http.Get(srv.URL + "/api/recommend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/recommend = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestEndToEndWorkflow(t *testing.T) {
+	// Load → inspect → query → recommend, the full frontend workflow.
+	db := sqldb.NewDB()
+	srv := httptest.NewServer(New(db))
+	defer srv.Close()
+
+	if code := postJSON(t, srv.URL+"/api/datasets/load",
+		loadRequest{Name: "bank", Rows: 2000}, nil); code != 200 {
+		t.Fatalf("load: %d", code)
+	}
+	var tables []tableInfo
+	getJSON(t, srv.URL+"/api/tables", &tables)
+	if len(tables) != 1 || tables[0].Rows != 2000 {
+		t.Fatalf("tables = %+v", tables)
+	}
+	var q queryResponse
+	postJSON(t, srv.URL+"/api/query", queryRequest{SQL: "SELECT COUNT(*) FROM bank"}, &q)
+	if q.Rows[0][0] != "2000" {
+		t.Fatalf("count = %v", q.Rows)
+	}
+	var rec RecommendResponse
+	code := postJSON(t, srv.URL+"/api/recommend", RecommendRequest{
+		Table:       "bank",
+		TargetWhere: "housing = 'yes'",
+		Reference:   "complement",
+		K:           2,
+	}, &rec)
+	if code != 200 || len(rec.Recommendations) != 2 {
+		t.Fatalf("recommend = %d %+v", code, rec)
+	}
+	fmt.Println(rec.Recommendations[0].Chart)
+}

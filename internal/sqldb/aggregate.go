@@ -1,0 +1,176 @@
+package sqldb
+
+import "fmt"
+
+// aggKind identifies an aggregate function.
+type aggKind uint8
+
+const (
+	aggCount aggKind = iota
+	aggCountStar
+	aggSum
+	aggAvg
+	aggMin
+	aggMax
+)
+
+// aggSpec is a planned aggregate slot: the function plus its compiled
+// argument expression.
+type aggSpec struct {
+	kind     aggKind
+	arg      evalFn // nil for COUNT(*)
+	distinct bool
+}
+
+// newAggSpec plans one aggregate function call.
+func newAggSpec(f *FuncExpr, schema *Schema) (aggSpec, error) {
+	var spec aggSpec
+	switch f.Name {
+	case "COUNT":
+		if f.Star {
+			spec.kind = aggCountStar
+			return spec, nil
+		}
+		spec.kind = aggCount
+	case "SUM":
+		spec.kind = aggSum
+	case "AVG":
+		spec.kind = aggAvg
+	case "MIN":
+		spec.kind = aggMin
+	case "MAX":
+		spec.kind = aggMax
+	default:
+		return spec, fmt.Errorf("sqldb: unknown aggregate %s", f.Name)
+	}
+	if len(f.Args) != 1 {
+		return spec, fmt.Errorf("sqldb: %s expects exactly one argument", f.Name)
+	}
+	if IsAggregate(f.Args[0]) {
+		return spec, fmt.Errorf("sqldb: nested aggregates are not allowed")
+	}
+	arg, err := compileScalar(f.Args[0], schema)
+	if err != nil {
+		return spec, err
+	}
+	spec.arg = arg
+	spec.distinct = f.Distinct
+	if spec.distinct && spec.kind != aggCount {
+		return spec, fmt.Errorf("sqldb: DISTINCT is only supported with COUNT")
+	}
+	return spec, nil
+}
+
+// aggState is the running accumulator for one aggregate slot within one
+// group.
+type aggState struct {
+	count    int64
+	sum      float64
+	min, max Value
+	seen     bool
+	distinct map[string]struct{} // only for COUNT(DISTINCT)
+}
+
+// update folds one input row into the accumulator.
+func (s *aggState) update(spec *aggSpec, row RowView) {
+	if spec.kind == aggCountStar {
+		s.count++
+		return
+	}
+	v := spec.arg(row)
+	if v.IsNull() {
+		return // SQL aggregates skip NULLs
+	}
+	switch spec.kind {
+	case aggCount:
+		if spec.distinct {
+			if s.distinct == nil {
+				s.distinct = make(map[string]struct{})
+			}
+			s.distinct[string(v.appendKey(nil))] = struct{}{}
+			return
+		}
+		s.count++
+	case aggSum, aggAvg:
+		f, ok := v.AsFloat()
+		if !ok {
+			return
+		}
+		s.count++
+		s.sum += f
+	case aggMin:
+		if !s.seen || v.Compare(s.min) < 0 {
+			s.min = v
+			s.seen = true
+		}
+	case aggMax:
+		if !s.seen || v.Compare(s.max) > 0 {
+			s.max = v
+			s.seen = true
+		}
+	}
+}
+
+// merge folds another accumulator (e.g. from a different partition) into s.
+func (s *aggState) merge(spec *aggSpec, o *aggState) {
+	switch spec.kind {
+	case aggCountStar, aggCount:
+		if spec.distinct {
+			if s.distinct == nil {
+				s.distinct = make(map[string]struct{}, len(o.distinct))
+			}
+			for k := range o.distinct {
+				s.distinct[k] = struct{}{}
+			}
+			return
+		}
+		s.count += o.count
+	case aggSum, aggAvg:
+		s.count += o.count
+		s.sum += o.sum
+	case aggMin:
+		if o.seen && (!s.seen || o.min.Compare(s.min) < 0) {
+			s.min = o.min
+			s.seen = true
+		}
+	case aggMax:
+		if o.seen && (!s.seen || o.max.Compare(s.max) > 0) {
+			s.max = o.max
+			s.seen = true
+		}
+	}
+}
+
+// final produces the aggregate's result value.
+func (s *aggState) final(spec *aggSpec) Value {
+	switch spec.kind {
+	case aggCountStar:
+		return Int(s.count)
+	case aggCount:
+		if spec.distinct {
+			return Int(int64(len(s.distinct)))
+		}
+		return Int(s.count)
+	case aggSum:
+		if s.count == 0 {
+			return Null()
+		}
+		return Float(s.sum)
+	case aggAvg:
+		if s.count == 0 {
+			return Null()
+		}
+		return Float(s.sum / float64(s.count))
+	case aggMin:
+		if !s.seen {
+			return Null()
+		}
+		return s.min
+	case aggMax:
+		if !s.seen {
+			return Null()
+		}
+		return s.max
+	}
+	return Null()
+}

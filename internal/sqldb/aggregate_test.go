@@ -1,0 +1,182 @@
+package sqldb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAggStateMergeEqualsSequential pins the mergeability invariant: for
+// every aggregate, folding rows into two accumulators and merging them
+// must equal folding all rows into one. (Partition-parallel aggregation
+// depends on this.)
+func TestAggStateMergeEqualsSequential(t *testing.T) {
+	schema := MustSchema(Column{Name: "m", Type: TypeFloat})
+	rng := rand.New(rand.NewSource(31))
+
+	specs := []struct {
+		name string
+		sql  string
+	}{
+		{"count-star", "COUNT(*)"},
+		{"count", "COUNT(m)"},
+		{"count-distinct", "COUNT(DISTINCT m)"},
+		{"sum", "SUM(m)"},
+		{"avg", "AVG(m)"},
+		{"min", "MIN(m)"},
+		{"max", "MAX(m)"},
+	}
+	for _, sp := range specs {
+		stmt := mustParse(t, "SELECT "+sp.sql+" FROM t")
+		fe := stmt.Items[0].Expr.(*FuncExpr)
+		spec, err := newAggSpec(fe, schema)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.name, err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(40)
+			rows := make([][]Value, n)
+			for i := range rows {
+				if rng.Intn(8) == 0 {
+					rows[i] = []Value{Null()}
+				} else {
+					rows[i] = []Value{Float(float64(rng.Intn(10)))}
+				}
+			}
+			cut := rng.Intn(n + 1)
+
+			var whole, left, right aggState
+			for i, r := range rows {
+				whole.update(&spec, rowSlice(r))
+				if i < cut {
+					left.update(&spec, rowSlice(r))
+				} else {
+					right.update(&spec, rowSlice(r))
+				}
+			}
+			left.merge(&spec, &right)
+
+			a, b := whole.final(&spec), left.final(&spec)
+			if a.Kind != b.Kind {
+				t.Fatalf("%s trial %d: kinds differ: %v vs %v", sp.name, trial, a, b)
+			}
+			af, aok := a.AsFloat()
+			bf, bok := b.AsFloat()
+			if aok != bok || (aok && math.Abs(af-bf) > 1e-9) {
+				t.Fatalf("%s trial %d: merged %v != sequential %v", sp.name, trial, b, a)
+			}
+		}
+	}
+}
+
+// TestAggStateMergeEmptySides: merging with an empty accumulator is the
+// identity in both directions.
+func TestAggStateMergeEmptySides(t *testing.T) {
+	schema := MustSchema(Column{Name: "m", Type: TypeFloat})
+	stmt := mustParse(t, "SELECT MIN(m) FROM t")
+	spec, err := newAggSpec(stmt.Items[0].Expr.(*FuncExpr), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full, empty aggState
+	full.update(&spec, rowSlice([]Value{Float(5)}))
+	full.update(&spec, rowSlice([]Value{Float(2)}))
+
+	merged := full
+	merged.merge(&spec, &empty)
+	if v := merged.final(&spec); v.F != 2 {
+		t.Errorf("merge with empty changed result: %v", v)
+	}
+	var fresh aggState
+	fresh.merge(&spec, &full)
+	if v := fresh.final(&spec); v.F != 2 {
+		t.Errorf("merge into empty lost state: %v", v)
+	}
+	// Fully empty MIN finalizes to NULL.
+	var never aggState
+	if v := never.final(&spec); !v.IsNull() {
+		t.Errorf("empty MIN = %v, want NULL", v)
+	}
+}
+
+// TestPostAggregationExpressionForms exercises the grouped-query
+// rewriter over every expression node type.
+func TestPostAggregationExpressionForms(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, db *DB) {
+		rows := queryRows(t, db, `SELECT sex,
+			CASE WHEN AVG(hours) > 36 THEN 'hi' ELSE 'lo' END,
+			NOT (COUNT(*) > 2),
+			AVG(hours) BETWEEN 30 AND 40,
+			COUNT(*) IN (2, 3),
+			SUM(income) IS NULL,
+			-(MIN(hours)),
+			ABS(0 - MAX(hours))
+			FROM census GROUP BY sex ORDER BY sex`)
+		if len(rows) != 2 {
+			t.Fatalf("got %d rows", len(rows))
+		}
+		f := rows[0] // F: avg hours 35, count 3, min 30, max 40
+		if f[1].S != "lo" || f[2].Truthy() || !f[3].Truthy() || !f[4].Truthy() || f[5].Truthy() {
+			t.Errorf("F row = %v", f)
+		}
+		if f[6].I != -30 || f[7].I != 40 {
+			t.Errorf("F arithmetic over aggregates = %v", f)
+		}
+		m := rows[1] // M: avg hours ≈ 38.3
+		if m[1].S != "hi" {
+			t.Errorf("M row = %v", m)
+		}
+	})
+}
+
+// TestLeadingDotNumber covers the ".5" literal form.
+func TestLeadingDotNumber(t *testing.T) {
+	db := buildDB(t, LayoutCol)
+	res, err := db.Query("SELECT COUNT(*) FROM census WHERE income > .5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 5 {
+		t.Errorf("count = %v, want 5", res.Rows[0][0])
+	}
+}
+
+// TestLayoutAccessors covers the trivial layout methods through the
+// interface.
+func TestLayoutAccessors(t *testing.T) {
+	row := NewRowStore("r", testSchema())
+	col := NewColStore("c", testSchema())
+	if row.Layout() != LayoutRow || col.Layout() != LayoutCol {
+		t.Error("layout accessors wrong")
+	}
+	if row.Layout().String() != "ROW" || col.Layout().String() != "COL" {
+		t.Error("layout names wrong")
+	}
+}
+
+// TestPreparedSQLRoundTrip covers PreparedQuery.SQL.
+func TestPreparedSQLRoundTrip(t *testing.T) {
+	db := buildDB(t, LayoutCol)
+	q, err := db.Prepare("select sex, count(*) from census group by sex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT sex, COUNT(*) FROM census GROUP BY sex"
+	if q.SQL() != want {
+		t.Errorf("SQL() = %q, want %q", q.SQL(), want)
+	}
+}
+
+// TestCorruptTupleDetection: a row store scan must fail loudly on
+// corrupted tuple bytes rather than returning garbage.
+func TestCorruptTupleDetection(t *testing.T) {
+	rs := NewRowStore("t", MustSchema(Column{Name: "x", Type: TypeInt}))
+	if err := rs.AppendRow([]Value{Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	rs.data[0] = 99 // clobber the field tag
+	err := rs.ScanRange(0, 1, nil, func(RowView) error { return nil })
+	if err == nil {
+		t.Error("corrupt tuple should fail the scan")
+	}
+}

@@ -1,0 +1,116 @@
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ColumnStats summarizes one column for the optimizer and for SeeDB's
+// view generator (which classifies columns into dimension and measure
+// attributes and needs distinct counts for bin-packed GROUP BY planning).
+type ColumnStats struct {
+	Name     string
+	Type     ColumnType
+	Distinct int     // exact distinct non-NULL value count
+	Nulls    int     // NULL count
+	Min, Max float64 // numeric columns only; 0 otherwise
+	numeric  bool
+}
+
+// HasMinMax reports whether Min/Max are meaningful (numeric column with at
+// least one non-NULL value).
+func (s ColumnStats) HasMinMax() bool { return s.numeric }
+
+// TableStats holds per-column statistics for a table.
+type TableStats struct {
+	Table   string
+	Rows    int
+	Columns []ColumnStats
+}
+
+// Column returns stats for the named column.
+func (ts *TableStats) Column(name string) (ColumnStats, bool) {
+	for _, c := range ts.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ColumnStats{}, false
+}
+
+// statsCache memoizes computed statistics per (table pointer, row count)
+// so repeated SeeDB invocations don't rescan.
+var statsCache sync.Map // map[statsKey]*TableStats
+
+type statsKey struct {
+	t    Table
+	rows int
+}
+
+// Stats computes (or returns cached) statistics for the named table by a
+// single full scan.
+func (db *DB) Stats(table string) (*TableStats, error) {
+	t, ok := db.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: table %q does not exist", table)
+	}
+	key := statsKey{t: t, rows: t.NumRows()}
+	if cached, ok := statsCache.Load(key); ok {
+		return cached.(*TableStats), nil
+	}
+	ts, err := ComputeStats(t)
+	if err != nil {
+		return nil, err
+	}
+	statsCache.Store(key, ts)
+	return ts, nil
+}
+
+// ComputeStats scans t once and computes exact per-column statistics.
+func ComputeStats(t Table) (*TableStats, error) {
+	schema := t.Schema()
+	n := schema.NumColumns()
+	ts := &TableStats{Table: t.Name(), Rows: t.NumRows()}
+	distinct := make([]map[string]struct{}, n)
+	cols := make([]int, n)
+	stats := make([]ColumnStats, n)
+	for i := 0; i < n; i++ {
+		distinct[i] = make(map[string]struct{})
+		cols[i] = i
+		stats[i] = ColumnStats{Name: schema.Column(i).Name, Type: schema.Column(i).Type}
+	}
+	var keyBuf []byte
+	err := t.ScanRange(0, t.NumRows(), cols, func(row RowView) error {
+		for i := 0; i < n; i++ {
+			v := row.Value(i)
+			if v.IsNull() {
+				stats[i].Nulls++
+				continue
+			}
+			keyBuf = v.appendKey(keyBuf[:0])
+			distinct[i][string(keyBuf)] = struct{}{}
+			if f, ok := v.AsFloat(); ok && v.Kind != KindString {
+				if !stats[i].numeric {
+					stats[i].numeric = true
+					stats[i].Min, stats[i].Max = f, f
+				} else {
+					if f < stats[i].Min {
+						stats[i].Min = f
+					}
+					if f > stats[i].Max {
+						stats[i].Max = f
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		stats[i].Distinct = len(distinct[i])
+	}
+	ts.Columns = stats
+	return ts, nil
+}

@@ -1,0 +1,203 @@
+package sqldb
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DB is an embedded in-memory database: a named collection of tables plus
+// a query interface. A DB is safe for concurrent queries; table loading
+// must complete before queries begin (the usual analytical bulk-load
+// pattern, which is also how the SeeDB experiments operate).
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]Table
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]Table)}
+}
+
+// CreateTable creates a table with the given physical layout and registers
+// it under name (case-insensitive).
+func (db *DB) CreateTable(name string, schema *Schema, layout Layout) (Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("sqldb: empty table name")
+	}
+	key := strings.ToLower(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("sqldb: table %q already exists", name)
+	}
+	var t Table
+	switch layout {
+	case LayoutRow:
+		t = NewRowStore(name, schema)
+	case LayoutCol:
+		t = NewColStore(name, schema)
+	default:
+		return nil, fmt.Errorf("sqldb: unknown layout %v", layout)
+	}
+	db.tables[key] = t
+	return t, nil
+}
+
+// RegisterTable registers an externally constructed table.
+func (db *DB) RegisterTable(t Table) error {
+	key := strings.ToLower(t.Name())
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[key]; exists {
+		return fmt.Errorf("sqldb: table %q already exists", t.Name())
+	}
+	db.tables[key] = t
+	return nil
+}
+
+// DropTable removes a table; dropping a missing table is an error.
+func (db *DB) DropTable(name string) error {
+	key := strings.ToLower(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[key]; !exists {
+		return fmt.Errorf("sqldb: table %q does not exist", name)
+	}
+	delete(db.tables, key)
+	return nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// TableNames returns all table names, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Query parses and executes sql over the full table.
+func (db *DB) Query(sql string) (*Result, error) {
+	return db.QueryOpts(sql, ExecOptions{})
+}
+
+// QueryContext is Query with cancellation support.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	return db.QueryOpts(sql, ExecOptions{Ctx: ctx})
+}
+
+// QueryRange executes sql against base-table rows [lo, hi) only. This is
+// the partition primitive used by SeeDB's phased execution framework.
+func (db *DB) QueryRange(sql string, lo, hi int) (*Result, error) {
+	return db.QueryOpts(sql, ExecOptions{Lo: lo, Hi: hi})
+}
+
+// QueryOpts parses and executes sql with full execution options.
+func (db *DB) QueryOpts(sql string, opts ExecOptions) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.QueryStmt(stmt, opts)
+}
+
+// QueryStmt executes a pre-parsed statement.
+func (db *DB) QueryStmt(stmt *SelectStmt, opts ExecOptions) (*Result, error) {
+	t, ok := db.Table(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: table %q does not exist", stmt.Table)
+	}
+	p, err := compilePlan(stmt, t)
+	if err != nil {
+		return nil, err
+	}
+	return p.execute(opts)
+}
+
+// Prepare compiles sql against the current catalog for repeated execution
+// (e.g. once per phase over different row ranges).
+func (db *DB) Prepare(sql string) (*PreparedQuery, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := db.Table(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: table %q does not exist", stmt.Table)
+	}
+	return &PreparedQuery{db: db, stmt: stmt, table: t}, nil
+}
+
+// PreparedQuery is a parsed, table-resolved statement. Plans are compiled
+// per execution (plans hold per-run aggregation state-free closures, so a
+// fresh compile keeps executions independent and concurrency-safe).
+type PreparedQuery struct {
+	db    *DB
+	stmt  *SelectStmt
+	table Table
+}
+
+// SQL returns the canonical SQL text of the prepared statement.
+func (q *PreparedQuery) SQL() string { return q.stmt.String() }
+
+// Exec executes the prepared query with the given options.
+func (q *PreparedQuery) Exec(opts ExecOptions) (*Result, error) {
+	p, err := compilePlan(q.stmt, q.table)
+	if err != nil {
+		return nil, err
+	}
+	return p.execute(opts)
+}
+
+// QueryBatch executes the given queries on a pool of `parallelism` workers
+// and returns results in input order. A nil error requires every query to
+// have succeeded; on error the first failure is returned. This implements
+// the "Parallel Query Execution" sharing optimization (Section 4.1): view
+// queries run concurrently and share the (in-memory) buffer pool.
+func (db *DB) QueryBatch(ctx context.Context, queries []string, parallelism int) ([]*Result, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	results := make([]*Result, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = db.QueryOpts(queries[i], ExecOptions{Ctx: ctx})
+			}
+		}()
+	}
+	for i := range queries {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

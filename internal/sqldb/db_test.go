@@ -1,0 +1,280 @@
+package sqldb
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCreateDropTable(t *testing.T) {
+	db := NewDB()
+	if _, err := db.CreateTable("t", testSchema(), LayoutRow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("T", testSchema(), LayoutRow); err == nil {
+		t.Error("duplicate (case-insensitive) create should fail")
+	}
+	if _, ok := db.Table("t"); !ok {
+		t.Error("table lookup failed")
+	}
+	if err := db.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("t"); err == nil {
+		t.Error("double drop should fail")
+	}
+	if _, err := db.CreateTable("", testSchema(), LayoutRow); err == nil {
+		t.Error("empty table name should fail")
+	}
+	if _, err := db.CreateTable("x", testSchema(), Layout(9)); err == nil {
+		t.Error("bad layout should fail")
+	}
+}
+
+func TestRegisterTable(t *testing.T) {
+	db := NewDB()
+	rs := NewRowStore("ext", testSchema())
+	if err := db.RegisterTable(rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterTable(rs); err == nil {
+		t.Error("duplicate register should fail")
+	}
+	names := db.TableNames()
+	if len(names) != 1 || names[0] != "ext" {
+		t.Errorf("TableNames = %v", names)
+	}
+}
+
+func TestAppendRowErrors(t *testing.T) {
+	for _, layout := range []Layout{LayoutRow, LayoutCol} {
+		db := NewDB()
+		tab, _ := db.CreateTable("t", testSchema(), layout)
+		if err := tab.AppendRow([]Value{Str("F")}); err == nil {
+			t.Errorf("[%v] wrong arity should fail", layout)
+		}
+		if err := tab.AppendRow([]Value{Str("F"), Str("not-int"), Float(1), Int(1)}); err == nil {
+			t.Errorf("[%v] type mismatch should fail", layout)
+		}
+		if !strings.Contains(tab.AppendRow([]Value{Str("F"), Str("x"), Float(1), Int(1)}).Error(), "column") {
+			t.Errorf("[%v] error should name the column", layout)
+		}
+	}
+}
+
+func TestNullsInColumnStore(t *testing.T) {
+	db := NewDB()
+	tab, _ := db.CreateTable("t", MustSchema(
+		Column{Name: "a", Type: TypeString},
+		Column{Name: "m", Type: TypeFloat},
+	), LayoutCol)
+	rows := [][]Value{
+		{Str("x"), Float(1)},
+		{Str("y"), Null()},
+		{Null(), Float(3)},
+	}
+	for _, r := range rows {
+		if err := tab.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Query("SELECT COUNT(*), COUNT(m), COUNT(a) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Rows[0]
+	if r[0].I != 3 || r[1].I != 2 || r[2].I != 2 {
+		t.Errorf("counts = %v, want [3 2 2]", r)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	db := buildDB(t, LayoutCol)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := db.Query("SELECT sex, AVG(income), SUM(hours) FROM census GROUP BY sex")
+			if err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentQueriesRowStore(t *testing.T) {
+	db := buildDB(t, LayoutRow)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := db.Query("SELECT region, COUNT(*) FROM census GROUP BY region")
+			if err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestQueryBatch(t *testing.T) {
+	db := buildDB(t, LayoutCol)
+	queries := []string{
+		"SELECT sex, COUNT(*) FROM census GROUP BY sex",
+		"SELECT region, COUNT(*) FROM census GROUP BY region",
+		"SELECT COUNT(*) FROM census",
+	}
+	results, err := db.QueryBatch(context.Background(), queries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[2].Rows[0][0].I != 6 {
+		t.Errorf("count = %v", results[2].Rows[0][0])
+	}
+}
+
+func TestQueryBatchPropagatesErrors(t *testing.T) {
+	db := buildDB(t, LayoutCol)
+	queries := []string{
+		"SELECT COUNT(*) FROM census",
+		"SELECT nosuch FROM census",
+	}
+	if _, err := db.QueryBatch(context.Background(), queries, 2); err == nil {
+		t.Error("batch with a failing query should return an error")
+	}
+}
+
+func TestQueryBatchParallelismClamping(t *testing.T) {
+	db := buildDB(t, LayoutCol)
+	// parallelism < 1 and > len(queries) must both work.
+	for _, par := range []int{0, -3, 100} {
+		res, err := db.QueryBatch(context.Background(), []string{"SELECT COUNT(*) FROM census"}, par)
+		if err != nil || len(res) != 1 {
+			t.Errorf("parallelism %d: %v, %v", par, res, err)
+		}
+	}
+}
+
+func TestStatsComputation(t *testing.T) {
+	db := buildDB(t, LayoutCol)
+	ts, err := db.Stats("census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Rows != 6 {
+		t.Errorf("rows = %d", ts.Rows)
+	}
+	sex, ok := ts.Column("sex")
+	if !ok || sex.Distinct != 2 {
+		t.Errorf("sex distinct = %+v", sex)
+	}
+	income, _ := ts.Column("income")
+	if income.Distinct != 5 || income.Nulls != 1 {
+		t.Errorf("income stats = %+v", income)
+	}
+	if !income.HasMinMax() || income.Min != 10 || income.Max != 50 {
+		t.Errorf("income min/max = %+v", income)
+	}
+	if _, ok := ts.Column("nosuch"); ok {
+		t.Error("lookup of missing column should fail")
+	}
+	// Cached on second call (same pointer).
+	ts2, err := db.Stats("census")
+	if err != nil || ts2 != ts {
+		t.Error("stats should be cached")
+	}
+	if _, err := db.Stats("nosuch"); err == nil {
+		t.Error("stats of missing table should fail")
+	}
+}
+
+func TestColStoreDictSize(t *testing.T) {
+	db := buildDB(t, LayoutCol)
+	tab, _ := db.Table("census")
+	cs := tab.(*ColStore)
+	if got := cs.DictSize(0); got != 2 {
+		t.Errorf("sex dict size = %d, want 2", got)
+	}
+	if got := cs.DictSize(1); got != 0 {
+		t.Errorf("int column dict size = %d, want 0", got)
+	}
+	if got := cs.DictSize(99); got != 0 {
+		t.Errorf("out-of-range dict size = %d, want 0", got)
+	}
+}
+
+func TestReserveDoesNotCorrupt(t *testing.T) {
+	for _, layout := range []Layout{LayoutRow, LayoutCol} {
+		db := NewDB()
+		tab, _ := db.CreateTable("t", testSchema(), layout)
+		switch s := tab.(type) {
+		case *RowStore:
+			s.Reserve(100)
+		case *ColStore:
+			s.Reserve(100)
+		}
+		for _, r := range testRows() {
+			if err := tab.AppendRow(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := db.Query("SELECT COUNT(*) FROM t")
+		if err != nil || res.Rows[0][0].I != 6 {
+			t.Errorf("[%v] after Reserve: %v, %v", layout, res, err)
+		}
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(Column{Name: "", Type: TypeInt}); err == nil {
+		t.Error("empty column name should fail")
+	}
+	if _, err := NewSchema(Column{Name: "a", Type: TypeInt}, Column{Name: "A", Type: TypeInt}); err == nil {
+		t.Error("case-insensitive duplicate should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema should panic on invalid schema")
+		}
+	}()
+	MustSchema(Column{Name: "", Type: TypeInt})
+}
+
+func TestSchemaLookupAndString(t *testing.T) {
+	s := testSchema()
+	if i, ok := s.Lookup("SEX"); !ok || i != 0 {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Error("missing column lookup should fail")
+	}
+	if s.NumColumns() != 4 {
+		t.Error("NumColumns wrong")
+	}
+	str := s.String()
+	if !strings.Contains(str, "sex TEXT") || !strings.Contains(str, "income FLOAT") {
+		t.Errorf("schema string = %s", str)
+	}
+	cols := s.Columns()
+	cols[0].Name = "mutated"
+	if s.Column(0).Name != "sex" {
+		t.Error("Columns() must return a copy")
+	}
+}

@@ -1,0 +1,453 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// evalFn is a compiled scalar expression, evaluated against one row.
+type evalFn func(row RowView) Value
+
+// aggFuncs lists the aggregate function names the planner recognizes.
+var aggFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// IsAggregate reports whether e contains an aggregate function call.
+func IsAggregate(e Expr) bool {
+	found := false
+	walkExpr(e, func(n Expr) {
+		if f, ok := n.(*FuncExpr); ok && aggFuncs[f.Name] {
+			found = true
+		}
+	})
+	return found
+}
+
+// walkExpr visits e and all sub-expressions in preorder.
+func walkExpr(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch n := e.(type) {
+	case *UnaryExpr:
+		walkExpr(n.X, visit)
+	case *BinaryExpr:
+		walkExpr(n.L, visit)
+		walkExpr(n.R, visit)
+	case *InExpr:
+		walkExpr(n.X, visit)
+		for _, x := range n.List {
+			walkExpr(x, visit)
+		}
+	case *IsNullExpr:
+		walkExpr(n.X, visit)
+	case *BetweenExpr:
+		walkExpr(n.X, visit)
+		walkExpr(n.Lo, visit)
+		walkExpr(n.Hi, visit)
+	case *CaseExpr:
+		for _, w := range n.Whens {
+			walkExpr(w.Cond, visit)
+			walkExpr(w.Then, visit)
+		}
+		walkExpr(n.Else, visit)
+	case *FuncExpr:
+		for _, a := range n.Args {
+			walkExpr(a, visit)
+		}
+	}
+}
+
+// referencedColumns returns the schema indices of all columns referenced
+// by e, deduplicated, in first-reference order.
+func referencedColumns(e Expr, schema *Schema, into []int) ([]int, error) {
+	seen := make(map[int]bool)
+	for _, c := range into {
+		seen[c] = true
+	}
+	var err error
+	walkExpr(e, func(n Expr) {
+		if err != nil {
+			return
+		}
+		if c, ok := n.(*ColumnExpr); ok && c.Name != "*" {
+			idx, found := schema.Lookup(c.Name)
+			if !found {
+				err = fmt.Errorf("sqldb: unknown column %q", c.Name)
+				return
+			}
+			if !seen[idx] {
+				seen[idx] = true
+				into = append(into, idx)
+			}
+		}
+	})
+	return into, err
+}
+
+// compileScalar compiles e into an evalFn over the table schema.
+// Aggregate function calls are rejected — the planner must rewrite them
+// first.
+func compileScalar(e Expr, schema *Schema) (evalFn, error) {
+	switch n := e.(type) {
+	case *LiteralExpr:
+		v := n.Val
+		return func(RowView) Value { return v }, nil
+	case *ColumnExpr:
+		idx, ok := schema.Lookup(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("sqldb: unknown column %q", n.Name)
+		}
+		return func(row RowView) Value { return row.Value(idx) }, nil
+	case *UnaryExpr:
+		x, err := compileScalar(n.X, schema)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "NOT" {
+			return func(row RowView) Value { return notValue(x(row)) }, nil
+		}
+		return func(row RowView) Value { return negValue(x(row)) }, nil
+	case *BinaryExpr:
+		l, err := compileScalar(n.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileScalar(n.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(row RowView) Value { return binaryOp(op, l(row), r(row)) }, nil
+	case *InExpr:
+		x, err := compileScalar(n.X, schema)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]evalFn, len(n.List))
+		for i, le := range n.List {
+			f, err := compileScalar(le, schema)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = f
+		}
+		neg := n.Neg
+		return func(row RowView) Value {
+			v := x(row)
+			if v.IsNull() {
+				return Null()
+			}
+			for _, f := range list {
+				if v.Equal(f(row)) {
+					return Bool(!neg)
+				}
+			}
+			return Bool(neg)
+		}, nil
+	case *IsNullExpr:
+		x, err := compileScalar(n.X, schema)
+		if err != nil {
+			return nil, err
+		}
+		neg := n.Neg
+		return func(row RowView) Value { return Bool(x(row).IsNull() != neg) }, nil
+	case *BetweenExpr:
+		x, err := compileScalar(n.X, schema)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compileScalar(n.Lo, schema)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compileScalar(n.Hi, schema)
+		if err != nil {
+			return nil, err
+		}
+		neg := n.Neg
+		return func(row RowView) Value {
+			v := x(row)
+			lv, hv := lo(row), hi(row)
+			if v.IsNull() || lv.IsNull() || hv.IsNull() {
+				return Null()
+			}
+			in := v.Compare(lv) >= 0 && v.Compare(hv) <= 0
+			return Bool(in != neg)
+		}, nil
+	case *CaseExpr:
+		type arm struct{ cond, then evalFn }
+		arms := make([]arm, len(n.Whens))
+		for i, w := range n.Whens {
+			c, err := compileScalar(w.Cond, schema)
+			if err != nil {
+				return nil, err
+			}
+			t, err := compileScalar(w.Then, schema)
+			if err != nil {
+				return nil, err
+			}
+			arms[i] = arm{c, t}
+		}
+		var elseFn evalFn
+		if n.Else != nil {
+			f, err := compileScalar(n.Else, schema)
+			if err != nil {
+				return nil, err
+			}
+			elseFn = f
+		}
+		return func(row RowView) Value {
+			for _, a := range arms {
+				if a.cond(row).Truthy() {
+					return a.then(row)
+				}
+			}
+			if elseFn != nil {
+				return elseFn(row)
+			}
+			return Null()
+		}, nil
+	case *FuncExpr:
+		if aggFuncs[n.Name] {
+			return nil, fmt.Errorf("sqldb: aggregate %s not allowed in this context", n.Name)
+		}
+		return compileScalarFunc(n, schema)
+	default:
+		return nil, fmt.Errorf("sqldb: unsupported expression %T", e)
+	}
+}
+
+// compileScalarFunc compiles non-aggregate built-in functions.
+func compileScalarFunc(n *FuncExpr, schema *Schema) (evalFn, error) {
+	args := make([]evalFn, len(n.Args))
+	for i, a := range n.Args {
+		f, err := compileScalar(a, schema)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = f
+	}
+	arity := func(want int) error {
+		if len(args) != want {
+			return fmt.Errorf("sqldb: %s expects %d argument(s), got %d", n.Name, want, len(args))
+		}
+		return nil
+	}
+	switch n.Name {
+	case "ABS":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(row RowView) Value {
+			v := args[0](row)
+			switch v.Kind {
+			case KindInt:
+				if v.I < 0 {
+					return Int(-v.I)
+				}
+				return v
+			case KindFloat:
+				return Float(math.Abs(v.F))
+			default:
+				return Null()
+			}
+		}, nil
+	case "ROUND":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(row RowView) Value {
+			if f, ok := args[0](row).AsFloat(); ok {
+				return Float(math.Round(f))
+			}
+			return Null()
+		}, nil
+	case "FLOOR":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(row RowView) Value {
+			if f, ok := args[0](row).AsFloat(); ok {
+				return Float(math.Floor(f))
+			}
+			return Null()
+		}, nil
+	case "CEIL", "CEILING":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(row RowView) Value {
+			if f, ok := args[0](row).AsFloat(); ok {
+				return Float(math.Ceil(f))
+			}
+			return Null()
+		}, nil
+	case "LENGTH":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(row RowView) Value {
+			v := args[0](row)
+			if v.Kind != KindString {
+				return Null()
+			}
+			return Int(int64(len(v.S)))
+		}, nil
+	case "UPPER":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(row RowView) Value {
+			v := args[0](row)
+			if v.Kind != KindString {
+				return Null()
+			}
+			return Str(strings.ToUpper(v.S))
+		}, nil
+	case "LOWER":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(row RowView) Value {
+			v := args[0](row)
+			if v.Kind != KindString {
+				return Null()
+			}
+			return Str(strings.ToLower(v.S))
+		}, nil
+	case "COALESCE":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("sqldb: COALESCE requires at least one argument")
+		}
+		return func(row RowView) Value {
+			for _, a := range args {
+				if v := a(row); !v.IsNull() {
+					return v
+				}
+			}
+			return Null()
+		}, nil
+	default:
+		return nil, fmt.Errorf("sqldb: unknown function %s", n.Name)
+	}
+}
+
+// notValue implements three-valued NOT.
+func notValue(v Value) Value {
+	if v.IsNull() {
+		return Null()
+	}
+	return Bool(!v.Truthy())
+}
+
+// negValue implements arithmetic negation.
+func negValue(v Value) Value {
+	switch v.Kind {
+	case KindInt:
+		return Int(-v.I)
+	case KindFloat:
+		return Float(-v.F)
+	default:
+		return Null()
+	}
+}
+
+// binaryOp applies a binary operator with SQL NULL semantics: any NULL
+// operand yields NULL, except AND/OR which use three-valued logic.
+func binaryOp(op string, l, r Value) Value {
+	switch op {
+	case "AND":
+		// FALSE AND x = FALSE even when x is NULL.
+		lNull, rNull := l.IsNull(), r.IsNull()
+		if !lNull && !l.Truthy() || !rNull && !r.Truthy() {
+			return Bool(false)
+		}
+		if lNull || rNull {
+			return Null()
+		}
+		return Bool(true)
+	case "OR":
+		lNull, rNull := l.IsNull(), r.IsNull()
+		if !lNull && l.Truthy() || !rNull && r.Truthy() {
+			return Bool(true)
+		}
+		if lNull || rNull {
+			return Null()
+		}
+		return Bool(false)
+	}
+	if l.IsNull() || r.IsNull() {
+		return Null()
+	}
+	switch op {
+	case "=":
+		return Bool(l.Equal(r))
+	case "!=":
+		return Bool(!l.Equal(r))
+	case "<":
+		return Bool(comparable2(l, r) && l.Compare(r) < 0)
+	case "<=":
+		return Bool(comparable2(l, r) && l.Compare(r) <= 0)
+	case ">":
+		return Bool(comparable2(l, r) && l.Compare(r) > 0)
+	case ">=":
+		return Bool(comparable2(l, r) && l.Compare(r) >= 0)
+	case "||":
+		if l.Kind == KindString && r.Kind == KindString {
+			return Str(l.S + r.S)
+		}
+		return Str(l.String() + r.String())
+	case "+", "-", "*":
+		if l.Kind == KindInt && r.Kind == KindInt {
+			switch op {
+			case "+":
+				return Int(l.I + r.I)
+			case "-":
+				return Int(l.I - r.I)
+			default:
+				return Int(l.I * r.I)
+			}
+		}
+		lf, lok := l.AsFloat()
+		rf, rok := r.AsFloat()
+		if !lok || !rok {
+			return Null()
+		}
+		switch op {
+		case "+":
+			return Float(lf + rf)
+		case "-":
+			return Float(lf - rf)
+		default:
+			return Float(lf * rf)
+		}
+	case "/":
+		lf, lok := l.AsFloat()
+		rf, rok := r.AsFloat()
+		if !lok || !rok || rf == 0 {
+			return Null()
+		}
+		return Float(lf / rf)
+	case "%":
+		li, lok := l.AsInt()
+		ri, rok := r.AsInt()
+		if !lok || !rok || ri == 0 {
+			return Null()
+		}
+		return Int(li % ri)
+	}
+	return Null()
+}
+
+// comparable2 reports whether two values can be ordered (both strings or
+// both numeric).
+func comparable2(l, r Value) bool {
+	if l.Kind == KindString || r.Kind == KindString {
+		return l.Kind == KindString && r.Kind == KindString
+	}
+	return true
+}

@@ -1,0 +1,307 @@
+package sqldb
+
+import (
+	"testing"
+)
+
+// evalExpr compiles and evaluates a standalone expression against a
+// single-row table context.
+func evalExpr(t *testing.T, exprSQL string, row []Value, schema *Schema) Value {
+	t.Helper()
+	stmt, err := Parse("SELECT " + exprSQL + " FROM t")
+	if err != nil {
+		t.Fatalf("parse %q: %v", exprSQL, err)
+	}
+	fn, err := compileScalar(stmt.Items[0].Expr, schema)
+	if err != nil {
+		t.Fatalf("compile %q: %v", exprSQL, err)
+	}
+	return fn(rowSlice(row))
+}
+
+func exprSchema() *Schema {
+	return MustSchema(
+		Column{Name: "x", Type: TypeInt},
+		Column{Name: "y", Type: TypeFloat},
+		Column{Name: "s", Type: TypeString},
+		Column{Name: "n", Type: TypeFloat}, // will hold NULL
+	)
+}
+
+func exprRow() []Value {
+	return []Value{Int(6), Float(2.5), Str("abc"), Null()}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	schema, row := exprSchema(), exprRow()
+	cases := []struct {
+		sql  string
+		want Value
+	}{
+		// NULL propagation through comparisons.
+		{"n = 1", Null()},
+		{"n != 1", Null()},
+		{"n < 1", Null()},
+		// Kleene logic: FALSE AND NULL = FALSE; TRUE OR NULL = TRUE.
+		{"x = 0 AND n = 1", Bool(false)},
+		{"x = 6 OR n = 1", Bool(true)},
+		{"x = 6 AND n = 1", Null()},
+		{"x = 0 OR n = 1", Null()},
+		{"NOT (n = 1)", Null()},
+		// IS NULL is never NULL.
+		{"n IS NULL", Bool(true)},
+		{"n IS NOT NULL", Bool(false)},
+		{"x IS NULL", Bool(false)},
+	}
+	for _, c := range cases {
+		got := evalExpr(t, c.sql, row, schema)
+		if got.Kind != c.want.Kind || (got.Kind != KindNull && !got.Equal(c.want) && got.I != c.want.I) {
+			t.Errorf("%s = %v (%v), want %v (%v)", c.sql, got, got.Kind, c.want, c.want.Kind)
+		}
+	}
+}
+
+func TestArithmeticTypePromotion(t *testing.T) {
+	schema, row := exprSchema(), exprRow()
+	cases := []struct {
+		sql  string
+		kind ValueKind
+		f    float64
+	}{
+		{"x + 1", KindInt, 7},
+		{"x * 2", KindInt, 12},
+		{"x - 10", KindInt, -4},
+		{"x + y", KindFloat, 8.5},
+		{"x / 4", KindFloat, 1.5}, // division is always float
+		{"y * y", KindFloat, 6.25},
+		{"x % 4", KindInt, 2},
+	}
+	for _, c := range cases {
+		got := evalExpr(t, c.sql, row, schema)
+		if got.Kind != c.kind {
+			t.Errorf("%s kind = %v, want %v", c.sql, got.Kind, c.kind)
+		}
+		f, _ := got.AsFloat()
+		if f != c.f {
+			t.Errorf("%s = %v, want %v", c.sql, f, c.f)
+		}
+	}
+}
+
+func TestNullArithmetic(t *testing.T) {
+	schema, row := exprSchema(), exprRow()
+	for _, sql := range []string{"n + 1", "1 + n", "n * 0", "n / 2", "n % 2", "-n"} {
+		if got := evalExpr(t, sql, row, schema); !got.IsNull() {
+			t.Errorf("%s = %v, want NULL", sql, got)
+		}
+	}
+}
+
+func TestStringOperations(t *testing.T) {
+	schema, row := exprSchema(), exprRow()
+	if got := evalExpr(t, "s || 'def'", row, schema); got.S != "abcdef" {
+		t.Errorf("concat = %q", got.S)
+	}
+	if got := evalExpr(t, "UPPER(s)", row, schema); got.S != "ABC" {
+		t.Errorf("upper = %q", got.S)
+	}
+	if got := evalExpr(t, "LOWER('XYZ')", row, schema); got.S != "xyz" {
+		t.Errorf("lower = %q", got.S)
+	}
+	if got := evalExpr(t, "LENGTH(s)", row, schema); got.I != 3 {
+		t.Errorf("length = %v", got)
+	}
+	// Mixed concat stringifies.
+	if got := evalExpr(t, "s || x", row, schema); got.S != "abc6" {
+		t.Errorf("mixed concat = %q", got.S)
+	}
+	// String comparisons.
+	if got := evalExpr(t, "s < 'abd'", row, schema); !got.Truthy() {
+		t.Error("string less-than failed")
+	}
+	// Cross-type ordering comparisons are false, not errors.
+	if got := evalExpr(t, "s > 1", row, schema); got.Truthy() {
+		t.Error("string > int should be false")
+	}
+}
+
+func TestCaseExpressionForms(t *testing.T) {
+	schema, row := exprSchema(), exprRow()
+	if got := evalExpr(t, "CASE WHEN x > 5 THEN 'big' ELSE 'small' END", row, schema); got.S != "big" {
+		t.Errorf("case = %v", got)
+	}
+	if got := evalExpr(t, "CASE WHEN x > 100 THEN 1 END", row, schema); !got.IsNull() {
+		t.Errorf("case without else should be NULL, got %v", got)
+	}
+	// Multiple arms, first match wins.
+	got := evalExpr(t, "CASE WHEN x > 0 THEN 'a' WHEN x > 5 THEN 'b' END", row, schema)
+	if got.S != "a" {
+		t.Errorf("first arm should win, got %v", got)
+	}
+	// NULL condition falls through.
+	got = evalExpr(t, "CASE WHEN n = 1 THEN 'x' ELSE 'fell' END", row, schema)
+	if got.S != "fell" {
+		t.Errorf("NULL condition should fall through, got %v", got)
+	}
+}
+
+func TestBetweenAndIn(t *testing.T) {
+	schema, row := exprSchema(), exprRow()
+	cases := []struct {
+		sql  string
+		want bool
+	}{
+		{"x BETWEEN 5 AND 7", true},
+		{"x BETWEEN 6 AND 6", true},
+		{"x NOT BETWEEN 5 AND 7", false},
+		{"x BETWEEN 7 AND 9", false},
+		{"x IN (1, 6, 9)", true},
+		{"x NOT IN (1, 6, 9)", false},
+		{"x IN (1, 2)", false},
+		{"s IN ('abc', 'z')", true},
+	}
+	for _, c := range cases {
+		if got := evalExpr(t, c.sql, row, schema); got.Truthy() != c.want {
+			t.Errorf("%s = %v, want %v", c.sql, got, c.want)
+		}
+	}
+	// NULL member semantics.
+	if got := evalExpr(t, "n IN (1, 2)", row, schema); !got.IsNull() {
+		t.Errorf("NULL IN list = %v, want NULL", got)
+	}
+	if got := evalExpr(t, "n BETWEEN 1 AND 2", row, schema); !got.IsNull() {
+		t.Errorf("NULL BETWEEN = %v, want NULL", got)
+	}
+}
+
+func TestScalarMathFunctions(t *testing.T) {
+	schema, row := exprSchema(), exprRow()
+	cases := []struct {
+		sql  string
+		want float64
+	}{
+		{"ABS(0 - x)", 6},
+		{"ABS(y)", 2.5},
+		{"ROUND(y)", 3}, // rounds half away from zero (math.Round)
+		{"FLOOR(y)", 2},
+		{"CEIL(y)", 3},
+		{"CEILING(y)", 3},
+		{"COALESCE(n, y)", 2.5},
+	}
+	for _, c := range cases {
+		got := evalExpr(t, c.sql, row, schema)
+		f, ok := got.AsFloat()
+		if !ok || f != c.want {
+			t.Errorf("%s = %v, want %v", c.sql, got, c.want)
+		}
+	}
+	// Type mismatches yield NULL, not errors.
+	for _, sql := range []string{"ABS(s)", "ROUND(s)", "LENGTH(x)", "UPPER(x)"} {
+		if got := evalExpr(t, sql, row, schema); !got.IsNull() {
+			t.Errorf("%s = %v, want NULL", sql, got)
+		}
+	}
+}
+
+func TestScalarFunctionArityErrors(t *testing.T) {
+	schema := exprSchema()
+	bad := []string{"ABS(x, y)", "ABS()", "ROUND(x, 2)", "COALESCE()", "LENGTH(s, s)"}
+	for _, sql := range bad {
+		stmt, err := Parse("SELECT " + sql + " FROM t")
+		if err != nil {
+			continue // parse-level rejection also fine
+		}
+		if _, err := compileScalar(stmt.Items[0].Expr, schema); err == nil {
+			t.Errorf("compile %q should fail", sql)
+		}
+	}
+}
+
+func TestIsAggregateDetection(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want bool
+	}{
+		{"x + 1", false},
+		{"AVG(x)", true},
+		{"1 + SUM(x) / COUNT(*)", true},
+		{"CASE WHEN x > 0 THEN MAX(y) ELSE 0 END", true},
+		{"ABS(x)", false},
+		{"x IN (1, 2)", false},
+	}
+	for _, c := range cases {
+		stmt, err := Parse("SELECT " + c.sql + " FROM t")
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.sql, err)
+		}
+		if got := IsAggregate(stmt.Items[0].Expr); got != c.want {
+			t.Errorf("IsAggregate(%s) = %v, want %v", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestReferencedColumnsDedup(t *testing.T) {
+	schema := exprSchema()
+	stmt, err := Parse("SELECT x + x + y FROM t WHERE x > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := referencedColumns(stmt.Items[0].Expr, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 1 {
+		t.Errorf("cols = %v, want [0 1]", cols)
+	}
+	// Accumulation into an existing list dedups across calls.
+	cols, err = referencedColumns(stmt.Where, schema, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 {
+		t.Errorf("accumulated cols = %v, want still [0 1]", cols)
+	}
+}
+
+func TestUnknownColumnError(t *testing.T) {
+	schema := exprSchema()
+	stmt, err := Parse("SELECT zz FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compileScalar(stmt.Items[0].Expr, schema); err == nil {
+		t.Error("unknown column should fail to compile")
+	}
+	if _, err := referencedColumns(stmt.Items[0].Expr, schema, nil); err == nil {
+		t.Error("referencedColumns should fail on unknown column")
+	}
+}
+
+func TestDivideByZeroAndModZero(t *testing.T) {
+	schema, row := exprSchema(), exprRow()
+	if got := evalExpr(t, "x / 0", row, schema); !got.IsNull() {
+		t.Errorf("x/0 = %v, want NULL", got)
+	}
+	if got := evalExpr(t, "x % 0", row, schema); !got.IsNull() {
+		t.Errorf("x%%0 = %v, want NULL", got)
+	}
+	if got := evalExpr(t, "x / 0.0", row, schema); !got.IsNull() {
+		t.Errorf("x/0.0 = %v, want NULL", got)
+	}
+}
+
+func TestNegationForms(t *testing.T) {
+	schema, row := exprSchema(), exprRow()
+	if got := evalExpr(t, "-x", row, schema); got.I != -6 {
+		t.Errorf("-x = %v", got)
+	}
+	if got := evalExpr(t, "-y", row, schema); got.F != -2.5 {
+		t.Errorf("-y = %v", got)
+	}
+	if got := evalExpr(t, "-s", row, schema); !got.IsNull() {
+		t.Errorf("-s = %v, want NULL", got)
+	}
+	if got := evalExpr(t, "+x", row, schema); got.I != 6 {
+		t.Errorf("+x = %v", got)
+	}
+}

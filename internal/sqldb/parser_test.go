@@ -1,0 +1,206 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func TestParseBasicSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, b FROM t")
+	if stmt.Table != "t" || len(stmt.Items) != 2 {
+		t.Fatalf("bad parse: %+v", stmt)
+	}
+	if c, ok := stmt.Items[0].Expr.(*ColumnExpr); !ok || c.Name != "a" {
+		t.Errorf("item 0 = %v", stmt.Items[0].Expr)
+	}
+}
+
+func TestParseSeeDBTargetViewQuery(t *testing.T) {
+	// The canonical target-view query from Section 2 of the paper.
+	sql := "SELECT sex, AVG(capital_gain) FROM census WHERE marital_status = 'unmarried' GROUP BY sex"
+	stmt := mustParse(t, sql)
+	if stmt.Where == nil || len(stmt.GroupBy) != 1 {
+		t.Fatalf("bad parse: %+v", stmt)
+	}
+	if !IsAggregate(stmt.Items[1].Expr) {
+		t.Error("AVG should be detected as aggregate")
+	}
+}
+
+func TestParseCombinedTargetReferenceQuery(t *testing.T) {
+	// The combined query rewrite from Section 4.1: group by an extra
+	// CASE flag separating target from reference tuples.
+	sql := `SELECT sex, CASE WHEN marital_status = 'unmarried' THEN 1 ELSE 0 END AS grp,
+	        AVG(capital_gain), COUNT(*) FROM census
+	        GROUP BY sex, CASE WHEN marital_status = 'unmarried' THEN 1 ELSE 0 END`
+	stmt := mustParse(t, sql)
+	if len(stmt.GroupBy) != 2 {
+		t.Fatalf("expected 2 group-by exprs, got %d", len(stmt.GroupBy))
+	}
+	if _, ok := stmt.GroupBy[1].(*CaseExpr); !ok {
+		t.Errorf("second group-by should be CASE, got %T", stmt.GroupBy[1])
+	}
+	if stmt.Items[1].Alias != "grp" {
+		t.Errorf("alias = %q, want grp", stmt.Items[1].Alias)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+	b, ok := stmt.Where.(*BinaryExpr)
+	if !ok || b.Op != "OR" {
+		t.Fatalf("top op should be OR, got %v", stmt.Where)
+	}
+	r, ok := b.R.(*BinaryExpr)
+	if !ok || r.Op != "AND" {
+		t.Fatalf("AND should bind tighter: %v", b.R)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT a + b * c FROM t")
+	b, ok := stmt.Items[0].Expr.(*BinaryExpr)
+	if !ok || b.Op != "+" {
+		t.Fatalf("top op should be +: %v", stmt.Items[0].Expr)
+	}
+	if r, ok := b.R.(*BinaryExpr); !ok || r.Op != "*" {
+		t.Fatalf("* should bind tighter: %v", b.R)
+	}
+}
+
+func TestParseInBetweenIsNull(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT IN ('x') AND c BETWEEN 1 AND 5 AND d IS NOT NULL AND e IS NULL")
+	s := stmt.Where.String()
+	for _, want := range []string{"IN (1, 2, 3)", "NOT IN ('x')", "BETWEEN 1 AND 5", "IS NOT NULL", "IS NULL"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered WHERE %q missing %q", s, want)
+		}
+	}
+}
+
+func TestParseOrderLimit(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, COUNT(*) AS n FROM t GROUP BY a ORDER BY n DESC, a ASC LIMIT 10")
+	if len(stmt.OrderBy) != 2 || !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Fatalf("order by parse wrong: %+v", stmt.OrderBy)
+	}
+	if stmt.Limit != 10 {
+		t.Errorf("limit = %d, want 10", stmt.Limit)
+	}
+}
+
+func TestParseCountStarAndDistinct(t *testing.T) {
+	stmt := mustParse(t, "SELECT COUNT(*), COUNT(DISTINCT a) FROM t")
+	f0 := stmt.Items[0].Expr.(*FuncExpr)
+	if !f0.Star {
+		t.Error("COUNT(*) should have Star")
+	}
+	f1 := stmt.Items[1].Expr.(*FuncExpr)
+	if !f1.Distinct {
+		t.Error("COUNT(DISTINCT a) should have Distinct")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE s = 'it''s'")
+	cmp := stmt.Where.(*BinaryExpr)
+	lit := cmp.R.(*LiteralExpr)
+	if lit.Val.S != "it's" {
+		t.Errorf("escaped string = %q, want %q", lit.Val.S, "it's")
+	}
+}
+
+func TestParseNegativeNumbersFolded(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE x > -5 AND y < -2.5")
+	s := stmt.Where.String()
+	if !strings.Contains(s, "-5") || !strings.Contains(s, "-2.5") {
+		t.Errorf("negative literals not folded: %s", s)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	stmt := mustParse(t, "SELECT a -- the dimension\nFROM t -- the table\n")
+	if stmt.Table != "t" {
+		t.Errorf("table = %q", stmt.Table)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t LIMIT 3")
+	if c, ok := stmt.Items[0].Expr.(*ColumnExpr); !ok || c.Name != "*" {
+		t.Fatalf("star parse wrong: %v", stmt.Items[0].Expr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP a",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t LIMIT -1",
+		"SELECT a FROM t trailing garbage (",
+		"SELECT a FROM t WHERE s = 'unterminated",
+		"SELECT CASE END FROM t",
+		"SELECT a FROM t WHERE a NOT 5",
+		"INSERT INTO t VALUES (1)",
+		"SELECT a FROM t WHERE a ~ 3",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	// Canonical-form printing must re-parse to the same canonical form.
+	queries := []string{
+		"SELECT a, AVG(m) FROM t GROUP BY a",
+		"SELECT a FROM t WHERE ((x = 1) AND (y != 'z'))",
+		"SELECT CASE WHEN (x > 0) THEN 1 ELSE 0 END FROM t",
+		"SELECT a, SUM(m) AS s FROM t WHERE (x IN (1, 2)) GROUP BY a ORDER BY s DESC LIMIT 5",
+		"SELECT COUNT(*) FROM t",
+		"SELECT (a + (b * c)) FROM t",
+	}
+	for _, sql := range queries {
+		s1 := mustParse(t, sql).String()
+		s2 := mustParse(t, s1).String()
+		if s1 != s2 {
+			t.Errorf("round-trip unstable:\n 1: %s\n 2: %s", s1, s2)
+		}
+	}
+}
+
+func TestLexerUnterminatedQuotedIdent(t *testing.T) {
+	if _, err := Parse(`SELECT "a FROM t`); err == nil {
+		t.Error("unterminated quoted identifier should fail")
+	}
+}
+
+func TestParseQuotedIdentifier(t *testing.T) {
+	stmt := mustParse(t, `SELECT "weird name" FROM t`)
+	if c, ok := stmt.Items[0].Expr.(*ColumnExpr); !ok || c.Name != "weird name" {
+		t.Errorf("quoted ident = %v", stmt.Items[0].Expr)
+	}
+}
+
+func TestParseScientificNumbers(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE x > 1.5e3 AND y < 2E-2")
+	s := stmt.Where.String()
+	if !strings.Contains(s, "1500") || !strings.Contains(s, "0.02") {
+		t.Errorf("scientific literals wrong: %s", s)
+	}
+}

@@ -1,0 +1,144 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Schema is an ordered set of columns with case-insensitive name lookup.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given columns. Column names must be
+// non-empty and unique (case-insensitively).
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{cols: append([]Column(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range s.cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("sqldb: column %d has empty name", i)
+		}
+		key := strings.ToLower(c.Name)
+		if _, dup := s.index[key]; dup {
+			return nil, fmt.Errorf("sqldb: duplicate column name %q", c.Name)
+		}
+		s.index[key] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for tests and
+// static schemas.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumColumns returns the number of columns.
+func (s *Schema) NumColumns() int { return len(s.cols) }
+
+// Column returns the i-th column.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Lookup returns the index of the named column (case-insensitive) and
+// whether it exists.
+func (s *Schema) Lookup(name string) (int, bool) {
+	i, ok := s.index[strings.ToLower(name)]
+	return i, ok
+}
+
+// String renders the schema as "(name TYPE, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Layout identifies a table's physical storage organization.
+type Layout uint8
+
+// Physical layouts; these correspond to the "ROW" and "COL" systems in the
+// SeeDB paper's evaluation.
+const (
+	LayoutRow Layout = iota
+	LayoutCol
+)
+
+// String returns the paper's name for the layout.
+func (l Layout) String() string {
+	switch l {
+	case LayoutRow:
+		return "ROW"
+	case LayoutCol:
+		return "COL"
+	default:
+		return fmt.Sprintf("Layout(%d)", uint8(l))
+	}
+}
+
+// RowView provides positional access to the current row during a scan.
+// Implementations are only valid for the duration of the scan callback.
+type RowView interface {
+	// Value returns the value of the column at schema position col.
+	Value(col int) Value
+}
+
+// Table is a stored relation. Implementations must support concurrent
+// readers once loading has finished; writes are not synchronized with
+// reads.
+type Table interface {
+	// Name returns the table name.
+	Name() string
+	// Schema returns the table schema.
+	Schema() *Schema
+	// NumRows returns the current row count.
+	NumRows() int
+	// Layout reports the physical layout (ROW or COL).
+	Layout() Layout
+	// AppendRow appends one row; vals must have one value per column,
+	// coercible to the column types.
+	AppendRow(vals []Value) error
+	// ScanRange invokes fn for every row index in [lo, hi), clamped to
+	// the table size. cols lists the column indices the consumer will
+	// read; a column store uses it to touch only those vectors, while a
+	// row store ignores it (it pays full tuple width either way). The
+	// RowView passed to fn is invalidated when fn returns. Scanning stops
+	// early if fn returns a non-nil error, which is then returned.
+	ScanRange(lo, hi int, cols []int, fn func(row RowView) error) error
+}
+
+// clampRange clamps [lo, hi) to [0, n).
+func clampRange(lo, hi, n int) (int, int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n || hi < 0 {
+		hi = n
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}

@@ -1,0 +1,139 @@
+// Package stats provides the statistical machinery behind SeeDB's
+// confidence-interval pruning: the Hoeffding–Serfling inequality for
+// sampling without replacement (Theorem 4.1 in the paper), plus running
+// mean/interval trackers used by the phased execution framework.
+package stats
+
+import (
+	"math"
+)
+
+// HoeffdingSerfling returns the half-width ε of the running confidence
+// interval after drawing m of N values in [0, 1] without replacement,
+// such that the true mean lies within [mean−ε, mean+ε] with probability
+// at least 1−δ simultaneously for all prefixes 1..m (Theorem 4.1):
+//
+//	ε_m = sqrt( (1 − (m−1)/N) · (2·log log m + log(π²/(3δ))) / (2m) )
+//
+// The log log m term is clamped at 0 for m < 3 (log log is undefined or
+// negative there; the clamp only widens the interval, preserving the
+// guarantee).
+func HoeffdingSerfling(m, N int, delta float64) float64 {
+	if m <= 0 || N <= 0 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	if m >= N {
+		return 0 // the whole population has been seen
+	}
+	loglog := 0.0
+	if m >= 3 {
+		loglog = math.Log(math.Log(float64(m)))
+		if loglog < 0 {
+			loglog = 0
+		}
+	}
+	shrink := 1 - float64(m-1)/float64(N)
+	num := shrink * (2*loglog + math.Log(math.Pi*math.Pi/(3*delta)))
+	return math.Sqrt(num / (2 * float64(m)))
+}
+
+// RunningMean tracks a streaming mean together with its
+// Hoeffding–Serfling interval over a population of known size.
+type RunningMean struct {
+	n     int // population size N
+	m     int // samples drawn
+	sum   float64
+	delta float64
+}
+
+// NewRunningMean creates a tracker for a population of n values in [0,1],
+// with failure probability delta.
+func NewRunningMean(n int, delta float64) *RunningMean {
+	return &RunningMean{n: n, delta: delta}
+}
+
+// Observe folds one sampled value into the mean.
+func (r *RunningMean) Observe(x float64) {
+	r.m++
+	r.sum += x
+}
+
+// ObserveBatch folds a batch mean covering k samples (the phased engine
+// observes one utility estimate per phase that summarizes k rows).
+func (r *RunningMean) ObserveBatch(x float64, k int) {
+	if k <= 0 {
+		return
+	}
+	r.m += k
+	r.sum += x * float64(k)
+}
+
+// Count returns the number of samples observed.
+func (r *RunningMean) Count() int { return r.m }
+
+// Mean returns the running mean (0 before any observation).
+func (r *RunningMean) Mean() float64 {
+	if r.m == 0 {
+		return 0
+	}
+	return r.sum / float64(r.m)
+}
+
+// Epsilon returns the current confidence half-width.
+func (r *RunningMean) Epsilon() float64 {
+	if r.m == 0 {
+		return math.Inf(1)
+	}
+	return HoeffdingSerfling(r.m, r.n, r.delta)
+}
+
+// Bounds returns the confidence interval [lower, upper], clamped to
+// [0, 1] (utilities are normalized into the unit interval before
+// pruning).
+func (r *RunningMean) Bounds() (lower, upper float64) {
+	mean, eps := r.Mean(), r.Epsilon()
+	lower, upper = mean-eps, mean+eps
+	if lower < 0 {
+		lower = 0
+	}
+	if upper > 1 {
+		upper = 1
+	}
+	if math.IsInf(eps, 1) {
+		lower, upper = 0, 1
+	}
+	return lower, upper
+}
+
+// Welford tracks mean and variance of a stream (used for reporting
+// run-to-run variation in the benchmark harness).
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the sample variance (0 for fewer than two observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Var()) }

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHoeffdingSerflingShrinksWithSamples(t *testing.T) {
+	// ε must (weakly) shrink as m grows toward N, pointwise over a grid.
+	const N = 10000
+	prev := math.Inf(1)
+	for _, m := range []int{1, 10, 100, 1000, 5000, 9000, 9999} {
+		eps := HoeffdingSerfling(m, N, 0.05)
+		if eps > prev+1e-9 {
+			t.Errorf("ε(m=%d) = %g > ε(previous) = %g", m, eps, prev)
+		}
+		prev = eps
+	}
+}
+
+func TestHoeffdingSerflingFullPopulationIsExact(t *testing.T) {
+	if eps := HoeffdingSerfling(100, 100, 0.05); eps != 0 {
+		t.Errorf("ε(m=N) = %g, want 0", eps)
+	}
+	if eps := HoeffdingSerfling(150, 100, 0.05); eps != 0 {
+		t.Errorf("ε(m>N) = %g, want 0", eps)
+	}
+}
+
+func TestHoeffdingSerflingDegenerateInputs(t *testing.T) {
+	for _, c := range []struct {
+		m, n int
+		d    float64
+	}{
+		{0, 100, 0.05}, {-1, 100, 0.05}, {10, 0, 0.05},
+		{10, 100, 0}, {10, 100, 1}, {10, 100, -0.5},
+	} {
+		if eps := HoeffdingSerfling(c.m, c.n, c.d); !math.IsInf(eps, 1) {
+			t.Errorf("ε(%d,%d,%g) = %g, want +Inf", c.m, c.n, c.d, eps)
+		}
+	}
+}
+
+func TestHoeffdingSerflingTighterDeltaWiderInterval(t *testing.T) {
+	// Smaller δ (more confidence) must widen the interval.
+	loose := HoeffdingSerfling(500, 10000, 0.1)
+	tight := HoeffdingSerfling(500, 10000, 0.001)
+	if tight <= loose {
+		t.Errorf("δ=0.001 ε (%g) should exceed δ=0.1 ε (%g)", tight, loose)
+	}
+}
+
+func TestHoeffdingSerflingCoverageEmpirical(t *testing.T) {
+	// Empirical check of the guarantee: sample without replacement from
+	// a fixed [0,1] population; the true mean should fall inside the
+	// interval in well over 1−δ of trials.
+	rng := rand.New(rand.NewSource(9))
+	const N = 2000
+	pop := make([]float64, N)
+	var sum float64
+	for i := range pop {
+		pop[i] = rng.Float64()
+		sum += pop[i]
+	}
+	trueMean := sum / N
+
+	const trials = 200
+	const delta = 0.05
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		perm := rng.Perm(N)
+		rm := NewRunningMean(N, delta)
+		m := 100 + rng.Intn(500)
+		for i := 0; i < m; i++ {
+			rm.Observe(pop[perm[i]])
+		}
+		lo, hi := rm.Bounds()
+		if trueMean >= lo && trueMean <= hi {
+			covered++
+		}
+	}
+	if frac := float64(covered) / trials; frac < 1-delta {
+		t.Errorf("coverage %.3f below 1-δ = %.3f", frac, 1-delta)
+	}
+}
+
+func TestRunningMeanBasics(t *testing.T) {
+	rm := NewRunningMean(100, 0.05)
+	if rm.Mean() != 0 || !math.IsInf(rm.Epsilon(), 1) {
+		t.Error("empty tracker should have zero mean and infinite ε")
+	}
+	lo, hi := rm.Bounds()
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty bounds = [%g, %g], want [0, 1]", lo, hi)
+	}
+	rm.Observe(0.2)
+	rm.Observe(0.4)
+	if math.Abs(rm.Mean()-0.3) > 1e-12 || rm.Count() != 2 {
+		t.Errorf("mean = %g count = %d", rm.Mean(), rm.Count())
+	}
+}
+
+func TestRunningMeanBatch(t *testing.T) {
+	a := NewRunningMean(1000, 0.05)
+	for i := 0; i < 10; i++ {
+		a.Observe(0.5)
+	}
+	b := NewRunningMean(1000, 0.05)
+	b.ObserveBatch(0.5, 10)
+	if a.Mean() != b.Mean() || a.Count() != b.Count() {
+		t.Errorf("batch differs: %g/%d vs %g/%d", a.Mean(), a.Count(), b.Mean(), b.Count())
+	}
+	b.ObserveBatch(0.7, 0) // no-op
+	if b.Count() != 10 {
+		t.Error("zero-size batch must be ignored")
+	}
+}
+
+func TestRunningMeanBoundsClamped(t *testing.T) {
+	rm := NewRunningMean(1000, 0.05)
+	rm.Observe(0.01)
+	lo, hi := rm.Bounds()
+	if lo < 0 || hi > 1 {
+		t.Errorf("bounds [%g, %g] escaped [0,1]", lo, hi)
+	}
+}
+
+func TestEpsilonMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(10000)
+		m1 := 1 + rng.Intn(n-1)
+		m2 := m1 + rng.Intn(n-m1)
+		return HoeffdingSerfling(m2, n, 0.05) <= HoeffdingSerfling(m1, n, 0.05)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.Var() != 0 || w.Stddev() != 0 {
+		t.Error("empty Welford should report zero variance")
+	}
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range data {
+		w.Add(x)
+	}
+	if w.N() != len(data) {
+		t.Errorf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %g, want 5", w.Mean())
+	}
+	// Sample variance of the data set is 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-9 {
+		t.Errorf("var = %g, want %g", w.Var(), 32.0/7.0)
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, x := range clean {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		var ss float64
+		for _, x := range clean {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(len(clean)-1)
+		scale := math.Max(1, math.Abs(naiveVar))
+		return math.Abs(w.Var()-naiveVar)/scale < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,344 @@
+// Package study implements the user-study harness of Section 6 of the
+// SeeDB paper, substituting simulated participants for the original human
+// subjects (see DESIGN.md §3):
+//
+//   - An expert panel produces ground-truth interestingness labels for
+//     candidate views (§6.1's 5 data-analysis experts). Each simulated
+//     expert labels a view interesting with probability driven by the
+//     dataset's *planted* interestingness plus personal noise and
+//     idiosyncratic preferences; the majority vote is the ground truth.
+//   - ROC/AUROC analysis of the deviation-based ranking against the
+//     ground truth (Figure 15).
+//   - A behavioural analyst model comparing SEEDB against a MANUAL
+//     chart-construction tool (Table 2): within a fixed session time
+//     budget, analysts examine views — in recommendation order with
+//     SEEDB, in arbitrary construction order with MANUAL — and bookmark
+//     the ones they find interesting.
+package study
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// PanelConfig configures the simulated expert panel.
+type PanelConfig struct {
+	// Experts is the panel size (default 5, as in the paper).
+	Experts int
+	// Threshold is the interestingness level at which an expert is 50%
+	// likely to label a view interesting (default 0.12).
+	Threshold float64
+	// Sharpness controls how crisp the labelling transition is; higher
+	// is crisper (default 25).
+	Sharpness float64
+	// Idiosyncrasy is the standard deviation of per-expert, per-view
+	// preference noise — the paper's experts disagreed on views like
+	// Figure 14d ("hours-per-week seems worth exploring") (default
+	// 0.05).
+	Idiosyncrasy float64
+	// Seed makes the panel deterministic (default 1).
+	Seed int64
+}
+
+func (c PanelConfig) withDefaults() PanelConfig {
+	if c.Experts <= 0 {
+		c.Experts = 5
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.12
+	}
+	if c.Sharpness <= 0 {
+		c.Sharpness = 25
+	}
+	if c.Idiosyncrasy < 0 {
+		c.Idiosyncrasy = 0
+	} else if c.Idiosyncrasy == 0 {
+		c.Idiosyncrasy = 0.05
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Labels holds the panel's output.
+type Labels struct {
+	// Votes counts, per view key, how many experts labelled it
+	// interesting.
+	Votes map[string]int
+	// Interesting is the majority-vote ground truth.
+	Interesting map[string]bool
+	// Experts is the panel size used.
+	Experts int
+}
+
+// SimulateLabels runs the expert panel over the candidate views.
+// interest maps each view key to its true (planted) interestingness.
+func SimulateLabels(cfg PanelConfig, interest map[string]float64) *Labels {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	keys := make([]string, 0, len(interest))
+	for k := range interest {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic iteration
+
+	votes := make(map[string]int, len(keys))
+	for e := 0; e < cfg.Experts; e++ {
+		// Each expert has a personal threshold offset.
+		personal := cfg.Threshold + rng.NormFloat64()*0.02
+		for _, k := range keys {
+			x := interest[k] + rng.NormFloat64()*cfg.Idiosyncrasy
+			p := logistic(cfg.Sharpness * (x - personal))
+			if rng.Float64() < p {
+				votes[k]++
+			}
+		}
+	}
+	majority := cfg.Experts/2 + 1
+	labels := &Labels{Votes: votes, Interesting: make(map[string]bool), Experts: cfg.Experts}
+	for _, k := range keys {
+		if votes[k] >= majority {
+			labels.Interesting[k] = true
+		}
+	}
+	return labels
+}
+
+// logistic is the standard sigmoid.
+func logistic(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// ROCPoint is one point of the receiver operating curve: recommend the
+// top K views, measure the true/false positive rates against the ground
+// truth (Figure 15b).
+type ROCPoint struct {
+	K   int
+	TPR float64
+	FPR float64
+}
+
+// ROC sweeps k over the deviation-ranked views (highest utility first)
+// and returns the curve. The k=0 point (0,0) is included.
+func ROC(ranked []string, interesting map[string]bool) []ROCPoint {
+	totalPos := 0
+	for _, k := range ranked {
+		if interesting[k] {
+			totalPos++
+		}
+	}
+	totalNeg := len(ranked) - totalPos
+	points := []ROCPoint{{K: 0}}
+	tp, fp := 0, 0
+	for i, k := range ranked {
+		if interesting[k] {
+			tp++
+		} else {
+			fp++
+		}
+		pt := ROCPoint{K: i + 1}
+		if totalPos > 0 {
+			pt.TPR = float64(tp) / float64(totalPos)
+		}
+		if totalNeg > 0 {
+			pt.FPR = float64(fp) / float64(totalNeg)
+		}
+		points = append(points, pt)
+	}
+	return points
+}
+
+// AUROC integrates the ROC curve with the trapezoid rule.
+func AUROC(points []ROCPoint) float64 {
+	if len(points) < 2 {
+		return 0
+	}
+	area := 0.0
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}
+
+// Heatmap returns, for the deviation-ranked views, the expert vote count
+// per rank position (Figure 15a: popular views should concentrate at the
+// top of the utility ordering).
+func Heatmap(ranked []string, labels *Labels) []int {
+	out := make([]int, len(ranked))
+	for i, k := range ranked {
+		out[i] = labels.Votes[k]
+	}
+	return out
+}
+
+// StudyConfig configures the SEEDB-vs-MANUAL analyst simulation.
+type StudyConfig struct {
+	// Analysts is the number of simulated participants (default 16, as
+	// in the paper).
+	Analysts int
+	// SessionTime is the per-task time budget in abstract minutes
+	// (default 8, the paper's cap).
+	SessionTime float64
+	// ManualCost is the mean time to construct one chart manually
+	// (default 1.25).
+	ManualCost float64
+	// RecommendedCost is the mean time to examine one recommended chart
+	// (default 0.7 — recommendations skip the specification step).
+	RecommendedCost float64
+	// BookmarkBoost converts a view's true interestingness into the
+	// probability an analyst bookmarks it after examining it (p =
+	// interestingness × boost, clamped to [0,1]; default 2.2). Even
+	// clearly interesting views are not bookmarked by everyone — the
+	// paper's participants disagreed on plenty.
+	BookmarkBoost float64
+	// Seed makes the simulation deterministic (default 1).
+	Seed int64
+}
+
+func (c StudyConfig) withDefaults() StudyConfig {
+	if c.Analysts <= 0 {
+		c.Analysts = 16
+	}
+	if c.SessionTime <= 0 {
+		c.SessionTime = 8
+	}
+	if c.ManualCost <= 0 {
+		c.ManualCost = 1.25
+	}
+	if c.RecommendedCost <= 0 {
+		c.RecommendedCost = 0.7
+	}
+	if c.BookmarkBoost <= 0 {
+		c.BookmarkBoost = 2.2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ToolStats aggregates one tool condition over all analysts (one row of
+// Table 2): views built, bookmarks, bookmark rate — mean ± stddev.
+type ToolStats struct {
+	Tool            string
+	TotalViz        float64
+	TotalVizSD      float64
+	Bookmarks       float64
+	BookmarksSD     float64
+	BookmarkRate    float64
+	BookmarkRateSD  float64
+	SessionsCounted int
+}
+
+// SimulateStudy runs the within-subjects comparison on one dataset:
+// ranked lists the views in SeeDB's recommendation order (deviation
+// descending) and interest maps view keys to true interestingness.
+// Every analyst performs one SEEDB session (examining views in
+// recommendation order) and one MANUAL session (examining views in a
+// random construction order). The mechanism the paper credits for the 3X
+// bookmark-rate gap — recommendation ordering front-loads high-utility
+// views within a fixed time budget — is exactly what is modelled here.
+func SimulateStudy(cfg StudyConfig, ranked []string, interest map[string]float64) (seedb, manual ToolStats) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var sViz, sBook, sRate []float64
+	var mViz, mBook, mRate []float64
+
+	for a := 0; a < cfg.Analysts; a++ {
+		// Per-analyst diligence scales examination speed and bookmark
+		// appetite.
+		diligence := 0.8 + rng.Float64()*0.4
+		boost := cfg.BookmarkBoost * (0.85 + rng.Float64()*0.3)
+
+		// SEEDB session: examine in recommendation order.
+		viz, book := runSession(rng, ranked, interest, cfg.SessionTime,
+			cfg.RecommendedCost/diligence, boost)
+		sViz = append(sViz, float64(viz))
+		sBook = append(sBook, float64(book))
+		if viz > 0 {
+			sRate = append(sRate, float64(book)/float64(viz))
+		}
+
+		// MANUAL session: examine in a random construction order.
+		shuffled := append([]string(nil), ranked...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		viz, book = runSession(rng, shuffled, interest, cfg.SessionTime,
+			cfg.ManualCost/diligence, boost)
+		mViz = append(mViz, float64(viz))
+		mBook = append(mBook, float64(book))
+		if viz > 0 {
+			mRate = append(mRate, float64(book)/float64(viz))
+		}
+	}
+
+	seedb = summarize("SEEDB", sViz, sBook, sRate)
+	manual = summarize("MANUAL", mViz, mBook, mRate)
+	return seedb, manual
+}
+
+// runSession walks the view order until the time budget is exhausted.
+// Each examined view is bookmarked with probability proportional to its
+// true interestingness; bookmarked views take a little longer (analysts
+// dwell on them).
+func runSession(rng *rand.Rand, order []string, interest map[string]float64,
+	budget, meanCost, boost float64) (viz, bookmarks int) {
+	elapsed := 0.0
+	for _, key := range order {
+		cost := meanCost * (0.7 + rng.Float64()*0.6)
+		p := interest[key] * boost
+		if p > 1 {
+			p = 1
+		}
+		booked := rng.Float64() < p
+		if booked {
+			cost *= 1.3 // dwell on interesting views
+		}
+		if elapsed+cost > budget {
+			break
+		}
+		elapsed += cost
+		viz++
+		if booked {
+			bookmarks++
+		}
+	}
+	return viz, bookmarks
+}
+
+// summarize computes mean ± stddev rows.
+func summarize(tool string, viz, book, rate []float64) ToolStats {
+	mean := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	sd := func(xs []float64) float64 {
+		if len(xs) < 2 {
+			return 0
+		}
+		m := mean(xs)
+		s := 0.0
+		for _, x := range xs {
+			s += (x - m) * (x - m)
+		}
+		return math.Sqrt(s / float64(len(xs)-1))
+	}
+	return ToolStats{
+		Tool:            tool,
+		TotalViz:        mean(viz),
+		TotalVizSD:      sd(viz),
+		Bookmarks:       mean(book),
+		BookmarksSD:     sd(book),
+		BookmarkRate:    mean(rate),
+		BookmarkRateSD:  sd(rate),
+		SessionsCounted: len(viz),
+	}
+}

@@ -1,0 +1,200 @@
+package study
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+)
+
+// syntheticViews builds an interest map shaped like the census study:
+// a few strongly interesting views and a long boring tail.
+func syntheticViews(n, interesting int) (map[string]float64, []string) {
+	interest := make(map[string]float64, n)
+	var keys []string
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("v%02d", i)
+		keys = append(keys, k)
+		if i < interesting {
+			interest[k] = 0.30 - 0.02*float64(i)
+		} else {
+			interest[k] = 0.02
+		}
+	}
+	return interest, keys
+}
+
+func TestSimulateLabelsMajorityStructure(t *testing.T) {
+	interest, _ := syntheticViews(48, 6)
+	labels := SimulateLabels(PanelConfig{Seed: 7}, interest)
+	count := 0
+	for _, yes := range labels.Interesting {
+		if yes {
+			count++
+		}
+	}
+	// The paper's panel found ~6 of 48 interesting; the simulation
+	// should land in that ballpark.
+	if count < 4 || count > 10 {
+		t.Errorf("majority-interesting count = %d, want ≈6", count)
+	}
+	// Strongly planted views must be labelled.
+	if !labels.Interesting["v00"] || !labels.Interesting["v01"] {
+		t.Error("top planted views should be labelled interesting")
+	}
+	// Boring tail views must not be.
+	if labels.Interesting["v40"] {
+		t.Error("boring views should not be labelled interesting")
+	}
+}
+
+func TestSimulateLabelsDeterministic(t *testing.T) {
+	interest, _ := syntheticViews(30, 5)
+	a := SimulateLabels(PanelConfig{Seed: 3}, interest)
+	b := SimulateLabels(PanelConfig{Seed: 3}, interest)
+	for k := range interest {
+		if a.Interesting[k] != b.Interesting[k] || a.Votes[k] != b.Votes[k] {
+			t.Fatalf("panel not deterministic at %s", k)
+		}
+	}
+	c := SimulateLabels(PanelConfig{Seed: 4}, interest)
+	diff := false
+	for k := range interest {
+		if a.Votes[k] != c.Votes[k] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds should produce different votes")
+	}
+}
+
+func TestROCPerfectRanking(t *testing.T) {
+	// Ranking that puts all positives first has AUROC 1.
+	interesting := map[string]bool{"a": true, "b": true}
+	ranked := []string{"a", "b", "c", "d", "e"}
+	points := ROC(ranked, interesting)
+	if auroc := AUROC(points); math.Abs(auroc-1) > 1e-9 {
+		t.Errorf("perfect AUROC = %g, want 1", auroc)
+	}
+	// First point is the origin, last is (1,1).
+	if points[0].TPR != 0 || points[0].FPR != 0 {
+		t.Error("ROC must start at origin")
+	}
+	last := points[len(points)-1]
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Error("ROC must end at (1,1)")
+	}
+}
+
+func TestROCWorstRanking(t *testing.T) {
+	interesting := map[string]bool{"d": true, "e": true}
+	ranked := []string{"a", "b", "c", "d", "e"}
+	if auroc := AUROC(ROC(ranked, interesting)); auroc > 1e-9 {
+		t.Errorf("worst-case AUROC = %g, want 0", auroc)
+	}
+}
+
+func TestROCKnownMidpoint(t *testing.T) {
+	// Paper example: at k=3 with 6 interesting of 48, TPR=0.5 FPR=0
+	// when the first 3 are all interesting.
+	interest, keys := syntheticViews(48, 6)
+	labels := SimulateLabels(PanelConfig{Seed: 7}, interest)
+	// Rank by true interest (proxy for deviation ranking).
+	ranked := append([]string(nil), keys...)
+	sort.SliceStable(ranked, func(i, j int) bool { return interest[ranked[i]] > interest[ranked[j]] })
+	points := ROC(ranked, labels.Interesting)
+	k3 := points[3]
+	if k3.FPR != 0 {
+		t.Errorf("FPR at k=3 = %g, want 0", k3.FPR)
+	}
+	if k3.TPR <= 0.3 {
+		t.Errorf("TPR at k=3 = %g, want ≥ 0.3", k3.TPR)
+	}
+	if auroc := AUROC(points); auroc < 0.85 {
+		t.Errorf("aligned-ranking AUROC = %g, want high", auroc)
+	}
+}
+
+func TestAUROCDegenerate(t *testing.T) {
+	if AUROC(nil) != 0 || AUROC([]ROCPoint{{}}) != 0 {
+		t.Error("degenerate AUROC should be 0")
+	}
+	// No positives: TPR stays 0, area 0.
+	points := ROC([]string{"a", "b"}, map[string]bool{})
+	if AUROC(points) != 0 {
+		t.Error("no-positive AUROC should be 0")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	interest, keys := syntheticViews(10, 3)
+	labels := SimulateLabels(PanelConfig{Seed: 5}, interest)
+	hm := Heatmap(keys, labels)
+	if len(hm) != 10 {
+		t.Fatalf("heatmap length = %d", len(hm))
+	}
+	// Vote counts must match the labels' votes.
+	for i, k := range keys {
+		if hm[i] != labels.Votes[k] {
+			t.Errorf("heatmap[%d] = %d, votes = %d", i, hm[i], labels.Votes[k])
+		}
+	}
+}
+
+func TestSimulateStudyReproducesTable2Shape(t *testing.T) {
+	// Table 2: SEEDB total_viz 10.8 vs MANUAL 6.3; bookmarks 3.5 vs 1.1;
+	// rate 0.43 vs 0.14 (≈3X). The simulation must reproduce the
+	// qualitative relationships.
+	interest, keys := syntheticViews(40, 6)
+	ranked := append([]string(nil), keys...)
+	sort.SliceStable(ranked, func(i, j int) bool { return interest[ranked[i]] > interest[ranked[j]] })
+
+	seedb, manual := SimulateStudy(StudyConfig{Seed: 11}, ranked, interest)
+
+	if seedb.SessionsCounted != 16 || manual.SessionsCounted != 16 {
+		t.Errorf("sessions = %d/%d, want 16 each", seedb.SessionsCounted, manual.SessionsCounted)
+	}
+	if seedb.TotalViz <= manual.TotalViz {
+		t.Errorf("SEEDB total viz (%.1f) should exceed MANUAL (%.1f)", seedb.TotalViz, manual.TotalViz)
+	}
+	if seedb.Bookmarks < 2*manual.Bookmarks {
+		t.Errorf("SEEDB bookmarks (%.2f) should be ≫ MANUAL (%.2f)", seedb.Bookmarks, manual.Bookmarks)
+	}
+	ratio := seedb.BookmarkRate / math.Max(manual.BookmarkRate, 1e-9)
+	if ratio < 2 {
+		t.Errorf("bookmark-rate ratio = %.2f, want ≥ 2 (paper: ≈3X)", ratio)
+	}
+	if seedb.BookmarkRate < 0.2 || seedb.BookmarkRate > 0.7 {
+		t.Errorf("SEEDB bookmark rate = %.2f, want in the paper's ballpark (0.43)", seedb.BookmarkRate)
+	}
+}
+
+func TestSimulateStudyDeterministic(t *testing.T) {
+	interest, keys := syntheticViews(30, 5)
+	a1, m1 := SimulateStudy(StudyConfig{Seed: 2}, keys, interest)
+	a2, m2 := SimulateStudy(StudyConfig{Seed: 2}, keys, interest)
+	if a1.TotalViz != a2.TotalViz || m1.Bookmarks != m2.Bookmarks {
+		t.Error("study simulation must be deterministic per seed")
+	}
+}
+
+func TestRunSessionBudget(t *testing.T) {
+	// A tiny budget bounds the number of examined views.
+	interest, keys := syntheticViews(100, 10)
+	s, _ := SimulateStudy(StudyConfig{SessionTime: 2, Seed: 3}, keys, interest)
+	if s.TotalViz > 5 {
+		t.Errorf("tiny budget examined %.1f views", s.TotalViz)
+	}
+}
+
+func TestPanelConfigDefaults(t *testing.T) {
+	cfg := PanelConfig{}.withDefaults()
+	if cfg.Experts != 5 || cfg.Seed != 1 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	scfg := StudyConfig{}.withDefaults()
+	if scfg.Analysts != 16 || scfg.SessionTime != 8 {
+		t.Errorf("study defaults wrong: %+v", scfg)
+	}
+}

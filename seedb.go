@@ -1,0 +1,225 @@
+// Package seedb is a from-scratch Go implementation of SeeDB, the
+// visualization recommendation engine of Vartak et al., "SeeDB: Efficient
+// Data-Driven Visualization Recommendations to Support Visual Analytics"
+// (PVLDB 8(13), 2015).
+//
+// Given a query selecting a subset of a table, SeeDB evaluates every
+// candidate aggregate view (dimension, measure, aggregate) and recommends
+// the k whose target-vs-reference distributions deviate most — the
+// paper's deviation-based utility. The execution engine applies the
+// paper's sharing optimizations (multi-aggregate queries, bin-packed
+// multi-attribute GROUP BYs, combined target/reference queries, parallel
+// execution) and pruning optimizations (Hoeffding–Serfling confidence
+// intervals and multi-armed-bandit successive accepts/rejects) through a
+// phased execution framework.
+//
+// A minimal session:
+//
+//	client := seedb.New()
+//	if err := client.LoadDataset("census", seedb.ColumnLayout); err != nil { ... }
+//	res, err := client.Recommend(ctx, seedb.Request{
+//		Table:       "census",
+//		TargetWhere: "marital = 'Unmarried'",
+//	}, seedb.Options{K: 5})
+//	for _, rec := range res.Recommendations {
+//		fmt.Println(seedb.RenderChart(rec))
+//	}
+//
+// The engine runs on an embedded pure-Go DBMS (internal/sqldb) offering
+// both a row-oriented and a column-oriented physical layout, mirroring
+// the ROW and COL systems of the paper's evaluation.
+package seedb
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"seedb/internal/chart"
+	"seedb/internal/core"
+	"seedb/internal/dataset"
+	"seedb/internal/sqldb"
+)
+
+// Re-exported request/response types. These alias the engine's types so
+// downstream code only imports this package.
+type (
+	// Request describes one recommendation invocation.
+	Request = core.Request
+	// Options tunes the execution engine.
+	Options = core.Options
+	// Result is the output of Recommend.
+	Result = core.Result
+	// Recommendation is one scored view with its distributions.
+	Recommendation = core.Recommendation
+	// View is a candidate aggregate view (dimension, measure, agg).
+	View = core.View
+	// AggFunc names an aggregate function.
+	AggFunc = core.AggFunc
+	// Metrics reports execution cost.
+	Metrics = core.Metrics
+	// Strategy selects the execution strategy.
+	Strategy = core.Strategy
+	// PruningScheme selects the pruning optimization.
+	PruningScheme = core.PruningScheme
+	// RefMode selects the reference dataset.
+	RefMode = core.RefMode
+
+	// Schema describes a table's columns.
+	Schema = sqldb.Schema
+	// Column is one schema column.
+	Column = sqldb.Column
+	// Value is the engine's runtime scalar.
+	Value = sqldb.Value
+	// SQLResult is a raw SQL query result (the manual, mixed-initiative
+	// side of the frontend).
+	SQLResult = sqldb.Result
+	// Layout selects a physical storage layout.
+	Layout = sqldb.Layout
+)
+
+// Re-exported constants.
+const (
+	// RowLayout stores tuples contiguously (the paper's ROW system).
+	RowLayout = sqldb.LayoutRow
+	// ColumnLayout stores typed column vectors (the paper's COL system).
+	ColumnLayout = sqldb.LayoutCol
+
+	// Execution strategies (Figure 5).
+	NoOpt     = core.NoOpt
+	Sharing   = core.Sharing
+	Comb      = core.Comb
+	CombEarly = core.CombEarly
+
+	// Pruning schemes (Section 4.2).
+	NoPruning     = core.NoPruning
+	CIPruning     = core.CIPruning
+	MABPruning    = core.MABPruning
+	RandomPruning = core.RandomPruning
+
+	// Reference modes (Section 2).
+	RefAll        = core.RefAll
+	RefComplement = core.RefComplement
+	RefCustom     = core.RefCustom
+
+	// Aggregate functions.
+	AggAvg   = core.AggAvg
+	AggSum   = core.AggSum
+	AggCount = core.AggCount
+	AggMin   = core.AggMin
+	AggMax   = core.AggMax
+
+	// Column types.
+	TypeInt    = sqldb.TypeInt
+	TypeFloat  = sqldb.TypeFloat
+	TypeString = sqldb.TypeString
+	TypeBool   = sqldb.TypeBool
+)
+
+// NewSchema builds a table schema from columns.
+func NewSchema(cols ...Column) (*Schema, error) { return sqldb.NewSchema(cols...) }
+
+// Value constructors for appending rows through DB().
+var (
+	// Null returns the SQL NULL value.
+	Null = sqldb.Null
+	// Int returns an integer value.
+	Int = sqldb.Int
+	// Float returns a floating-point value.
+	Float = sqldb.Float
+	// Str returns a string value.
+	Str = sqldb.Str
+	// Bool returns a boolean value.
+	Bool = sqldb.Bool
+)
+
+// Client is a SeeDB session: an embedded database plus the recommendation
+// engine. It is safe for concurrent use once loading has finished.
+type Client struct {
+	db     *sqldb.DB
+	engine *core.Engine
+}
+
+// New creates a client with an empty in-memory database.
+func New() *Client {
+	db := sqldb.NewDB()
+	return &Client{db: db, engine: core.NewEngine(db)}
+}
+
+// DB exposes the embedded database for direct table management.
+func (c *Client) DB() *sqldb.DB { return c.db }
+
+// Datasets lists the built-in Table 1 dataset generators.
+func (c *Client) Datasets() []string { return dataset.Names() }
+
+// LoadDataset generates one of the built-in paper datasets (Table 1) into
+// the database under its canonical name, using the given layout.
+func (c *Client) LoadDataset(name string, layout Layout) error {
+	spec, err := dataset.ByName(name)
+	if err != nil {
+		return err
+	}
+	_, err = dataset.Build(c.db, spec, layout)
+	return err
+}
+
+// LoadDatasetRows is LoadDataset with an explicit row count (the built-in
+// specs default to laptop-friendly scales; pass the Table 1 sizes to
+// reproduce the paper's configuration).
+func (c *Client) LoadDatasetRows(name string, layout Layout, rows int) error {
+	spec, err := dataset.ByName(name)
+	if err != nil {
+		return err
+	}
+	_, err = dataset.Build(c.db, spec.WithRows(rows), layout)
+	return err
+}
+
+// LoadCSV loads CSV data (header row required, matching the schema) into
+// a new table.
+func (c *Client) LoadCSV(table string, schema *Schema, layout Layout, r io.Reader) error {
+	_, err := dataset.LoadCSV(c.db, table, schema, layout, r)
+	return err
+}
+
+// CreateTable creates an empty table; append rows via DB().Table(name).
+func (c *Client) CreateTable(name string, schema *Schema, layout Layout) error {
+	_, err := c.db.CreateTable(name, schema, layout)
+	return err
+}
+
+// Query runs a raw SQL query — the manual chart-building path of the
+// paper's mixed-initiative frontend.
+func (c *Client) Query(sql string) (*SQLResult, error) {
+	return c.db.Query(sql)
+}
+
+// QueryContext is Query with cancellation.
+func (c *Client) QueryContext(ctx context.Context, sql string) (*SQLResult, error) {
+	return c.db.QueryContext(ctx, sql)
+}
+
+// Recommend evaluates the candidate view space for req and returns the
+// top-k most interesting visualizations under the deviation metric.
+func (c *Client) Recommend(ctx context.Context, req Request, opts Options) (*Result, error) {
+	return c.engine.Recommend(ctx, req, opts)
+}
+
+// Engine exposes the underlying execution engine for advanced use
+// (oracles, custom harnesses).
+func (c *Client) Engine() *core.Engine { return c.engine }
+
+// RenderChart renders a recommendation as a side-by-side text bar chart.
+func RenderChart(rec Recommendation) string {
+	title := fmt.Sprintf("%s    [utility %.4f]", rec.View.String(), rec.Utility)
+	return chart.Render(title, rec.Groups, rec.Target, rec.Reference, chart.Options{})
+}
+
+// RenderChartLabeled is RenderChart with custom column titles (e.g.
+// "unmarried" vs "married").
+func RenderChartLabeled(rec Recommendation, targetLabel, referenceLabel string) string {
+	title := fmt.Sprintf("%s    [utility %.4f]", rec.View.String(), rec.Utility)
+	return chart.Render(title, rec.Groups, rec.Target, rec.Reference, chart.Options{
+		TargetLabel: targetLabel, ReferenceLabel: referenceLabel,
+	})
+}
