@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,9 +41,29 @@ func run() error {
 		runs       = flag.Int("runs", 0, "repetitions for quality experiments (default 5; paper uses 20)")
 		seed       = flag.Int64("seed", 1, "base random seed")
 		outPath    = flag.String("o", "", "also write output to this file")
+		cacheJSON  = flag.String("cachejson", "", "run the cache experiment and write its datapoint to this JSON file")
 		timeout    = flag.Duration("timeout", 4*time.Hour, "overall timeout")
 	)
 	flag.Parse()
+
+	if *cacheJSON != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		dp, err := bench.MeasureCache(ctx, bench.Config{Quick: *quick, PaperScale: *paperScale, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(dp, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*cacheJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("cache datapoint: cold %.2fms, warm %.2fms (%.1fx), wrote %s\n",
+			dp.ColdMS, dp.WarmMS, dp.Speedup, *cacheJSON)
+		return nil
+	}
 
 	if *list {
 		for _, e := range bench.All() {

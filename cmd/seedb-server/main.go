@@ -34,10 +34,11 @@ func main() {
 
 func run() error {
 	var (
-		listen    = flag.String("listen", ":8080", "listen address")
-		preload   = flag.String("dataset", "", "comma-separated built-in datasets to preload")
-		layoutStr = flag.String("layout", "col", "physical layout for preloaded datasets")
-		rows      = flag.Int("rows", 0, "row override for preloaded datasets (0 = defaults)")
+		listen      = flag.String("listen", ":8080", "listen address")
+		preload     = flag.String("dataset", "", "comma-separated built-in datasets to preload")
+		layoutStr   = flag.String("layout", "col", "physical layout for preloaded datasets")
+		rows        = flag.Int("rows", 0, "row override for preloaded datasets (0 = defaults)")
+		cacheBudget = flag.Int64("cachebudget", 0, "result cache byte budget (0 = 64MiB default)")
 	)
 	flag.Parse()
 
@@ -67,5 +68,5 @@ func run() error {
 	}
 
 	fmt.Printf("SeeDB middleware listening on %s\n", *listen)
-	return http.ListenAndServe(*listen, server.New(db))
+	return http.ListenAndServe(*listen, server.NewWithCacheBudget(db, *cacheBudget))
 }

@@ -196,7 +196,7 @@ func run() error {
 	if *showStats {
 		m := res.Metrics
 		fmt.Printf("metrics: %d views, %d queries, %d rows scanned, %d phases, %d pruned, early=%v, %v\n",
-			m.Views, m.QueriesIssued, m.RowsScanned, m.PhasesRun, m.PrunedViews, m.EarlyStopped, m.Elapsed.Round(time.Millisecond))
+			m.Views, m.QueriesExecuted, m.RowsScanned, m.PhasesRun, m.PrunedViews, m.EarlyStopped, m.Elapsed.Round(time.Millisecond))
 	}
 	return nil
 }

@@ -74,7 +74,7 @@ func main() {
 			fmt.Printf("%-16s %8v  %5.1fx speedup  %3d queries  %9d rows scanned  %d pruned\n",
 				cfg.name, elapsed.Round(time.Millisecond),
 				float64(baseline)/float64(elapsed),
-				res.Metrics.QueriesIssued, res.Metrics.RowsScanned, res.Metrics.PrunedViews)
+				res.Metrics.QueriesExecuted, res.Metrics.RowsScanned, res.Metrics.PrunedViews)
 		}
 
 		// Agreement of the optimized strategies with the unoptimized

@@ -103,5 +103,5 @@ func main() {
 		fmt.Printf("#%d  %s\n", i+1, seedb.RenderChartLabeled(rec, "Q2", "Q1"))
 	}
 	fmt.Printf("evaluated %d views (%d dims × %d measures × %d aggs) with %d queries\n",
-		res.Metrics.Views, 2, 2, 3, res.Metrics.QueriesIssued)
+		res.Metrics.Views, 2, 2, 3, res.Metrics.QueriesExecuted)
 }

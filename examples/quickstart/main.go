@@ -75,5 +75,5 @@ func main() {
 
 	m := res.Metrics
 	fmt.Printf("evaluated %d candidate views with %d SQL queries over %d row-visits in %v (%d views pruned)\n",
-		m.Views, m.QueriesIssued, m.RowsScanned, m.Elapsed.Round(1000000), m.PrunedViews)
+		m.Views, m.QueriesExecuted, m.RowsScanned, m.Elapsed.Round(1000000), m.PrunedViews)
 }

@@ -151,6 +151,7 @@ func All() []Experiment {
 		{"fig15", "Deviation metric vs expert ground truth (Figure 15)", Figure15},
 		{"table2", "SEEDB vs MANUAL bookmarking (Table 2)", Table2},
 		{"ablations", "Design-choice ablations (beyond the paper)", Ablations},
+		{"cache", "Cross-request result cache (beyond the paper)", CacheExperiment},
 	}
 }
 

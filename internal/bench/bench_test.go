@@ -49,8 +49,8 @@ func runExperiment(t *testing.T, id string) []*Table {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Errorf("registered %d experiments, want 13", len(all))
+	if len(all) != 14 {
+		t.Errorf("registered %d experiments, want 14", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -1,0 +1,153 @@
+package bench
+
+// Cross-request result-cache experiments (beyond the paper). The
+// paper's sharing optimizations deduplicate work within one Recommend;
+// the internal/cache subsystem shares it across requests, sessions and
+// concurrent users. These experiments measure the three reuse layers on
+// the synthetic catalog dataset: whole-request memoization (warm
+// repeat), singleflight collapsing (concurrent identical requests), and
+// the materialized reference-view store (fresh predicate, shared
+// full-table reference distributions).
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"seedb/internal/core"
+	"seedb/internal/dataset"
+	"seedb/internal/sqldb"
+)
+
+// CacheDatapoint is one recorded cold-vs-warm measurement (the
+// BENCH_cache.json payload).
+type CacheDatapoint struct {
+	Dataset         string  `json:"dataset"`
+	Rows            int     `json:"rows"`
+	Views           int     `json:"views"`
+	ColdMS          float64 `json:"cold_ms"`
+	WarmMS          float64 `json:"warm_ms"`
+	Speedup         float64 `json:"speedup"`
+	QueriesCold     int     `json:"queries_cold"`
+	QueriesWarm     int     `json:"queries_warm"`
+	NewPredicateMS  float64 `json:"new_predicate_ms"`
+	RefViewsReused  int     `json:"ref_views_reused"`
+	ConcurrentCalls int     `json:"concurrent_calls"`
+	ConcurrentExecs int     `json:"concurrent_queries_executed"`
+}
+
+// msF converts a duration to float milliseconds.
+func msF(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// MeasureCache runs the cold/warm/concurrent/new-predicate scenarios on
+// the synthetic catalog dataset and returns the datapoint.
+func MeasureCache(ctx context.Context, cfg Config) (*CacheDatapoint, error) {
+	cfg = cfg.withDefaults()
+	spec, err := dataset.ByName("syn")
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.WithRows(cfg.rowsFor(spec))
+	db, err := build(spec, sqldb.LayoutCol)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(db)
+	req := requestFor(spec)
+	req.Reference = core.RefAll // reference views are shareable across predicates
+	opts := core.Options{Strategy: core.Sharing, K: 10, EnableCache: true, Parallelism: cfg.Parallelism}
+
+	dCold, cold, err := timeRecommend(ctx, eng, req, opts)
+	if err != nil {
+		return nil, err
+	}
+	dWarm, warm, err := timeRecommend(ctx, eng, req, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Concurrent identical requests against a fresh engine: singleflight
+	// must collapse them into one execution.
+	engC := core.NewEngine(db)
+	const concurrent = 8
+	var wg sync.WaitGroup
+	execs := make([]int, concurrent)
+	errs := make([]error, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := engC.Recommend(ctx, req, opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			execs[i] = res.Metrics.QueriesExecuted
+		}(i)
+	}
+	wg.Wait()
+	totalExecs := 0
+	for i := range execs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		totalExecs += execs[i]
+	}
+
+	// A fresh predicate on the warmed engine reuses every materialized
+	// reference view and only pays for its target side.
+	reqNew := req
+	reqNew.TargetWhere = fmt.Sprintf("NOT (%s)", req.TargetWhere)
+	dNew, resNew, err := timeRecommend(ctx, eng, reqNew, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	speedup := 0.0
+	if dWarm > 0 {
+		speedup = float64(dCold) / float64(dWarm)
+	}
+	return &CacheDatapoint{
+		Dataset:         spec.Name,
+		Rows:            spec.Rows,
+		Views:           cold.Metrics.Views,
+		ColdMS:          msF(dCold),
+		WarmMS:          msF(dWarm),
+		Speedup:         speedup,
+		QueriesCold:     cold.Metrics.QueriesExecuted,
+		QueriesWarm:     warm.Metrics.QueriesExecuted,
+		NewPredicateMS:  msF(dNew),
+		RefViewsReused:  resNew.Metrics.RefViewsReused,
+		ConcurrentCalls: concurrent,
+		ConcurrentExecs: totalExecs,
+	}, nil
+}
+
+// CacheExperiment renders MeasureCache as an experiment table.
+func CacheExperiment(ctx context.Context, cfg Config) ([]*Table, error) {
+	dp, err := MeasureCache(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "cache",
+		Title:  fmt.Sprintf("Cross-request result cache, %s %d rows, %d views (beyond the paper)", dp.Dataset, dp.Rows, dp.Views),
+		Header: []string{"scenario", "latency", "queries executed", "vs cold"},
+	}
+	t.AddRow("cold (empty cache)", fmt.Sprintf("%.2fms", dp.ColdMS), fmt.Sprintf("%d", dp.QueriesCold), "1.0x")
+	t.AddRow("warm (identical request)", fmt.Sprintf("%.2fms", dp.WarmMS), fmt.Sprintf("%d", dp.QueriesWarm), fmt.Sprintf("%.1fx", dp.Speedup))
+	t.AddRow(fmt.Sprintf("%d concurrent identical (fresh cache)", dp.ConcurrentCalls),
+		"-", fmt.Sprintf("%d (singleflight)", dp.ConcurrentExecs), "-")
+	newVsCold := "-"
+	if dp.NewPredicateMS > 0 {
+		newVsCold = fmt.Sprintf("%.1fx", dp.ColdMS/dp.NewPredicateMS)
+	}
+	t.AddRow(fmt.Sprintf("new predicate (%d ref views reused)", dp.RefViewsReused),
+		fmt.Sprintf("%.2fms", dp.NewPredicateMS), "-", newVsCold)
+	t.Notes = append(t.Notes,
+		"warm requests are whole-request cache hits: zero SQL executed",
+		"concurrent identical requests collapse to one execution via singleflight",
+		"a new predicate reuses materialized full-table reference distributions (RefAll)")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,82 @@
+package cache
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Key construction. Every key embeds the dataset version token produced
+// by sqldb.(*DB).TableVersion, which is what makes invalidation purely
+// versioned: when a table is reloaded or appended to, new requests carry
+// a new version and can never observe entries written under the old one.
+// Namespace prefixes keep the three key spaces (query results, request
+// results, reference views) disjoint inside one shared budget.
+
+// sep separates key components; it cannot appear in SQL text or
+// identifiers.
+const sep = "\x00"
+
+// NormalizeSQL canonicalizes generated SQL for use as a cache key:
+// surrounding whitespace and a trailing semicolon are dropped and runs
+// of whitespace outside string literals collapse to single spaces, so
+// formatting differences do not defeat memoization. Whitespace inside
+// single-quoted literals is preserved — 'New  York' and 'New York' are
+// different values and must never share a key. It deliberately does not
+// reorder clauses — SeeDB generates SQL deterministically, and semantic
+// normalization of arbitrary SQL is not worth the risk of conflating
+// distinct queries.
+func NormalizeSQL(sql string) string {
+	sql = strings.TrimSpace(sql)
+	sql = strings.TrimSuffix(sql, ";")
+	var b strings.Builder
+	b.Grow(len(sql))
+	inStr := false
+	pendingSpace := false
+	for i := 0; i < len(sql); i++ {
+		ch := sql[i]
+		if inStr {
+			b.WriteByte(ch)
+			if ch == '\'' {
+				// Closes the literal; a doubled '' simply re-enters on
+				// the next iteration, preserving its content verbatim.
+				inStr = false
+			}
+			continue
+		}
+		switch ch {
+		case ' ', '\t', '\n', '\r':
+			pendingSpace = true
+		default:
+			if pendingSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+			if ch == '\'' {
+				inStr = true
+			}
+			b.WriteByte(ch)
+		}
+	}
+	return b.String()
+}
+
+// QueryKey keys one shared view query execution: normalized SQL plus the
+// table version and the scanned row range (phased execution runs the
+// same SQL over different partitions).
+func QueryKey(table, version, sql string, lo, hi int) string {
+	return "q" + sep + strings.ToLower(table) + sep + version + sep +
+		strconv.Itoa(lo) + sep + strconv.Itoa(hi) + sep + NormalizeSQL(sql)
+}
+
+// RequestKey keys one whole Recommend invocation. parts is the
+// canonical, order-sensitive rendering of the request and of every
+// option that can influence the result.
+func RequestKey(table, version string, parts ...string) string {
+	return "r" + sep + strings.ToLower(table) + sep + version + sep + strings.Join(parts, sep)
+}
+
+// refViewKey keys one materialized full-table reference distribution.
+func refViewKey(table, version, dimension, measure, agg string) string {
+	return "v" + sep + strings.ToLower(table) + sep + version + sep +
+		dimension + sep + measure + sep + agg
+}

@@ -1,0 +1,68 @@
+package cache
+
+import "time"
+
+// The reference-view store materializes full-table reference
+// distributions. Under the paper's default reference mode (D_R = D, the
+// whole table), the reference side of every candidate view is a pure
+// function of the dataset — it is identical for every analyst, session
+// and target predicate until the data changes. Computing it once and
+// sharing it across requests removes roughly half the aggregation work
+// of every cold request with a fresh predicate.
+//
+// Distributions are stored in mergeable partial-aggregate form (Cell)
+// rather than finalized values, so the engine can seed its per-view
+// accumulators directly and keep folding target-side partials on top.
+
+// Cell is the mergeable partial-aggregate state for one group of a
+// reference distribution: enough to finalize any supported aggregate
+// function (AVG = Sum/Count, SUM, COUNT, MIN, MAX).
+type Cell struct {
+	Sum   float64
+	Count float64
+	Min   float64
+	Max   float64
+	// Seen marks that MIN/MAX observed at least one value.
+	Seen bool
+}
+
+// RefDistribution maps group value → partial-aggregate cell. Stored
+// distributions are shared between requests and must not be mutated.
+type RefDistribution map[string]Cell
+
+// sizeBytes estimates the memory footprint of a distribution.
+func (d RefDistribution) sizeBytes() int64 {
+	// Map overhead + fixed-size cell per group + key bytes.
+	n := int64(48)
+	for g := range d {
+		n += 64 + int64(len(g))
+	}
+	return n
+}
+
+// RefStore is the typed facade over a shared Cache for materialized
+// reference views. It shares the cache's byte budget, LRU policy and
+// counters.
+type RefStore struct {
+	c *Cache
+}
+
+// NewRefStore wraps c.
+func NewRefStore(c *Cache) *RefStore { return &RefStore{c: c} }
+
+// Get returns the materialized full-table distribution for one
+// (dimension, measure, agg) view of table at the given version.
+func (s *RefStore) Get(table, version, dimension, measure, agg string) (RefDistribution, bool) {
+	v, ok := s.c.Get(refViewKey(table, version, dimension, measure, agg))
+	if !ok {
+		return nil, false
+	}
+	return v.(RefDistribution), true
+}
+
+// Put stores a freshly materialized distribution. cost is how long the
+// distribution took to compute (it feeds the cache's cost-aware
+// admission); pass 0 when unknown.
+func (s *RefStore) Put(table, version, dimension, measure, agg string, d RefDistribution, cost time.Duration) bool {
+	return s.c.Put(refViewKey(table, version, dimension, measure, agg), d, d.sizeBytes(), cost)
+}

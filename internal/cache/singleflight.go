@@ -1,0 +1,83 @@
+package cache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// flightGroup collapses concurrent executions of the same key into one:
+// the first caller runs fn, every concurrent duplicate blocks until that
+// execution finishes and shares its outcome. Completed flights are
+// forgotten immediately, so sequential calls each execute (the LRU cache
+// in front of the group provides cross-call reuse).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight execution. done is closed when the leader
+// finishes (successfully, with an error, or by panicking).
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+	// panicked holds the recovered panic value when fn panicked; the
+	// panic is re-raised in the leader and every follower.
+	panicked any
+}
+
+// flightPanic wraps a recovered panic value so re-raising it keeps the
+// original value visible.
+type flightPanic struct{ value any }
+
+func (p flightPanic) String() string {
+	return fmt.Sprintf("cache: singleflight leader panicked: %v", p.value)
+}
+
+// do executes fn under singleflight semantics for key. shared reports
+// whether the outcome came (or would have come) from another caller's
+// execution.
+//
+// A follower waits for the leader only as long as its own ctx lives;
+// cancellation returns ctx.Err() immediately without disturbing the
+// flight. The flight is always unregistered and its waiters released,
+// even when fn panics — otherwise a single panic would wedge the key
+// forever, hanging every future caller. A leader panic propagates to
+// the leader and to every waiting follower.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if fc, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-fc.done:
+			if fc.panicked != nil {
+				panic(flightPanic{fc.panicked})
+			}
+			return fc.val, true, fc.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	g.m[key] = fc
+	g.mu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			fc.panicked = r
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(fc.done)
+		if fc.panicked != nil {
+			panic(flightPanic{fc.panicked})
+		}
+	}()
+	fc.val, fc.err = fn()
+	return fc.val, false, fc.err
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
+	"seedb/internal/cache"
 	"seedb/internal/distance"
 	"seedb/internal/sqldb"
 )
@@ -16,6 +18,9 @@ import (
 type Engine struct {
 	db  *sqldb.DB
 	gen *ViewGenerator
+
+	cacheMu sync.Mutex
+	cache   *cache.Cache
 }
 
 // NewEngine creates an engine over db.
@@ -29,12 +34,39 @@ func (e *Engine) DB() *sqldb.DB { return e.db }
 // Generator returns the engine's view generator.
 func (e *Engine) Generator() *ViewGenerator { return e.gen }
 
+// SetCache installs a shared result cache. One cache may back many
+// engines (and the HTTP server installs one process-wide cache); it is
+// only consulted by requests with Options.EnableCache set.
+func (e *Engine) SetCache(c *cache.Cache) {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	e.cache = c
+}
+
+// Cache returns the engine's cache, or nil if none is installed yet.
+func (e *Engine) Cache() *cache.Cache {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	return e.cache
+}
+
+// ensureCache returns the installed cache, creating one with the given
+// budget on first cached request.
+func (e *Engine) ensureCache(budgetBytes int64) *cache.Cache {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	if e.cache == nil {
+		e.cache = cache.New(budgetBytes)
+	}
+	return e.cache
+}
+
 // Metrics reports what one Recommend invocation cost.
 type Metrics struct {
 	// Views is the number of candidate views enumerated.
 	Views int
-	// QueriesIssued counts SQL queries executed against the DBMS.
-	QueriesIssued int
+	// QueriesExecuted counts SQL queries executed against the DBMS.
+	QueriesExecuted int
 	// RowsScanned sums base-table rows visited across all queries.
 	RowsScanned int64
 	// MaxGroups is the peak distinct-group count of any single query
@@ -47,6 +79,19 @@ type Metrics struct {
 	// EarlyStopped reports whether COMB_EARLY returned before scanning
 	// everything.
 	EarlyStopped bool
+	// CacheHits and CacheMisses count result-cache lookups (whole-request
+	// and per-query) made on behalf of this invocation. A query served
+	// from the cache counts as a hit and does not appear in
+	// QueriesExecuted or RowsScanned.
+	CacheHits   int
+	CacheMisses int
+	// RefViewsReused counts candidate views whose full-table reference
+	// distribution came from the materialized reference-view store.
+	RefViewsReused int
+	// ServedFromCache marks an invocation answered entirely by the
+	// result cache (a whole-request hit, or a concurrent duplicate that
+	// shared another request's execution).
+	ServedFromCache bool
 	// Elapsed is wall-clock execution time.
 	Elapsed time.Duration
 }
@@ -93,10 +138,22 @@ type execState struct {
 	alive   []bool
 	partial []bool // per-view: estimate computed from a strict data subset
 	metrics Metrics
+
+	// Shared result-cache state (nil/empty when caching is off).
+	cache     *cache.Cache
+	version   string // dataset version token the whole run is keyed under
+	refSeeded []bool // per-view: reference side came from the ref-view store
 }
 
 // Recommend evaluates the view space for req and returns the top-k
 // recommendations under the configured options.
+//
+// With Options.EnableCache set, the whole invocation is memoized in the
+// engine's shared cache under the request's canonical key and the
+// table's dataset version: repeat requests return without issuing any
+// SQL, and concurrent identical requests collapse into one execution
+// (singleflight). Cold requests still reuse cached shared-query results
+// and materialized reference views where they overlap earlier work.
 func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Result, error) {
 	start := time.Now()
 	if req.TargetWhere == "" {
@@ -118,11 +175,55 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 		opts.K = len(views)
 	}
 
+	if !opts.EnableCache {
+		res, err := e.runRecommend(ctx, req, opts, views, t, nil, "")
+		if err != nil {
+			return nil, err
+		}
+		res.Metrics.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	c := e.ensureCache(opts.CacheBudgetBytes)
+	version, _ := e.db.TableVersion(req.Table)
+	key := requestCacheKey(req, opts, version)
+	v, outcome, err := c.Do(ctx, key,
+		func(v any) int64 { return resultSizeBytes(v.(*Result)) },
+		func() (any, error) { return e.runRecommend(ctx, req, opts, views, t, c, version) },
+	)
+	if err != nil {
+		return nil, err
+	}
+	// The cached Result is shared; every caller (the computing one
+	// included, since its Result now lives in the cache) gets a private
+	// deep copy.
+	res := cloneResult(v.(*Result))
+	if outcome != cache.Computed {
+		// Warm path: report what THIS invocation cost, keeping the
+		// fields that describe the result's content (Views, PrunedViews,
+		// EarlyStopped, Partial flags).
+		m := &res.Metrics
+		m.QueriesExecuted, m.RowsScanned, m.MaxGroups, m.PhasesRun = 0, 0, 0, 0
+		m.CacheMisses, m.RefViewsReused = 0, 0
+		m.CacheHits = 1
+		m.ServedFromCache = true
+	}
+	res.Metrics.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runRecommend executes one cold recommendation. With a non-nil cache it
+// consults the shared-query memoization inside runQueries and the
+// reference-view store around the run.
+func (e *Engine) runRecommend(ctx context.Context, req Request, opts Options, views []View, t sqldb.Table, c *cache.Cache, version string) (*Result, error) {
+	start := time.Now()
 	st := &execState{
-		db:    e.db,
-		req:   req,
-		opts:  opts,
-		views: views,
+		db:      e.db,
+		req:     req,
+		opts:    opts,
+		views:   views,
+		cache:   c,
+		version: version,
 	}
 	st.metrics.Views = len(views)
 	st.accums = make([]*viewAccum, len(views))
@@ -132,7 +233,34 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 		st.alive[i] = true
 	}
 
-	qb := &queryBuilder{table: req.Table, req: req, opts: opts}
+	// Seed reference sides from the materialized reference-view store:
+	// under RefAll the reference distribution of a view is a pure
+	// function of the dataset, so any earlier request (whatever its
+	// target predicate) may already have paid for it. Seeded views issue
+	// target-only queries below.
+	//
+	// Only single-pass strategies seed: their output is determined by
+	// the final (complete) accumulators, so a seeded run returns the
+	// same result as a cold one. Phased strategies prune on per-phase
+	// estimates — seeding would compare partial targets against full
+	// references and make prune decisions (and therefore cached results)
+	// depend on cache warmth. They still publish below.
+	var refs *cache.RefStore
+	if c != nil && req.Reference == RefAll {
+		refs = cache.NewRefStore(c)
+		st.refSeeded = make([]bool, len(views))
+		if opts.Strategy == NoOpt || opts.Strategy == Sharing {
+			for i, v := range views {
+				if d, ok := refs.Get(req.Table, version, v.Dimension, v.Measure, string(v.Agg)); ok {
+					seedReference(st.accums[i], d)
+					st.refSeeded[i] = true
+					st.metrics.RefViewsReused++
+				}
+			}
+		}
+	}
+
+	qb := &queryBuilder{table: req.Table, req: req, opts: opts, refDone: st.refSeeded}
 	if opts.GroupBy == GroupByBinPack && opts.Strategy != NoOpt {
 		dims := dimensionSet(views)
 		cards, err := e.gen.DimensionCardinalities(req.Table, dims)
@@ -145,6 +273,7 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 		}
 	}
 
+	var err error
 	switch opts.Strategy {
 	case NoOpt, Sharing:
 		err = st.runSinglePass(ctx, qb)
@@ -155,6 +284,21 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 	}
 	if err != nil {
 		return nil, err
+	}
+
+	// Materialize freshly completed reference distributions for later
+	// requests. Only views that saw every partition qualify (pruned,
+	// bandit-accepted and early-returned views hold partial reference
+	// state).
+	if refs != nil {
+		cost := time.Since(start) / time.Duration(len(views))
+		for i, v := range views {
+			if st.refSeeded[i] || (st.partial != nil && st.partial[i]) {
+				continue
+			}
+			refs.Put(req.Table, version, v.Dimension, v.Measure, string(v.Agg),
+				snapshotReference(st.accums[i].reference), cost)
+		}
 	}
 
 	res := st.buildResult()

@@ -252,11 +252,11 @@ func TestSharingReducesQueryCount(t *testing.T) {
 	}
 	// NO_OPT: 2 queries per view = 80. SHARING with single-attribute
 	// group-bys and combined target/ref: one query per dimension = 10.
-	if noopt.Metrics.QueriesIssued != 80 {
-		t.Errorf("NO_OPT queries = %d, want 80", noopt.Metrics.QueriesIssued)
+	if noopt.Metrics.QueriesExecuted != 80 {
+		t.Errorf("NO_OPT queries = %d, want 80", noopt.Metrics.QueriesExecuted)
 	}
-	if sharing.Metrics.QueriesIssued != 10 {
-		t.Errorf("SHARING queries = %d, want 10", sharing.Metrics.QueriesIssued)
+	if sharing.Metrics.QueriesExecuted != 10 {
+		t.Errorf("SHARING queries = %d, want 10", sharing.Metrics.QueriesExecuted)
 	}
 	if sharing.Metrics.RowsScanned >= noopt.Metrics.RowsScanned {
 		t.Errorf("sharing scanned %d rows, NO_OPT %d — sharing must scan less",
@@ -279,9 +279,9 @@ func TestBinPackingReducesQueriesOnRowStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if packed.Metrics.QueriesIssued >= single.Metrics.QueriesIssued {
+	if packed.Metrics.QueriesExecuted >= single.Metrics.QueriesExecuted {
 		t.Errorf("bin packing issued %d queries, single %d — packing must combine",
-			packed.Metrics.QueriesIssued, single.Metrics.QueriesIssued)
+			packed.Metrics.QueriesExecuted, single.Metrics.QueriesExecuted)
 	}
 }
 
@@ -671,8 +671,8 @@ func TestNoOptQueriesAreSerialAndPerView(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Metrics.QueriesIssued != 4 { // 2 views × 2 queries
-		t.Errorf("NO_OPT queries = %d, want 4", res.Metrics.QueriesIssued)
+	if res.Metrics.QueriesExecuted != 4 { // 2 views × 2 queries
+		t.Errorf("NO_OPT queries = %d, want 4", res.Metrics.QueriesExecuted)
 	}
 }
 

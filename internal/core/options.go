@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"seedb/internal/cache"
 	"seedb/internal/distance"
 	"seedb/internal/sqldb"
 )
@@ -123,6 +124,10 @@ const (
 	DefaultColMemoryBudget = 100
 )
 
+// DefaultCacheBudgetBytes is the shared result cache's byte budget when
+// caching is enabled without an explicit budget.
+const DefaultCacheBudgetBytes = cache.DefaultBudgetBytes
+
 // Options configures the SeeDB engine.
 type Options struct {
 	// Strategy is the execution strategy (default Comb).
@@ -177,6 +182,17 @@ type Options struct {
 	// in the result (needed by the evaluation harness; default false
 	// keeps only the top-k).
 	KeepAllViews bool
+	// EnableCache routes this request through the engine's shared result
+	// cache (internal/cache): whole-request memoization, shared-query
+	// memoization with singleflight collapsing, and the materialized
+	// reference-view store. The cache is keyed by dataset version, so
+	// loads, inserts and drops invalidate stale entries automatically.
+	// Default false (every request recomputes, the paper's behavior).
+	EnableCache bool
+	// CacheBudgetBytes sizes the engine's cache when EnableCache has to
+	// create it lazily (an engine-level cache installed via SetCache
+	// wins). 0 means DefaultCacheBudgetBytes.
+	CacheBudgetBytes int64
 }
 
 // withDefaults fills unset options given the table layout.
@@ -212,6 +228,9 @@ func (o Options) withDefaults(layout sqldb.Layout, numViews int) Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.CacheBudgetBytes <= 0 {
+		o.CacheBudgetBytes = DefaultCacheBudgetBytes
 	}
 	if o.Phases <= 0 {
 		switch o.Pruning {

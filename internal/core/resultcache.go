@@ -1,0 +1,165 @@
+package core
+
+// This file is the engine side of the shared result-cache subsystem
+// (internal/cache). Three reuse layers compose, coarsest first:
+//
+//  1. Whole-request memoization: a Recommend whose canonical request key
+//     (request + result-affecting options + dataset version) was already
+//     answered returns the cached Result without touching the DBMS, and
+//     concurrent identical requests collapse to one execution.
+//  2. Shared-query memoization: each generated view query is keyed by
+//     normalized SQL + row range + dataset version, so requests that
+//     overlap partially (different K, different pruning, a re-issued
+//     phase) still skip the scans they share with earlier work.
+//  3. The reference-view store: under RefAll the reference side of every
+//     view depends only on the data, so completed reference
+//     distributions are materialized once and seeded into later
+//     requests, which then issue target-only queries.
+
+import (
+	"fmt"
+	"strconv"
+
+	"seedb/internal/cache"
+	"seedb/internal/sqldb"
+)
+
+// requestCacheKey canonicalizes everything that can influence a
+// Recommend result. opts must already have defaults applied.
+// Parallelism and the cache options themselves are excluded: they change
+// cost, never output. The attribute lists are length-prefixed and
+// spliced in as individual key parts (the key separator cannot occur in
+// identifiers), so lists like ["a,b"] and ["a","b"] — or elements
+// shifting between adjacent lists — can never collide.
+func requestCacheKey(req Request, opts Options, version string) string {
+	parts := []string{
+		req.TargetWhere,
+		strconv.Itoa(int(req.Reference)),
+		req.ReferenceWhere,
+	}
+	parts = appendList(parts, req.Dimensions)
+	parts = appendList(parts, req.Measures)
+	aggs := make([]string, len(req.Aggs))
+	for i, a := range req.Aggs {
+		aggs[i] = string(a)
+	}
+	parts = appendList(parts, aggs)
+	parts = append(parts,
+		strconv.Itoa(int(opts.Strategy)),
+		strconv.Itoa(int(opts.Pruning)),
+		strconv.Itoa(int(opts.Distance)),
+		strconv.Itoa(opts.K),
+		strconv.Itoa(opts.Phases),
+		strconv.Itoa(int(opts.GroupBy)),
+		strconv.Itoa(opts.MemoryBudget),
+		strconv.Itoa(opts.MaxGroupBy),
+		strconv.Itoa(opts.MaxAggregatesPerQuery),
+		strconv.FormatBool(opts.DisableCombineAggregates),
+		strconv.FormatBool(opts.DisableCombineTargetRef),
+		fmt.Sprintf("%g", opts.Delta),
+		fmt.Sprintf("%g", opts.ConfidenceScale),
+		strconv.FormatInt(opts.Seed, 10),
+		strconv.FormatBool(opts.KeepAllViews),
+	)
+	return cache.RequestKey(req.Table, version, parts...)
+}
+
+// appendList appends a length-prefixed string list to key parts.
+func appendList(parts []string, list []string) []string {
+	parts = append(parts, strconv.Itoa(len(list)))
+	return append(parts, list...)
+}
+
+// cloneResult deep-copies a Result so cached values stay immutable while
+// callers are free to mutate what Recommend returns.
+func cloneResult(r *Result) *Result {
+	cp := *r
+	cp.Recommendations = cloneRecommendations(r.Recommendations)
+	cp.AllViews = cloneRecommendations(r.AllViews)
+	return &cp
+}
+
+// cloneRecommendations deep-copies a recommendation slice.
+func cloneRecommendations(recs []Recommendation) []Recommendation {
+	if recs == nil {
+		return nil
+	}
+	out := make([]Recommendation, len(recs))
+	for i, rec := range recs {
+		out[i] = rec
+		out[i].Groups = append([]string(nil), rec.Groups...)
+		out[i].Target = append([]float64(nil), rec.Target...)
+		out[i].Reference = append([]float64(nil), rec.Reference...)
+		out[i].TargetAgg = cloneAggMap(rec.TargetAgg)
+		out[i].ReferenceAgg = cloneAggMap(rec.ReferenceAgg)
+	}
+	return out
+}
+
+// cloneAggMap copies a group → value map.
+func cloneAggMap(m map[string]float64) map[string]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// resultSizeBytes estimates a Result's cache footprint.
+func resultSizeBytes(r *Result) int64 {
+	n := int64(128)
+	n += recommendationsSizeBytes(r.Recommendations)
+	n += recommendationsSizeBytes(r.AllViews)
+	return n
+}
+
+// recommendationsSizeBytes estimates one recommendation slice.
+func recommendationsSizeBytes(recs []Recommendation) int64 {
+	var n int64
+	for _, rec := range recs {
+		n += 160
+		for _, g := range rec.Groups {
+			// Group value appears in Groups and as a key in both agg
+			// maps; the float payloads are fixed-width.
+			n += 3*int64(len(g)) + 96
+		}
+	}
+	return n
+}
+
+// sqlResultSizeBytes estimates a materialized sqldb result's footprint.
+func sqlResultSizeBytes(res *sqldb.Result) int64 {
+	n := int64(96)
+	for _, c := range res.Columns {
+		n += int64(len(c)) + 16
+	}
+	for _, row := range res.Rows {
+		n += 24
+		for _, v := range row {
+			n += 40 + int64(len(v.S))
+		}
+	}
+	return n
+}
+
+// seedReference fills a view accumulator's reference side from a
+// materialized distribution (copying into fresh cells; the stored
+// distribution is shared and immutable).
+func seedReference(acc *viewAccum, d cache.RefDistribution) {
+	for g, cl := range d {
+		acc.reference[g] = &cell{sum: cl.Sum, count: cl.Count, min: cl.Min, max: cl.Max, seen: cl.Seen}
+	}
+}
+
+// snapshotReference converts a completed reference accumulator into the
+// store's shareable form.
+func snapshotReference(s sideAccum) cache.RefDistribution {
+	d := make(cache.RefDistribution, len(s))
+	for g, c := range s {
+		d[g] = cache.Cell{Sum: c.sum, Count: c.count, Min: c.min, Max: c.max, Seen: c.seen}
+	}
+	return d
+}

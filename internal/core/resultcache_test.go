@@ -1,0 +1,252 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"seedb/internal/sqldb"
+)
+
+// sameRecommendations compares two recommendation lists view-by-view
+// with a floating-point tolerance on utilities and distributions.
+func sameRecommendations(t *testing.T, a, b []Recommendation, tol float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("recommendation counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].View != b[i].View {
+			t.Fatalf("rank %d: view %v vs %v", i, a[i].View, b[i].View)
+		}
+		if math.Abs(a[i].Utility-b[i].Utility) > tol {
+			t.Fatalf("rank %d (%v): utility %v vs %v", i, a[i].View, a[i].Utility, b[i].Utility)
+		}
+		if len(a[i].Groups) != len(b[i].Groups) {
+			t.Fatalf("rank %d: group counts differ", i)
+		}
+		for j := range a[i].Target {
+			if math.Abs(a[i].Target[j]-b[i].Target[j]) > tol ||
+				math.Abs(a[i].Reference[j]-b[i].Reference[j]) > tol {
+				t.Fatalf("rank %d group %d: distributions differ", i, j)
+			}
+		}
+	}
+}
+
+func TestRequestCacheKeyListBoundaries(t *testing.T) {
+	// Attribute lists must keep their element boundaries and their list
+	// membership in the key: none of these requests may share a key.
+	base := Request{Table: "t", TargetWhere: "x = 1"}
+	opts := Options{}.withDefaults(sqldb.LayoutCol, 4)
+	variants := []Request{
+		{Table: "t", TargetWhere: "x = 1", Dimensions: []string{"a,b"}},
+		{Table: "t", TargetWhere: "x = 1", Dimensions: []string{"a", "b"}},
+		{Table: "t", TargetWhere: "x = 1", Dimensions: []string{"a"}, Measures: []string{"b"}},
+		{Table: "t", TargetWhere: "x = 1", Measures: []string{"a", "b"}},
+	}
+	seen := map[string]int{}
+	for i, req := range variants {
+		k := requestCacheKey(req, opts, "1.1.1")
+		if j, dup := seen[k]; dup {
+			t.Errorf("variants %d and %d share request key %q", j, i, k)
+		}
+		seen[k] = i
+	}
+	if k := requestCacheKey(base, opts, "1.1.1"); func() bool { _, dup := seen[k]; return dup }() {
+		t.Errorf("empty-list request collides with a variant key")
+	}
+}
+
+func TestCacheWarmRequestIssuesZeroQueries(t *testing.T) {
+	eng, req := buildCensus(t, sqldb.LayoutCol, 4000)
+	ctx := context.Background()
+	opts := Options{K: 5, EnableCache: true}
+
+	cold, err := eng.Recommend(ctx, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Metrics.QueriesExecuted == 0 || cold.Metrics.ServedFromCache {
+		t.Fatalf("cold run: %+v", cold.Metrics)
+	}
+
+	warm, err := eng.Recommend(ctx, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Metrics.QueriesExecuted != 0 {
+		t.Fatalf("warm run executed %d queries, want 0", warm.Metrics.QueriesExecuted)
+	}
+	if warm.Metrics.RowsScanned != 0 || !warm.Metrics.ServedFromCache || warm.Metrics.CacheHits == 0 {
+		t.Fatalf("warm metrics: %+v", warm.Metrics)
+	}
+	sameRecommendations(t, cold.Recommendations, warm.Recommendations, 0)
+}
+
+func TestCacheMatchesUncachedAcrossStrategies(t *testing.T) {
+	ctx := context.Background()
+	for _, strat := range []Strategy{NoOpt, Sharing, Comb, CombEarly} {
+		for _, layout := range []sqldb.Layout{sqldb.LayoutRow, sqldb.LayoutCol} {
+			t.Run(strat.String()+"/"+layout.String(), func(t *testing.T) {
+				engPlain, req := buildCensus(t, layout, 3000)
+				engCached, _ := buildCensus(t, layout, 3000)
+				opts := Options{K: 5, Strategy: strat}
+
+				plain, err := engPlain.Recommend(ctx, req, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.EnableCache = true
+				cold, err := engCached.Recommend(ctx, req, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// A cold cached run sees an empty cache, so it issues the
+				// exact same queries and must produce identical output.
+				sameRecommendations(t, plain.Recommendations, cold.Recommendations, 0)
+				if cold.Metrics.QueriesExecuted != plain.Metrics.QueriesExecuted {
+					t.Fatalf("cold cached run executed %d queries, uncached %d",
+						cold.Metrics.QueriesExecuted, plain.Metrics.QueriesExecuted)
+				}
+
+				warm, err := engCached.Recommend(ctx, req, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if warm.Metrics.QueriesExecuted != 0 || !warm.Metrics.ServedFromCache {
+					t.Fatalf("warm metrics: %+v", warm.Metrics)
+				}
+				sameRecommendations(t, plain.Recommendations, warm.Recommendations, 0)
+			})
+		}
+	}
+}
+
+func TestReferenceViewStoreReuseAcrossPredicates(t *testing.T) {
+	// Two requests with different target predicates share the full-table
+	// reference distributions (RefAll): the second request reuses every
+	// materialized view and only pays for its target side.
+	ctx := context.Background()
+	engCached, req := buildCensus(t, sqldb.LayoutCol, 4000)
+	engPlain, _ := buildCensus(t, sqldb.LayoutCol, 4000)
+	opts := Options{K: 5, Strategy: Sharing, EnableCache: true}
+
+	if _, err := engCached.Recommend(ctx, req, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	req2 := req
+	req2.TargetWhere = "sex = 'Female'"
+	reused, err := engCached.Recommend(ctx, req2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused.Metrics.RefViewsReused != reused.Metrics.Views {
+		t.Fatalf("reused %d of %d reference views", reused.Metrics.RefViewsReused, reused.Metrics.Views)
+	}
+	if reused.Metrics.ServedFromCache {
+		t.Fatal("different predicate must not be a whole-request hit")
+	}
+
+	optsPlain := opts
+	optsPlain.EnableCache = false
+	plain, err := engPlain.Recommend(ctx, req2, optsPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference sides were folded in a different (but equivalent) order,
+	// so allow float tolerance.
+	sameRecommendations(t, plain.Recommendations, reused.Recommendations, 1e-9)
+}
+
+func TestPhasedStrategiesDoNotSeedReferences(t *testing.T) {
+	// Comb/CombEarly prune on per-phase estimates; seeding full
+	// reference distributions would make prune decisions (and cached
+	// results) depend on cache warmth. They publish to the store but
+	// never read from it, so identical requests are deterministic.
+	ctx := context.Background()
+	eng, req := buildCensus(t, sqldb.LayoutCol, 3000)
+	opts := Options{K: 5, Strategy: Sharing, EnableCache: true}
+
+	// Warm the reference-view store with a full Sharing run.
+	if _, err := eng.Recommend(ctx, req, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	req2 := req
+	req2.TargetWhere = "sex = 'Female'"
+	for _, strat := range []Strategy{Comb, CombEarly} {
+		opts2 := Options{K: 5, Strategy: strat, EnableCache: true}
+		res, err := eng.Recommend(ctx, req2, opts2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metrics.RefViewsReused != 0 {
+			t.Errorf("%v reused %d reference views, want 0", strat, res.Metrics.RefViewsReused)
+		}
+	}
+}
+
+func TestCacheInvalidationOnAppend(t *testing.T) {
+	eng, req := buildCensus(t, sqldb.LayoutCol, 2000)
+	ctx := context.Background()
+	opts := Options{K: 3, EnableCache: true}
+
+	if _, err := eng.Recommend(ctx, req, opts); err != nil {
+		t.Fatal(err)
+	}
+	// Appending a row bumps the table generation: the next request must
+	// recompute rather than serve the stale entry.
+	tab, _ := eng.DB().Table(req.Table)
+	row := make([]sqldb.Value, tab.Schema().NumColumns())
+	err := tab.ScanRange(0, 1, nil, func(rv sqldb.RowView) error {
+		for i := range row {
+			row[i] = rv.Value(i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AppendRow(row); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := eng.Recommend(ctx, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.ServedFromCache || res.Metrics.QueriesExecuted == 0 {
+		t.Fatalf("request after append served stale cache: %+v", res.Metrics)
+	}
+}
+
+func TestCachedResultsAreIsolated(t *testing.T) {
+	eng, req := buildCensus(t, sqldb.LayoutCol, 2000)
+	ctx := context.Background()
+	opts := Options{K: 3, EnableCache: true}
+
+	first, err := eng.Recommend(ctx, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt everything the caller can reach.
+	want := first.Recommendations[0].Target[0]
+	first.Recommendations[0].Target[0] = 12345
+	first.Recommendations[0].Groups[0] = "corrupted"
+	for k := range first.Recommendations[0].TargetAgg {
+		first.Recommendations[0].TargetAgg[k] = -1
+	}
+
+	second, err := eng.Recommend(ctx, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Recommendations[0].Target[0] != want {
+		t.Fatal("caller mutation leaked into the cache")
+	}
+	if second.Recommendations[0].Groups[0] == "corrupted" {
+		t.Fatal("caller mutation of groups leaked into the cache")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"seedb/internal/binpack"
+	"seedb/internal/cache"
 	"seedb/internal/sqldb"
 )
 
@@ -111,6 +112,11 @@ type queryBuilder struct {
 	req      Request
 	opts     Options
 	distinct map[string]int // dimension → distinct count
+	// refDone marks views whose reference side was seeded from the
+	// materialized reference-view store; they get target-only queries so
+	// the shared reference work is not redone (and not double-counted).
+	// nil means no view is seeded.
+	refDone []bool
 }
 
 // partitionViews builds the view groups for the configured group-by
@@ -254,59 +260,90 @@ func (qb *queryBuilder) buildGroup(views []View, vg viewGroup) []*sharedQuery {
 
 	var queries []*sharedQuery
 	for _, ch := range chunks {
-		// Deduplicate aggregate expressions across this chunk's views.
-		var exprs []string
-		exprCol := make(map[string]int)
-		var consumers []consumer
-		for _, vi := range ch.viewIdxs {
-			v := views[vi]
-			for _, re := range rolesFor(v.Agg, v.Measure) {
-				col, ok := exprCol[re.expr]
-				if !ok {
-					col = len(exprs)
-					exprCol[re.expr] = col
-					exprs = append(exprs, re.expr)
+		// Views whose reference side is already materialized only need
+		// the target side; the rest need both.
+		needRef := ch.viewIdxs
+		var haveRef []int
+		if qb.refDone != nil {
+			needRef = nil
+			for _, vi := range ch.viewIdxs {
+				if qb.refDone[vi] {
+					haveRef = append(haveRef, vi)
+				} else {
+					needRef = append(needRef, vi)
 				}
-				consumers = append(consumers, consumer{
-					viewIdx: vi,
-					dimPos:  dimPos[v.Dimension],
-					col:     col,
-					role:    re.role,
-				})
 			}
 		}
 
-		if combined {
+		if len(needRef) > 0 {
+			exprs, consumers := qb.aggPlan(views, needRef, dimPos)
+			if combined {
+				queries = append(queries, &sharedQuery{
+					sql:       qb.renderSQL(vg.dims, exprs, "", true),
+					numDims:   len(vg.dims),
+					side:      sideCombined,
+					consumers: consumers,
+				})
+			} else {
+				// Separate target and reference executions.
+				queries = append(queries, &sharedQuery{
+					sql:       qb.renderSQL(vg.dims, exprs, qb.req.TargetWhere, false),
+					numDims:   len(vg.dims),
+					side:      sideTarget,
+					consumers: consumers,
+				})
+				refWhere := ""
+				switch qb.req.Reference {
+				case RefComplement:
+					refWhere = fmt.Sprintf("NOT (%s)", qb.req.TargetWhere)
+				case RefCustom:
+					refWhere = qb.req.ReferenceWhere
+				}
+				queries = append(queries, &sharedQuery{
+					sql:       qb.renderSQL(vg.dims, exprs, refWhere, false),
+					numDims:   len(vg.dims),
+					side:      sideReference,
+					consumers: consumers,
+				})
+			}
+		}
+		if len(haveRef) > 0 {
+			exprs, consumers := qb.aggPlan(views, haveRef, dimPos)
 			queries = append(queries, &sharedQuery{
-				sql:       qb.renderSQL(vg.dims, exprs, "", true),
+				sql:       qb.renderSQL(vg.dims, exprs, qb.req.TargetWhere, false),
 				numDims:   len(vg.dims),
-				side:      sideCombined,
+				side:      sideTarget,
 				consumers: consumers,
 			})
-			continue
 		}
-		// Separate target and reference executions.
-		queries = append(queries, &sharedQuery{
-			sql:       qb.renderSQL(vg.dims, exprs, qb.req.TargetWhere, false),
-			numDims:   len(vg.dims),
-			side:      sideTarget,
-			consumers: consumers,
-		})
-		refWhere := ""
-		switch qb.req.Reference {
-		case RefComplement:
-			refWhere = fmt.Sprintf("NOT (%s)", qb.req.TargetWhere)
-		case RefCustom:
-			refWhere = qb.req.ReferenceWhere
-		}
-		queries = append(queries, &sharedQuery{
-			sql:       qb.renderSQL(vg.dims, exprs, refWhere, false),
-			numDims:   len(vg.dims),
-			side:      sideReference,
-			consumers: consumers,
-		})
 	}
 	return queries
+}
+
+// aggPlan deduplicates the aggregate expressions the given views need
+// and routes each output column to its consumers.
+func (qb *queryBuilder) aggPlan(views []View, viewIdxs []int, dimPos map[string]int) ([]string, []consumer) {
+	var exprs []string
+	exprCol := make(map[string]int)
+	var consumers []consumer
+	for _, vi := range viewIdxs {
+		v := views[vi]
+		for _, re := range rolesFor(v.Agg, v.Measure) {
+			col, ok := exprCol[re.expr]
+			if !ok {
+				col = len(exprs)
+				exprCol[re.expr] = col
+				exprs = append(exprs, re.expr)
+			}
+			consumers = append(consumers, consumer{
+				viewIdx: vi,
+				dimPos:  dimPos[v.Dimension],
+				col:     col,
+				role:    re.role,
+			})
+		}
+	}
+	return exprs, consumers
 }
 
 // renderSQL assembles one view query. With flag=true the target predicate
@@ -338,6 +375,12 @@ func (qb *queryBuilder) renderSQL(dims, exprs []string, where string, flag bool)
 // runQueries executes the shared queries over table rows [lo, hi) on a
 // worker pool and merges every result into the view accumulators.
 // Results merge in deterministic (query-index) order.
+//
+// With a cache attached, each query is memoized under its normalized
+// SQL + row range + dataset version: a hit skips the DBMS entirely and
+// concurrent identical queries (within or across requests) collapse to
+// one execution. Cached results are shared and treated as immutable —
+// merging only reads them.
 func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, hi int) error {
 	if len(queries) == 0 {
 		return nil
@@ -354,6 +397,7 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 	}
 
 	results := make([]*sqldb.Result, len(queries))
+	outcomes := make([]cache.Outcome, len(queries))
 	errs := make([]error, len(queries))
 	var wg sync.WaitGroup
 	work := make(chan int)
@@ -362,7 +406,24 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 		go func() {
 			defer wg.Done()
 			for qi := range work {
-				results[qi], errs[qi] = s.db.QueryOpts(queries[qi].sql, sqldb.ExecOptions{Ctx: ctx, Lo: lo, Hi: hi})
+				sql := queries[qi].sql
+				if s.cache == nil {
+					results[qi], errs[qi] = s.db.QueryOpts(sql, sqldb.ExecOptions{Ctx: ctx, Lo: lo, Hi: hi})
+					outcomes[qi] = cache.Computed
+					continue
+				}
+				key := cache.QueryKey(s.req.Table, s.version, sql, lo, hi)
+				v, outcome, err := s.cache.Do(ctx, key,
+					func(v any) int64 { return sqlResultSizeBytes(v.(*sqldb.Result)) },
+					func() (any, error) {
+						return s.db.QueryOpts(sql, sqldb.ExecOptions{Ctx: ctx, Lo: lo, Hi: hi})
+					},
+				)
+				if err != nil {
+					errs[qi] = err
+					continue
+				}
+				results[qi], outcomes[qi] = v.(*sqldb.Result), outcome
 			}
 		}()
 	}
@@ -378,10 +439,18 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 		}
 	}
 	for qi, res := range results {
-		s.metrics.QueriesIssued++
-		s.metrics.RowsScanned += int64(res.Stats.RowsScanned)
-		if res.Stats.Groups > s.metrics.MaxGroups {
-			s.metrics.MaxGroups = res.Stats.Groups
+		if outcomes[qi] == cache.Computed {
+			// This invocation paid for the execution.
+			s.metrics.QueriesExecuted++
+			s.metrics.RowsScanned += int64(res.Stats.RowsScanned)
+			if res.Stats.Groups > s.metrics.MaxGroups {
+				s.metrics.MaxGroups = res.Stats.Groups
+			}
+			if s.cache != nil {
+				s.metrics.CacheMisses++
+			}
+		} else {
+			s.metrics.CacheHits++
 		}
 		s.mergeResult(queries[qi], res)
 	}

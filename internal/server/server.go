@@ -7,12 +7,21 @@
 //
 // Endpoints (all JSON):
 //
-//	GET  /healthz               liveness probe
+//	GET  /healthz               liveness probe + cache counters
 //	GET  /api/datasets          built-in dataset generators
 //	POST /api/datasets/load     {"name","layout","rows"} → load a builtin
 //	GET  /api/tables            tables with schemas and row counts
 //	POST /api/query             {"sql"} → columns + rows
 //	POST /api/recommend         RecommendRequest → RecommendResponse
+//	GET  /api/cache             result-cache statistics
+//	POST /api/cache/clear       drop every cached entry
+//
+// Requests with a wrong HTTP method receive 405 Method Not Allowed.
+//
+// The server owns one process-wide result cache (internal/cache) shared
+// by every recommendation request, so repeated and concurrent identical
+// requests from different clients are answered from memory instead of
+// re-aggregating the data.
 package server
 
 import (
@@ -23,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"seedb/internal/cache"
 	"seedb/internal/chart"
 	"seedb/internal/core"
 	"seedb/internal/dataset"
@@ -34,27 +44,41 @@ import (
 type Server struct {
 	db     *sqldb.DB
 	engine *core.Engine
+	cache  *cache.Cache
 	mux    *http.ServeMux
 	// Timeout bounds each recommendation request (default 2 minutes).
 	Timeout time.Duration
 }
 
-// New creates a server over db.
+// New creates a server over db with the default cache budget.
 func New(db *sqldb.DB) *Server {
+	return NewWithCacheBudget(db, core.DefaultCacheBudgetBytes)
+}
+
+// NewWithCacheBudget creates a server whose process-wide result cache
+// has the given byte budget (<= 0 selects the default).
+func NewWithCacheBudget(db *sqldb.DB, cacheBudgetBytes int64) *Server {
 	s := &Server{
 		db:      db,
 		engine:  core.NewEngine(db),
+		cache:   cache.New(cacheBudgetBytes),
 		mux:     http.NewServeMux(),
 		Timeout: 2 * time.Minute,
 	}
+	s.engine.SetCache(s.cache)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /api/datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /api/datasets/load", s.handleLoadDataset)
 	s.mux.HandleFunc("GET /api/tables", s.handleTables)
 	s.mux.HandleFunc("POST /api/query", s.handleQuery)
 	s.mux.HandleFunc("POST /api/recommend", s.handleRecommend)
+	s.mux.HandleFunc("GET /api/cache", s.handleCacheStats)
+	s.mux.HandleFunc("POST /api/cache/clear", s.handleCacheClear)
 	return s
 }
+
+// Cache returns the server's process-wide result cache.
+func (s *Server) Cache() *cache.Cache { return s.cache }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -76,9 +100,26 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-// handleHealth implements GET /healthz.
+// handleHealth implements GET /healthz. The payload carries the cache
+// counters so load balancers and dashboards see hit rates without a
+// second probe.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"cache":  s.cache.Stats(),
+	})
+}
+
+// handleCacheStats implements GET /api/cache.
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cache.Stats())
+}
+
+// handleCacheClear implements POST /api/cache/clear (an operator escape
+// hatch; normal invalidation is automatic via dataset versioning).
+func (s *Server) handleCacheClear(w http.ResponseWriter, _ *http.Request) {
+	s.cache.Clear()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "cleared"})
 }
 
 // datasetInfo describes one built-in dataset.
@@ -224,6 +265,9 @@ type RecommendRequest struct {
 	Dimensions     []string `json:"dimensions"`
 	Measures       []string `json:"measures"`
 	Aggregates     []string `json:"aggregates"`
+	// Cache opts this request out of the shared result cache when set to
+	// false; omitted or true uses the cache.
+	Cache *bool `json:"cache"`
 }
 
 // RecommendedView is one ranked visualization.
@@ -244,10 +288,14 @@ type RecommendedView struct {
 type RecommendResponse struct {
 	Recommendations []RecommendedView `json:"recommendations"`
 	Views           int               `json:"views_evaluated"`
-	QueriesIssued   int               `json:"queries_issued"`
+	QueriesExecuted int               `json:"queries_executed"`
 	RowsScanned     int64             `json:"rows_scanned"`
 	PrunedViews     int               `json:"pruned_views"`
 	EarlyStopped    bool              `json:"early_stopped"`
+	CacheHits       int               `json:"cache_hits"`
+	CacheMisses     int               `json:"cache_misses"`
+	RefViewsReused  int               `json:"ref_views_reused"`
+	ServedFromCache bool              `json:"served_from_cache"`
 	ElapsedMS       float64           `json:"elapsed_ms"`
 }
 
@@ -280,7 +328,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		coreReq.Aggs = append(coreReq.Aggs, core.AggFunc(strings.ToUpper(a)))
 	}
 
-	opts := core.Options{K: req.K}
+	opts := core.Options{K: req.K, EnableCache: req.Cache == nil || *req.Cache}
 	switch strings.ToLower(req.Strategy) {
 	case "noopt":
 		opts.Strategy = core.NoOpt
@@ -329,10 +377,14 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	resp := RecommendResponse{
 		Recommendations: []RecommendedView{},
 		Views:           res.Metrics.Views,
-		QueriesIssued:   res.Metrics.QueriesIssued,
+		QueriesExecuted: res.Metrics.QueriesExecuted,
 		RowsScanned:     res.Metrics.RowsScanned,
 		PrunedViews:     res.Metrics.PrunedViews,
 		EarlyStopped:    res.Metrics.EarlyStopped,
+		CacheHits:       res.Metrics.CacheHits,
+		CacheMisses:     res.Metrics.CacheMisses,
+		RefViewsReused:  res.Metrics.RefViewsReused,
+		ServedFromCache: res.Metrics.ServedFromCache,
 		ElapsedMS:       float64(res.Metrics.Elapsed.Microseconds()) / 1000,
 	}
 	for i, rec := range res.Recommendations {

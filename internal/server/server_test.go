@@ -63,9 +63,18 @@ func getJSON(t *testing.T, url string, out any) int {
 
 func TestHealthz(t *testing.T) {
 	srv := newTestServer(t)
-	var out map[string]string
+	var out map[string]any
 	if code := getJSON(t, srv.URL+"/healthz", &out); code != 200 || out["status"] != "ok" {
 		t.Errorf("healthz = %d %v", code, out)
+	}
+	cacheStats, ok := out["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz has no cache counters: %v", out)
+	}
+	for _, field := range []string{"hits", "misses", "evictions", "budget_bytes"} {
+		if _, ok := cacheStats[field]; !ok {
+			t.Errorf("healthz cache stats missing %q: %v", field, cacheStats)
+		}
 	}
 }
 
@@ -165,7 +174,7 @@ func TestRecommendEndpoint(t *testing.T) {
 	if !strings.Contains(r0.Chart, "#") {
 		t.Errorf("chart missing bars:\n%s", r0.Chart)
 	}
-	if out.Views != 40 || out.QueriesIssued == 0 || out.RowsScanned == 0 {
+	if out.Views != 40 || out.QueriesExecuted == 0 || out.RowsScanned == 0 {
 		t.Errorf("metrics = %+v", out)
 	}
 }
@@ -231,14 +240,104 @@ func TestMalformedJSONBodies(t *testing.T) {
 
 func TestMethodRouting(t *testing.T) {
 	srv := newTestServer(t)
-	// GET on a POST-only endpoint 405s (Go 1.22 method patterns).
-	resp, err := http.Get(srv.URL + "/api/recommend")
-	if err != nil {
-		t.Fatal(err)
+	// Every endpoint rejects wrong HTTP methods with 405: mutating
+	// endpoints must not be reachable via GET, and read endpoints must
+	// not accept bodies via POST/DELETE.
+	cases := []struct {
+		method, path string
+	}{
+		{http.MethodPost, "/healthz"},
+		{http.MethodGet, "/api/datasets/load"},
+		{http.MethodPut, "/api/datasets/load"},
+		{http.MethodPost, "/api/datasets"},
+		{http.MethodPost, "/api/tables"},
+		{http.MethodGet, "/api/query"},
+		{http.MethodDelete, "/api/query"},
+		{http.MethodGet, "/api/recommend"},
+		{http.MethodPut, "/api/recommend"},
+		{http.MethodPost, "/api/cache"},
+		{http.MethodGet, "/api/cache/clear"},
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /api/recommend = %d, want 405", resp.StatusCode)
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestCacheEndpointsAndWarmRecommend(t *testing.T) {
+	srv := newTestServer(t)
+	req := map[string]any{
+		"table":        "census",
+		"target_where": "marital = 'Unmarried'",
+		"k":            3,
+	}
+
+	var cold RecommendResponse
+	if code := postJSON(t, srv.URL+"/api/recommend", req, &cold); code != 200 {
+		t.Fatalf("cold recommend status %d", code)
+	}
+	if cold.ServedFromCache || cold.QueriesExecuted == 0 {
+		t.Fatalf("cold response: %+v", cold)
+	}
+
+	var warm RecommendResponse
+	if code := postJSON(t, srv.URL+"/api/recommend", req, &warm); code != 200 {
+		t.Fatalf("warm recommend status %d", code)
+	}
+	if !warm.ServedFromCache || warm.QueriesExecuted != 0 {
+		t.Fatalf("warm response not served from cache: %+v", warm)
+	}
+	if len(warm.Recommendations) != len(cold.Recommendations) {
+		t.Fatalf("warm returned %d recs, cold %d", len(warm.Recommendations), len(cold.Recommendations))
+	}
+
+	// The stats endpoint reflects the traffic.
+	var stats map[string]any
+	if code := getJSON(t, srv.URL+"/api/cache", &stats); code != 200 {
+		t.Fatalf("cache stats status %d", code)
+	}
+	if hits, _ := stats["hits"].(float64); hits < 1 {
+		t.Errorf("cache stats report no hits: %v", stats)
+	}
+	if entries, _ := stats["entries"].(float64); entries < 1 {
+		t.Errorf("cache stats report no entries: %v", stats)
+	}
+
+	// Clearing drops the entries; the next identical request recomputes.
+	if code := postJSON(t, srv.URL+"/api/cache/clear", map[string]any{}, nil); code != 200 {
+		t.Fatalf("cache clear status %d", code)
+	}
+	var recold RecommendResponse
+	if code := postJSON(t, srv.URL+"/api/recommend", req, &recold); code != 200 {
+		t.Fatalf("post-clear recommend status %d", code)
+	}
+	if recold.ServedFromCache {
+		t.Fatal("request after clear still served from cache")
+	}
+
+	// Opting out bypasses the cache even when warm.
+	reqNoCache := map[string]any{
+		"table":        "census",
+		"target_where": "marital = 'Unmarried'",
+		"k":            3,
+		"cache":        false,
+	}
+	var bypass RecommendResponse
+	if code := postJSON(t, srv.URL+"/api/recommend", reqNoCache, &bypass); code != 200 {
+		t.Fatalf("no-cache recommend status %d", code)
+	}
+	if bypass.ServedFromCache || bypass.QueriesExecuted == 0 {
+		t.Fatalf("cache=false response: %+v", bypass)
 	}
 }
 

@@ -1,6 +1,9 @@
 package sqldb
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // ColStore is a column-oriented table: each attribute is stored in its own
 // typed vector, with strings dictionary-encoded. This models the "COL"
@@ -13,6 +16,10 @@ type ColStore struct {
 	schema *Schema
 	rows   int
 	cols   []columnVector
+	gen    atomic.Uint64
+	// scratch holds coerced values during AppendRow so a mid-row
+	// coercion failure leaves every column vector untouched.
+	scratch []Value
 }
 
 // columnVector is one typed column. Exactly one of the payload slices is
@@ -53,6 +60,9 @@ func (t *ColStore) Layout() Layout { return LayoutCol }
 // NumRows returns the number of stored rows.
 func (t *ColStore) NumRows() int { return t.rows }
 
+// Generation returns the table's content generation (bumped per append).
+func (t *ColStore) Generation() uint64 { return t.gen.Load() }
+
 // DictSize returns the dictionary cardinality of a string column, and 0
 // for non-string columns. Exposed for catalog statistics.
 func (t *ColStore) DictSize(col int) int {
@@ -63,15 +73,25 @@ func (t *ColStore) DictSize(col int) int {
 }
 
 // AppendRow appends one tuple, decomposing it into the column vectors.
+// The row is coerced up front so a failure leaves the table unchanged
+// (the vectors must never go out of sync, and dataset-version consumers
+// assume a failed append has no effect).
 func (t *ColStore) AppendRow(vals []Value) error {
 	if len(vals) != len(t.cols) {
 		return fmt.Errorf("sqldb: table %s expects %d values, got %d", t.name, len(t.cols), len(vals))
 	}
+	if cap(t.scratch) < len(vals) {
+		t.scratch = make([]Value, len(vals))
+	}
+	coerced := t.scratch[:len(vals)]
 	for i, raw := range vals {
 		v, err := coerce(raw, t.cols[i].typ)
 		if err != nil {
 			return fmt.Errorf("%w (column %s)", err, t.schema.Column(i).Name)
 		}
+		coerced[i] = v
+	}
+	for i, v := range coerced {
 		c := &t.cols[i]
 		isNull := v.Kind == KindNull
 		if isNull {
@@ -99,6 +119,7 @@ func (t *ColStore) AppendRow(vals []Value) error {
 		}
 	}
 	t.rows++
+	t.gen.Add(1)
 	return nil
 }
 

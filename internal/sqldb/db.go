@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // DB is an embedded in-memory database: a named collection of tables plus
@@ -15,11 +16,28 @@ import (
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]Table
+	// epochs counts catalog events (create/register/drop) per table name.
+	// Together with the table's row generation it forms the dataset
+	// version token that drives cache invalidation: dropping and
+	// reloading a table bumps the epoch, so entries cached under the old
+	// incarnation can never be served again.
+	epochs map[string]uint64
+	// id is process-unique, so version tokens from different DB
+	// instances never collide (a result cache may be shared by engines
+	// over different databases that hold same-named tables).
+	id uint64
 }
+
+// dbIDs hands out process-unique DB instance ids.
+var dbIDs atomic.Uint64
 
 // NewDB creates an empty database.
 func NewDB() *DB {
-	return &DB{tables: make(map[string]Table)}
+	return &DB{
+		tables: make(map[string]Table),
+		epochs: make(map[string]uint64),
+		id:     dbIDs.Add(1),
+	}
 }
 
 // CreateTable creates a table with the given physical layout and registers
@@ -44,6 +62,7 @@ func (db *DB) CreateTable(name string, schema *Schema, layout Layout) (Table, er
 		return nil, fmt.Errorf("sqldb: unknown layout %v", layout)
 	}
 	db.tables[key] = t
+	db.epochs[key]++
 	return t, nil
 }
 
@@ -56,6 +75,7 @@ func (db *DB) RegisterTable(t Table) error {
 		return fmt.Errorf("sqldb: table %q already exists", t.Name())
 	}
 	db.tables[key] = t
+	db.epochs[key]++
 	return nil
 }
 
@@ -68,7 +88,28 @@ func (db *DB) DropTable(name string) error {
 		return fmt.Errorf("sqldb: table %q does not exist", name)
 	}
 	delete(db.tables, key)
+	db.epochs[key]++
 	return nil
+}
+
+// TableVersion returns an opaque version token for the named table's
+// current contents, and whether the table exists. The token combines
+// the DB's process-unique instance id, the catalog epoch (bumped
+// whenever a table of this name is created, registered or dropped) and
+// the table's row generation (bumped on every append), so any load,
+// insert or drop-and-reload yields a token never seen before — and
+// same-named tables in different DB instances never share one. Cache
+// keys embed this token; stale entries become unreachable the moment
+// the data changes.
+func (db *DB) TableVersion(name string) (string, bool) {
+	key := strings.ToLower(name)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[key]
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%d.%d.%d", db.id, db.epochs[key], t.Generation()), true
 }
 
 // Table returns the named table.

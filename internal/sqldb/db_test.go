@@ -278,3 +278,96 @@ func TestSchemaLookupAndString(t *testing.T) {
 		t.Error("Columns() must return a copy")
 	}
 }
+
+func TestTableVersion(t *testing.T) {
+	db := NewDB()
+	if _, ok := db.TableVersion("t"); ok {
+		t.Fatal("version of missing table")
+	}
+	tab, err := db.CreateTable("t", MustSchema(Column{Name: "a", Type: TypeInt}), LayoutCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, ok := db.TableVersion("t")
+	if !ok {
+		t.Fatal("no version after create")
+	}
+	if err := tab.AppendRow([]Value{Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := db.TableVersion("t")
+	if v2 == v1 {
+		t.Fatalf("append did not change version (%s)", v2)
+	}
+	if err := db.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("t", MustSchema(Column{Name: "a", Type: TypeInt}), LayoutRow); err != nil {
+		t.Fatal(err)
+	}
+	v3, _ := db.TableVersion("T") // case-insensitive
+	if v3 == v1 || v3 == v2 {
+		t.Fatalf("drop+recreate reused version %s (had %s, %s)", v3, v1, v2)
+	}
+}
+
+func TestTableVersionDistinctAcrossDBs(t *testing.T) {
+	// Two DB instances with identically named, identically sized tables
+	// must produce different version tokens: a cache shared between
+	// engines over different databases must never serve one dataset's
+	// results for the other.
+	mk := func(val int64) (*DB, string) {
+		db := NewDB()
+		tab, err := db.CreateTable("t", MustSchema(Column{Name: "a", Type: TypeInt}), LayoutCol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.AppendRow([]Value{Int(val)}); err != nil {
+			t.Fatal(err)
+		}
+		v, _ := db.TableVersion("t")
+		return db, v
+	}
+	_, v1 := mk(1)
+	_, v2 := mk(2)
+	if v1 == v2 {
+		t.Fatalf("same version token %q across DB instances", v1)
+	}
+}
+
+func TestColStoreFailedAppendLeavesTableUnchanged(t *testing.T) {
+	db := NewDB()
+	tab, err := db.CreateTable("t", MustSchema(
+		Column{Name: "a", Type: TypeInt},
+		Column{Name: "b", Type: TypeFloat},
+	), LayoutCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AppendRow([]Value{Int(1), Float(1.5)}); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := db.TableVersion("t")
+	// Column a coerces fine, column b fails: nothing may stick.
+	if err := tab.AppendRow([]Value{Int(2), Str("not-a-float")}); err == nil {
+		t.Fatal("bad append succeeded")
+	}
+	if v2, _ := db.TableVersion("t"); v2 != v1 {
+		t.Errorf("failed append changed version %s -> %s", v1, v2)
+	}
+	if err := tab.AppendRow([]Value{Int(3), Float(3.5)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT a, b FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	// The second visible row must be the third append's values, not a
+	// leftover from the failed row.
+	if res.Rows[1][0].I != 3 || res.Rows[1][1].F != 3.5 {
+		t.Errorf("row 2 = %v %v, want 3 3.5 (column vectors misaligned)", res.Rows[1][0], res.Rows[1][1])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // RowStore is a row-oriented table: tuples are stored contiguously as
@@ -32,6 +33,7 @@ type RowStore struct {
 	data    []byte // serialized tuples, back to back
 	offsets []int  // offsets[i] = start of row i in data; sentinel at end
 	dicts   []rowDict
+	gen     atomic.Uint64
 }
 
 // rowDict is a per-column string intern table: decode looks inline bytes
@@ -78,6 +80,9 @@ func (t *RowStore) Layout() Layout { return LayoutRow }
 // NumRows returns the number of stored rows.
 func (t *RowStore) NumRows() int { return len(t.offsets) - 1 }
 
+// Generation returns the table's content generation (bumped per append).
+func (t *RowStore) Generation() uint64 { return t.gen.Load() }
+
 // AppendRow serializes one tuple onto the heap.
 func (t *RowStore) AppendRow(vals []Value) error {
 	if len(vals) != t.width {
@@ -116,6 +121,7 @@ func (t *RowStore) AppendRow(vals []Value) error {
 		}
 	}
 	t.offsets = append(t.offsets, len(t.data))
+	t.gen.Add(1)
 	return nil
 }
 

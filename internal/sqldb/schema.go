@@ -120,6 +120,10 @@ type Table interface {
 	// AppendRow appends one row; vals must have one value per column,
 	// coercible to the column types.
 	AppendRow(vals []Value) error
+	// Generation returns a counter that increases with every successful
+	// AppendRow. Together with the catalog epoch (see DB.TableVersion) it
+	// versions the table's contents for cache invalidation.
+	Generation() uint64
 	// ScanRange invokes fn for every row index in [lo, hi), clamped to
 	// the table size. cols lists the column indices the consumer will
 	// read; a column store uses it to touch only those vectors, while a

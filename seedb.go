@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 
+	"seedb/internal/cache"
 	"seedb/internal/chart"
 	"seedb/internal/core"
 	"seedb/internal/dataset"
@@ -76,7 +77,13 @@ type (
 	SQLResult = sqldb.Result
 	// Layout selects a physical storage layout.
 	Layout = sqldb.Layout
+
+	// CacheStats is a snapshot of the shared result cache's counters.
+	CacheStats = cache.Stats
 )
+
+// DefaultCacheBudgetBytes is the result cache's default byte budget.
+const DefaultCacheBudgetBytes = core.DefaultCacheBudgetBytes
 
 // Re-exported constants.
 const (
@@ -201,8 +208,30 @@ func (c *Client) QueryContext(ctx context.Context, sql string) (*SQLResult, erro
 
 // Recommend evaluates the candidate view space for req and returns the
 // top-k most interesting visualizations under the deviation metric.
+//
+// With Options.EnableCache set, results, shared view queries and
+// materialized reference distributions are reused across Recommend
+// calls (and across concurrent callers, via singleflight) until the
+// dataset changes; see internal/cache.
 func (c *Client) Recommend(ctx context.Context, req Request, opts Options) (*Result, error) {
 	return c.engine.Recommend(ctx, req, opts)
+}
+
+// EnableCache installs a shared result cache with the given byte budget
+// (<= 0 selects DefaultCacheBudgetBytes). Individual requests opt in
+// with Options.EnableCache; without this call, the first opting-in
+// request creates the cache lazily from its Options.CacheBudgetBytes.
+func (c *Client) EnableCache(budgetBytes int64) {
+	c.engine.SetCache(cache.New(budgetBytes))
+}
+
+// CacheStats returns the result cache's counters (the zero snapshot
+// when no cache has been created).
+func (c *Client) CacheStats() CacheStats {
+	if cc := c.engine.Cache(); cc != nil {
+		return cc.Stats()
+	}
+	return CacheStats{}
 }
 
 // Engine exposes the underlying execution engine for advanced use
