@@ -31,18 +31,28 @@ func main() {
 	}
 }
 
+// writeJSON writes v as indented JSON to path.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func run() error {
 	var (
-		all        = flag.Bool("all", false, "run every experiment")
-		expID      = flag.String("exp", "", "run one experiment by id (see -list)")
-		list       = flag.Bool("list", false, "list experiments")
-		quick      = flag.Bool("quick", false, "reduced datasets and sweeps")
-		paperScale = flag.Bool("paperscale", false, "use Table 1 dataset sizes (very slow)")
-		runs       = flag.Int("runs", 0, "repetitions for quality experiments (default 5; paper uses 20)")
-		seed       = flag.Int64("seed", 1, "base random seed")
-		outPath    = flag.String("o", "", "also write output to this file")
-		cacheJSON  = flag.String("cachejson", "", "run the cache experiment and write its datapoint to this JSON file")
-		timeout    = flag.Duration("timeout", 4*time.Hour, "overall timeout")
+		all          = flag.Bool("all", false, "run every experiment")
+		expID        = flag.String("exp", "", "run one experiment by id (see -list)")
+		list         = flag.Bool("list", false, "list experiments")
+		quick        = flag.Bool("quick", false, "reduced datasets and sweeps")
+		paperScale   = flag.Bool("paperscale", false, "use Table 1 dataset sizes (very slow)")
+		runs         = flag.Int("runs", 0, "repetitions for quality experiments (default 5; paper uses 20)")
+		seed         = flag.Int64("seed", 1, "base random seed")
+		outPath      = flag.String("o", "", "also write output to this file")
+		cacheJSON    = flag.String("cachejson", "", "run the cache experiment and write its datapoint to this JSON file")
+		parallelJSON = flag.String("paralleljson", "", "run the parallel-executor experiment and write its datapoint to this JSON file")
+		timeout      = flag.Duration("timeout", 4*time.Hour, "overall timeout")
 	)
 	flag.Parse()
 
@@ -53,15 +63,26 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		data, err := json.MarshalIndent(dp, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(*cacheJSON, append(data, '\n'), 0o644); err != nil {
+		if err := writeJSON(*cacheJSON, dp); err != nil {
 			return err
 		}
 		fmt.Printf("cache datapoint: cold %.2fms, warm %.2fms (%.1fx), wrote %s\n",
 			dp.ColdMS, dp.WarmMS, dp.Speedup, *cacheJSON)
+		return nil
+	}
+
+	if *parallelJSON != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		dp, err := bench.MeasureParallel(ctx, bench.Config{Quick: *quick, PaperScale: *paperScale, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(*parallelJSON, dp); err != nil {
+			return err
+		}
+		fmt.Printf("parallel datapoint: serial %.2fms, vectorized %.2fms (%.1fx at %d workers), wrote %s\n",
+			dp.SerialMS, dp.ParallelMS, dp.Speedup, dp.ScanWorkers, *parallelJSON)
 		return nil
 	}
 

@@ -152,6 +152,7 @@ func All() []Experiment {
 		{"table2", "SEEDB vs MANUAL bookmarking (Table 2)", Table2},
 		{"ablations", "Design-choice ablations (beyond the paper)", Ablations},
 		{"cache", "Cross-request result cache (beyond the paper)", CacheExperiment},
+		{"parallel", "Intra-query parallel vectorized executor (beyond the paper)", ParallelExperiment},
 	}
 }
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -49,8 +50,8 @@ func runExperiment(t *testing.T, id string) []*Table {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Errorf("registered %d experiments, want 14", len(all))
+	if len(all) != 15 {
+		t.Errorf("registered %d experiments, want 15", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -244,6 +245,34 @@ func TestTable2RateRatio(t *testing.T) {
 	if seedbRate < 2*manualRate {
 		t.Errorf("pooled bookmark rates: SEEDB %.2f vs MANUAL %.2f, want ≥2x (paper ≈3x)", seedbRate, manualRate)
 	}
+}
+
+// TestParallelExecutorNoSlowerThanSerial is the bench regression guard
+// for the vectorized executor: on a multi-core machine the parallel cold
+// path must not lose to the serial interpreter on the syn dataset. The
+// margin absorbs scheduler noise — the point is catching regressions
+// where the fast path becomes a slow path, not enforcing a speedup
+// (BENCH_parallel.json records the measured speedup).
+func TestParallelExecutorNoSlowerThanSerial(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs GOMAXPROCS > 1; single-core machines cannot exercise parallel scans")
+	}
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	dp, err := MeasureParallel(context.Background(), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.VectorizedQueries == 0 {
+		t.Fatal("parallel run executed no vectorized queries")
+	}
+	if dp.ParallelMS > dp.SerialMS*1.25 {
+		t.Errorf("parallel executor slower than serial: %.2fms vs %.2fms (%.2fx)",
+			dp.ParallelMS, dp.SerialMS, dp.Speedup)
+	}
+	t.Logf("serial %.2fms, parallel %.2fms (%.1fx, %d workers)",
+		dp.SerialMS, dp.ParallelMS, dp.Speedup, dp.ScanWorkers)
 }
 
 func TestBuildShuffledPreservesContent(t *testing.T) {

@@ -67,6 +67,14 @@ type Metrics struct {
 	Views int
 	// QueriesExecuted counts SQL queries executed against the DBMS.
 	QueriesExecuted int
+	// VectorizedQueries counts executed queries served by sqldb's
+	// parallel vectorized fast path; FallbackQueries counts the ones the
+	// serial row interpreter handled. Together they partition
+	// QueriesExecuted (cache hits are counted in neither).
+	VectorizedQueries int
+	FallbackQueries   int
+	// ScanWorkers is the peak per-query scan worker count used.
+	ScanWorkers int
 	// RowsScanned sums base-table rows visited across all queries.
 	RowsScanned int64
 	// MaxGroups is the peak distinct-group count of any single query
@@ -204,6 +212,7 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 		// EarlyStopped, Partial flags).
 		m := &res.Metrics
 		m.QueriesExecuted, m.RowsScanned, m.MaxGroups, m.PhasesRun = 0, 0, 0, 0
+		m.VectorizedQueries, m.FallbackQueries, m.ScanWorkers = 0, 0, 0
 		m.CacheMisses, m.RefViewsReused = 0, 0
 		m.CacheHits = 1
 		m.ServedFromCache = true

@@ -147,6 +147,15 @@ type Options struct {
 	// Parallelism caps concurrently executing view queries (default:
 	// GOMAXPROCS, matching the paper's "number of cores" guidance).
 	Parallelism int
+	// ScanParallelism sets the intra-query scan parallelism: the number
+	// of workers sqldb's vectorized executor may use per view query
+	// (default: GOMAXPROCS; 1 forces the serial row interpreter, for
+	// byte-stable float aggregation across runs). Like Parallelism it
+	// changes cost, never which views win, so it is excluded from cache
+	// keys. It composes with Parallelism — up to Parallelism ×
+	// ScanParallelism goroutines scan concurrently — which pays off when
+	// sharing collapses a request into fewer queries than cores.
+	ScanParallelism int
 	// GroupBy selects the group-by combining strategy. Defaults to
 	// GroupByBinPack for row stores and GroupBySingle for column stores.
 	GroupBy GroupByStrategy
@@ -202,6 +211,9 @@ func (o Options) withDefaults(layout sqldb.Layout, numViews int) Options {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.ScanParallelism <= 0 {
+		o.ScanParallelism = runtime.GOMAXPROCS(0)
 	}
 	if !o.GroupBySet {
 		if layout == sqldb.LayoutRow {

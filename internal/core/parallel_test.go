@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"seedb/internal/sqldb"
+)
+
+// TestScanParallelismPreservesResults asserts the intra-query parallel
+// executor changes cost, not output: every worker count returns the same
+// views with the same utilities (within float reassociation noise), and
+// the executor metrics reflect which path ran.
+func TestScanParallelismPreservesResults(t *testing.T) {
+	e, req := buildCensus(t, sqldb.LayoutCol, 3000)
+	ctx := context.Background()
+
+	run := func(strategy Strategy, scanPar int) *Result {
+		res, err := e.Recommend(ctx, req, Options{
+			Strategy:        strategy,
+			Pruning:         NoPruning,
+			K:               40,
+			KeepAllViews:    true,
+			ScanParallelism: scanPar,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	for _, strategy := range []Strategy{Sharing, Comb} {
+		base := run(strategy, 1)
+		if base.Metrics.VectorizedQueries != 0 || base.Metrics.ScanWorkers != 1 {
+			t.Errorf("%v scan=1: vectorized=%d workers=%d, want serial interpreter",
+				strategy, base.Metrics.VectorizedQueries, base.Metrics.ScanWorkers)
+		}
+		for _, scanPar := range []int{2, 4, 7} {
+			got := run(strategy, scanPar)
+			if got.Metrics.VectorizedQueries == 0 {
+				t.Errorf("%v scan=%d: no vectorized queries", strategy, scanPar)
+			}
+			if got.Metrics.FallbackQueries != 0 {
+				t.Errorf("%v scan=%d: %d queries fell back; SeeDB-shaped queries should all vectorize",
+					strategy, scanPar, got.Metrics.FallbackQueries)
+			}
+			if got.Metrics.ScanWorkers < 2 || got.Metrics.ScanWorkers > scanPar {
+				t.Errorf("%v scan=%d: reported %d workers", strategy, scanPar, got.Metrics.ScanWorkers)
+			}
+			if len(got.AllViews) != len(base.AllViews) {
+				t.Fatalf("%v scan=%d: %d views vs %d", strategy, scanPar, len(got.AllViews), len(base.AllViews))
+			}
+			for i := range base.AllViews {
+				b, g := base.AllViews[i], got.AllViews[i]
+				if b.View.Key() != g.View.Key() {
+					t.Errorf("%v scan=%d: rank %d view %s vs %s", strategy, scanPar, i, g.View.Key(), b.View.Key())
+					break
+				}
+				if math.Abs(b.Utility-g.Utility) > 1e-9 {
+					t.Errorf("%v scan=%d: utility of %s: %g vs %g", strategy, scanPar, b.View.Key(), g.Utility, b.Utility)
+					break
+				}
+			}
+		}
+	}
+
+	// NO_OPT is the unoptimized baseline: it must ignore ScanParallelism
+	// and keep the serial interpreter.
+	noopt := run(NoOpt, 8)
+	if noopt.Metrics.VectorizedQueries != 0 || noopt.Metrics.ScanWorkers != 1 {
+		t.Errorf("NO_OPT: vectorized=%d workers=%d, want serial baseline",
+			noopt.Metrics.VectorizedQueries, noopt.Metrics.ScanWorkers)
+	}
+}

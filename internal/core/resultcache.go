@@ -26,8 +26,13 @@ import (
 
 // requestCacheKey canonicalizes everything that can influence a
 // Recommend result. opts must already have defaults applied.
-// Parallelism and the cache options themselves are excluded: they change
-// cost, never output. The attribute lists are length-prefixed and
+// Parallelism, ScanParallelism and the cache options themselves are
+// excluded: they change cost, never output. (ScanParallelism's parallel
+// merge is deterministic, but SUM/AVG reassociate float addition across
+// scan chunks, so a cached result may differ in final ulps from what a
+// different worker count would have computed; both are valid
+// materializations of the same query and the cache serves whichever was
+// computed first.) The attribute lists are length-prefixed and
 // spliced in as individual key parts (the key separator cannot occur in
 // identifiers), so lists like ["a,b"] and ["a","b"] — or elements
 // shifting between adjacent lists — can never collide.

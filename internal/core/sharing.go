@@ -386,8 +386,12 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 		return nil
 	}
 	par := s.opts.Parallelism
+	scanWorkers := s.opts.ScanParallelism
 	if s.opts.Strategy == NoOpt {
-		par = 1 // the basic framework executes serially
+		// The basic framework is the paper's unoptimized baseline: it
+		// executes queries serially and scans with the serial interpreter.
+		par = 1
+		scanWorkers = 1
 	}
 	if par > len(queries) {
 		par = len(queries)
@@ -407,8 +411,9 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 			defer wg.Done()
 			for qi := range work {
 				sql := queries[qi].sql
+				execOpts := sqldb.ExecOptions{Ctx: ctx, Lo: lo, Hi: hi, Workers: scanWorkers}
 				if s.cache == nil {
-					results[qi], errs[qi] = s.db.QueryOpts(sql, sqldb.ExecOptions{Ctx: ctx, Lo: lo, Hi: hi})
+					results[qi], errs[qi] = s.db.QueryOpts(sql, execOpts)
 					outcomes[qi] = cache.Computed
 					continue
 				}
@@ -416,7 +421,7 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 				v, outcome, err := s.cache.Do(ctx, key,
 					func(v any) int64 { return sqlResultSizeBytes(v.(*sqldb.Result)) },
 					func() (any, error) {
-						return s.db.QueryOpts(sql, sqldb.ExecOptions{Ctx: ctx, Lo: lo, Hi: hi})
+						return s.db.QueryOpts(sql, execOpts)
 					},
 				)
 				if err != nil {
@@ -442,6 +447,14 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 		if outcomes[qi] == cache.Computed {
 			// This invocation paid for the execution.
 			s.metrics.QueriesExecuted++
+			if res.Stats.Vectorized {
+				s.metrics.VectorizedQueries++
+			} else {
+				s.metrics.FallbackQueries++
+			}
+			if res.Stats.Workers > s.metrics.ScanWorkers {
+				s.metrics.ScanWorkers = res.Stats.Workers
+			}
 			s.metrics.RowsScanned += int64(res.Stats.RowsScanned)
 			if res.Stats.Groups > s.metrics.MaxGroups {
 				s.metrics.MaxGroups = res.Stats.Groups

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"seedb/internal/cache"
@@ -46,8 +47,40 @@ type Server struct {
 	engine *core.Engine
 	cache  *cache.Cache
 	mux    *http.ServeMux
+	exec   executorStats
 	// Timeout bounds each recommendation request (default 2 minutes).
 	Timeout time.Duration
+}
+
+// executorStats accumulates, across every recommendation served by this
+// process, how the sqldb executor ran its queries. Surfaced on /healthz
+// next to the cache counters so dashboards can see whether the parallel
+// vectorized fast path is actually carrying the load.
+type executorStats struct {
+	vectorizedQueries atomic.Int64
+	fallbackQueries   atomic.Int64
+	maxScanWorkers    atomic.Int64
+}
+
+// record folds one request's metrics in.
+func (e *executorStats) record(m core.Metrics) {
+	e.vectorizedQueries.Add(int64(m.VectorizedQueries))
+	e.fallbackQueries.Add(int64(m.FallbackQueries))
+	for {
+		cur := e.maxScanWorkers.Load()
+		if int64(m.ScanWorkers) <= cur || e.maxScanWorkers.CompareAndSwap(cur, int64(m.ScanWorkers)) {
+			return
+		}
+	}
+}
+
+// snapshot renders the counters for JSON payloads.
+func (e *executorStats) snapshot() map[string]int64 {
+	return map[string]int64{
+		"vectorized_queries": e.vectorizedQueries.Load(),
+		"fallback_queries":   e.fallbackQueries.Load(),
+		"max_scan_workers":   e.maxScanWorkers.Load(),
+	}
 }
 
 // New creates a server over db with the default cache budget.
@@ -101,12 +134,13 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // handleHealth implements GET /healthz. The payload carries the cache
-// counters so load balancers and dashboards see hit rates without a
-// second probe.
+// and executor counters so load balancers and dashboards see hit rates
+// and fast-path coverage without a second probe.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"cache":  s.cache.Stats(),
+		"status":   "ok",
+		"cache":    s.cache.Stats(),
+		"executor": s.exec.snapshot(),
 	})
 }
 
@@ -268,6 +302,9 @@ type RecommendRequest struct {
 	// Cache opts this request out of the shared result cache when set to
 	// false; omitted or true uses the cache.
 	Cache *bool `json:"cache"`
+	// ScanParallelism caps per-query scan workers (0 = GOMAXPROCS; 1
+	// forces the serial interpreter).
+	ScanParallelism int `json:"scan_parallelism"`
 }
 
 // RecommendedView is one ranked visualization.
@@ -296,6 +333,9 @@ type RecommendResponse struct {
 	CacheMisses     int               `json:"cache_misses"`
 	RefViewsReused  int               `json:"ref_views_reused"`
 	ServedFromCache bool              `json:"served_from_cache"`
+	Vectorized      int               `json:"vectorized_queries"`
+	Fallback        int               `json:"fallback_queries"`
+	ScanWorkers     int               `json:"scan_workers"`
 	ElapsedMS       float64           `json:"elapsed_ms"`
 }
 
@@ -328,7 +368,11 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		coreReq.Aggs = append(coreReq.Aggs, core.AggFunc(strings.ToUpper(a)))
 	}
 
-	opts := core.Options{K: req.K, EnableCache: req.Cache == nil || *req.Cache}
+	opts := core.Options{
+		K:               req.K,
+		EnableCache:     req.Cache == nil || *req.Cache,
+		ScanParallelism: req.ScanParallelism,
+	}
 	switch strings.ToLower(req.Strategy) {
 	case "noopt":
 		opts.Strategy = core.NoOpt
@@ -373,6 +417,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.exec.record(res.Metrics)
 
 	resp := RecommendResponse{
 		Recommendations: []RecommendedView{},
@@ -385,6 +430,9 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:     res.Metrics.CacheMisses,
 		RefViewsReused:  res.Metrics.RefViewsReused,
 		ServedFromCache: res.Metrics.ServedFromCache,
+		Vectorized:      res.Metrics.VectorizedQueries,
+		Fallback:        res.Metrics.FallbackQueries,
+		ScanWorkers:     res.Metrics.ScanWorkers,
 		ElapsedMS:       float64(res.Metrics.Elapsed.Microseconds()) / 1000,
 	}
 	for i, rec := range res.Recommendations {

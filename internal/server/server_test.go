@@ -373,3 +373,56 @@ func TestEndToEndWorkflow(t *testing.T) {
 	}
 	fmt.Println(rec.Recommendations[0].Chart)
 }
+
+// TestExecutorStats asserts per-request executor counters and their
+// process-wide accumulation on /healthz: a cold recommend with
+// scan_parallelism > 1 must run its grouped queries on the vectorized
+// fast path, and one with scan_parallelism = 1 must use the interpreter.
+func TestExecutorStats(t *testing.T) {
+	srv := newTestServer(t)
+	noCache := false
+
+	var vec RecommendResponse
+	req := RecommendRequest{
+		Table: "census", TargetWhere: "marital = 'Unmarried'", K: 3,
+		Strategy: "sharing", Cache: &noCache, ScanParallelism: 3,
+	}
+	if code := postJSON(t, srv.URL+"/api/recommend", req, &vec); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if vec.Vectorized == 0 || vec.Fallback != 0 {
+		t.Errorf("scan_parallelism=3: vectorized=%d fallback=%d, want all vectorized",
+			vec.Vectorized, vec.Fallback)
+	}
+	if vec.ScanWorkers < 2 || vec.ScanWorkers > 3 {
+		t.Errorf("scan_workers = %d, want 2-3", vec.ScanWorkers)
+	}
+
+	var serial RecommendResponse
+	req.ScanParallelism = 1
+	if code := postJSON(t, srv.URL+"/api/recommend", req, &serial); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if serial.Vectorized != 0 || serial.Fallback == 0 || serial.ScanWorkers != 1 {
+		t.Errorf("scan_parallelism=1: vectorized=%d fallback=%d workers=%d, want interpreter only",
+			serial.Vectorized, serial.Fallback, serial.ScanWorkers)
+	}
+
+	var health map[string]any
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != 200 {
+		t.Fatalf("healthz status %d", code)
+	}
+	exec, ok := health["executor"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz has no executor counters: %v", health)
+	}
+	if got := exec["vectorized_queries"].(float64); int(got) != vec.Vectorized {
+		t.Errorf("healthz vectorized_queries = %v, want %d", got, vec.Vectorized)
+	}
+	if got := exec["fallback_queries"].(float64); int(got) != serial.Fallback {
+		t.Errorf("healthz fallback_queries = %v, want %d", got, serial.Fallback)
+	}
+	if got := exec["max_scan_workers"].(float64); int(got) != vec.ScanWorkers {
+		t.Errorf("healthz max_scan_workers = %v, want %d", got, vec.ScanWorkers)
+	}
+}

@@ -20,11 +20,16 @@ type aggSpec struct {
 	kind     aggKind
 	arg      evalFn // nil for COUNT(*)
 	distinct bool
+	// argCol/argType record the base-table column when the argument is a
+	// plain column reference (-1 otherwise). The vectorized executor uses
+	// them to read the column vector directly instead of calling arg.
+	argCol  int
+	argType ColumnType
 }
 
 // newAggSpec plans one aggregate function call.
 func newAggSpec(f *FuncExpr, schema *Schema) (aggSpec, error) {
-	var spec aggSpec
+	spec := aggSpec{argCol: -1}
 	switch f.Name {
 	case "COUNT":
 		if f.Star {
@@ -54,6 +59,12 @@ func newAggSpec(f *FuncExpr, schema *Schema) (aggSpec, error) {
 		return spec, err
 	}
 	spec.arg = arg
+	if c, ok := f.Args[0].(*ColumnExpr); ok {
+		if idx, found := schema.Lookup(c.Name); found {
+			spec.argCol = idx
+			spec.argType = schema.Column(idx).Type
+		}
+	}
 	spec.distinct = f.Distinct
 	if spec.distinct && spec.kind != aggCount {
 		return spec, fmt.Errorf("sqldb: DISTINCT is only supported with COUNT")

@@ -78,14 +78,46 @@ func (*FuncExpr) exprNode()    {}
 
 // String renders the literal as SQL.
 func (e *LiteralExpr) String() string {
-	if e.Val.Kind == KindString {
+	switch e.Val.Kind {
+	case KindString:
 		return "'" + strings.ReplaceAll(e.Val.S, "'", "''") + "'"
+	case KindFloat:
+		// Keep float literals float-typed through a parse round-trip:
+		// integral values (including -0.0) would otherwise print like
+		// ints and re-parse as ints.
+		s := e.Val.String()
+		if !strings.ContainsAny(s, ".eEIN") { // spare Inf/NaN, not parseable anyway
+			s += ".0"
+		}
+		return s
+	default:
+		return e.Val.String()
 	}
-	return e.Val.String()
+}
+
+// sqlIdent renders an identifier in canonical SQL: bare when it is a
+// plain identifier that is not a reserved word, double-quoted otherwise
+// (the form the lexer accepts for such names). Names containing a double
+// quote are not representable in the dialect; they render quoted anyway
+// as a best effort.
+func sqlIdent(name string) string {
+	plain := name != "" && isIdentStart(name[0])
+	for i := 1; plain && i < len(name); i++ {
+		plain = isIdentPart(name[i])
+	}
+	if plain && !keywords[strings.ToUpper(name)] {
+		return name
+	}
+	return `"` + name + `"`
 }
 
 // String renders the column reference.
-func (e *ColumnExpr) String() string { return e.Name }
+func (e *ColumnExpr) String() string {
+	if e.Name == "*" {
+		return "*"
+	}
+	return sqlIdent(e.Name)
+}
 
 // String renders the unary expression.
 func (e *UnaryExpr) String() string {
@@ -204,11 +236,11 @@ func (s *SelectStmt) String() string {
 		b.WriteString(it.Expr.String())
 		if it.Alias != "" {
 			b.WriteString(" AS ")
-			b.WriteString(it.Alias)
+			b.WriteString(sqlIdent(it.Alias))
 		}
 	}
 	b.WriteString(" FROM ")
-	b.WriteString(s.Table)
+	b.WriteString(sqlIdent(s.Table))
 	if s.Where != nil {
 		b.WriteString(" WHERE ")
 		b.WriteString(s.Where.String())

@@ -182,20 +182,28 @@ func (r colRowView) Value(col int) Value {
 	}
 }
 
+// wantedMask builds the projection mask for a scan: nil (all columns
+// allowed) when cols is nil, else true exactly at the listed indices.
+// Both ScanRange and the vectorized executor derive their RowView access
+// rules from this one place.
+func (t *ColStore) wantedMask(cols []int) []bool {
+	if cols == nil {
+		return nil
+	}
+	wanted := make([]bool, len(t.cols))
+	for _, c := range cols {
+		if c >= 0 && c < len(wanted) {
+			wanted[c] = true
+		}
+	}
+	return wanted
+}
+
 // ScanRange implements Table. Only the vectors for the requested columns
 // are touched; passing nil cols grants access to every column.
 func (t *ColStore) ScanRange(lo, hi int, cols []int, fn func(row RowView) error) error {
 	lo, hi = clampRange(lo, hi, t.rows)
-	var wanted []bool
-	if cols != nil {
-		wanted = make([]bool, len(t.cols))
-		for _, c := range cols {
-			if c >= 0 && c < len(wanted) {
-				wanted[c] = true
-			}
-		}
-	}
-	view := colRowView{t: t, wanted: wanted}
+	view := colRowView{t: t, wanted: t.wantedMask(cols)}
 	for i := lo; i < hi; i++ {
 		view.row = i
 		if err := fn(view); err != nil {

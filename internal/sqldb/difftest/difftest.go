@@ -1,0 +1,327 @@
+// Package difftest is a differential test harness for sqldb's two
+// aggregation executors: it generates random grouped-aggregate queries
+// (dimensions × measures × aggregate functions × WHERE/HAVING/ORDER BY ×
+// row sub-ranges) from a seed, executes each one under the Workers=1 row
+// interpreter and under a Workers=N parallel vectorized run, and asserts
+// row-for-row equality.
+//
+// Equality is exact to the bit (Kind, int64 payload, float64 bit
+// pattern, string bytes). Chunked summation reassociates floating-point
+// addition, so the generated float data is restricted to multiples of
+// 0.25 with bounded magnitude: every partial sum is exactly
+// representable and any association order produces identical bits,
+// making exact comparison a legitimate oracle.
+//
+// The generator deliberately produces queries on both sides of the fast
+// path's eligibility line (int group keys, DISTINCT aggregates, string
+// MIN, expression arguments all fall back to the interpreter), plus the
+// NULL-handling and empty-group edge cases: NULL dimension values, NULL
+// measures inside groups, all-NULL groups, predicates selecting zero
+// rows, and empty row ranges.
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"seedb/internal/sqldb"
+)
+
+// Harness owns the generated table and the query generator.
+type Harness struct {
+	DB   *sqldb.DB
+	rng  *rand.Rand
+	rows int
+}
+
+// dimension cardinalities of the generated table (d0, d1, d2).
+var dimCards = [3]int{3, 8, 40}
+
+// New builds a deterministic random ColStore table "t" with seeded
+// contents: three string dimensions (two with NULLs), a bool column, a
+// low-cardinality int column, float and int measures with NULLs, and a
+// string column used as a COUNT/MIN argument.
+func New(seed int64, rows int) (*Harness, error) {
+	h := &Harness{DB: sqldb.NewDB(), rng: rand.New(rand.NewSource(seed)), rows: rows}
+	schema := sqldb.MustSchema(
+		sqldb.Column{Name: "d0", Type: sqldb.TypeString},
+		sqldb.Column{Name: "d1", Type: sqldb.TypeString},
+		sqldb.Column{Name: "d2", Type: sqldb.TypeString},
+		sqldb.Column{Name: "b0", Type: sqldb.TypeBool},
+		sqldb.Column{Name: "k0", Type: sqldb.TypeInt},
+		sqldb.Column{Name: "m0", Type: sqldb.TypeFloat},
+		sqldb.Column{Name: "m1", Type: sqldb.TypeFloat},
+		sqldb.Column{Name: "m2", Type: sqldb.TypeInt},
+		sqldb.Column{Name: "s0", Type: sqldb.TypeString},
+	)
+	tab, err := h.DB.CreateTable("t", schema, sqldb.LayoutCol)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rows; i++ {
+		row := []sqldb.Value{
+			h.dimValue(0, 0.10),
+			h.dimValue(1, 0.08),
+			h.dimValue(2, 0),
+			h.boolValue(0.12),
+			sqldb.Int(int64(h.rng.Intn(5))),
+			h.floatValue(0.15),
+			h.floatValue(0),
+			h.intValue(0.10),
+			sqldb.Str(fmt.Sprintf("s%02d", h.rng.Intn(30))),
+		}
+		if err := tab.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// dimValue picks a dimension value (or NULL with the given probability).
+func (h *Harness) dimValue(dim int, nullP float64) sqldb.Value {
+	if nullP > 0 && h.rng.Float64() < nullP {
+		return sqldb.Null()
+	}
+	return sqldb.Str(fmt.Sprintf("d%d_%02d", dim, h.rng.Intn(dimCards[dim])))
+}
+
+// boolValue picks TRUE/FALSE (or NULL with the given probability).
+func (h *Harness) boolValue(nullP float64) sqldb.Value {
+	if h.rng.Float64() < nullP {
+		return sqldb.Null()
+	}
+	return sqldb.Bool(h.rng.Intn(2) == 0)
+}
+
+// floatValue picks a multiple of 0.25 in [-500, 500] (or NULL). All
+// partial sums over such values are exact in float64, so any summation
+// order yields identical bits.
+func (h *Harness) floatValue(nullP float64) sqldb.Value {
+	if nullP > 0 && h.rng.Float64() < nullP {
+		return sqldb.Null()
+	}
+	return sqldb.Float(float64(h.rng.Intn(4001)-2000) * 0.25)
+}
+
+// intValue picks an int in [-100, 100] (or NULL).
+func (h *Harness) intValue(nullP float64) sqldb.Value {
+	if h.rng.Float64() < nullP {
+		return sqldb.Null()
+	}
+	return sqldb.Int(int64(h.rng.Intn(201) - 100))
+}
+
+// pick returns one random element.
+func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }
+
+// Query is one generated test case.
+type Query struct {
+	SQL    string
+	Lo, Hi int
+}
+
+// Gen generates one random grouped-aggregate query with an optional row
+// sub-range.
+func (h *Harness) Gen() Query {
+	rng := h.rng
+
+	// GROUP BY: 0-3 distinct grouping expressions. Plain string/bool
+	// columns vectorize; k0 (int) and scalar expressions exercise the
+	// interpreter fallback under Workers>1.
+	groupPool := []string{"d0", "d1", "d2", "b0", "d0", "d1", "b0", "k0", "LOWER(d0)"}
+	nGroups := rng.Intn(4)
+	var groups []string
+	seen := map[string]bool{}
+	for len(groups) < nGroups {
+		g := pick(rng, groupPool)
+		if !seen[g] {
+			seen[g] = true
+			groups = append(groups, g)
+		}
+	}
+	// The SeeDB combined target/reference flag shape.
+	if rng.Float64() < 0.35 {
+		groups = append(groups, fmt.Sprintf("CASE WHEN %s THEN 1 ELSE 0 END", h.genPredicate(1)))
+	}
+
+	// Aggregates: 1-4, drawn with repetition allowed (duplicates are
+	// legal SQL and exercise shared slots).
+	aggPool := []string{
+		"COUNT(*)", "COUNT(m0)", "COUNT(s0)", "COUNT(b0)",
+		"SUM(m0)", "SUM(m1)", "SUM(m2)",
+		"AVG(m0)", "AVG(m1)", "AVG(m2)",
+		"MIN(m0)", "MIN(m2)", "MAX(m1)", "MAX(m2)", "MIN(b0)",
+		// Interpreter-only shapes:
+		"COUNT(DISTINCT d1)", "MIN(s0)", "SUM(m0 + m1)", "AVG(ABS(m2))",
+	}
+	nAggs := 1 + rng.Intn(4)
+	var aggs []string
+	for i := 0; i < nAggs; i++ {
+		aggs = append(aggs, pick(rng, aggPool))
+	}
+
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	items := append(append([]string{}, groups...), aggs...)
+	b.WriteString(strings.Join(items, ", "))
+	b.WriteString(" FROM t")
+
+	if rng.Float64() < 0.55 {
+		fmt.Fprintf(&b, " WHERE %s", h.genPredicate(1+rng.Intn(2)))
+	}
+	if len(groups) > 0 {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(strings.Join(groups, ", "))
+	}
+	if rng.Float64() < 0.25 {
+		having := []string{
+			"COUNT(*) > 2", "COUNT(*) >= 1", "SUM(m1) > 0",
+			"AVG(m1) < 100", "MIN(m2) < 0", "COUNT(m0) > 1",
+		}
+		fmt.Fprintf(&b, " HAVING %s", pick(rng, having))
+	}
+	if rng.Float64() < 0.45 && len(items) > 0 {
+		n := 1 + rng.Intn(2)
+		var keys []string
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("%d", 1+rng.Intn(len(items)))
+			if rng.Intn(2) == 0 {
+				k += " DESC"
+			}
+			keys = append(keys, k)
+		}
+		fmt.Fprintf(&b, " ORDER BY %s", strings.Join(keys, ", "))
+	}
+	if rng.Float64() < 0.2 {
+		fmt.Fprintf(&b, " LIMIT %d", rng.Intn(20))
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, " OFFSET %d", rng.Intn(5))
+		}
+	}
+
+	q := Query{SQL: b.String(), Hi: 0}
+	switch rng.Intn(10) {
+	case 0, 1, 2: // random sub-range
+		q.Lo = rng.Intn(h.rows)
+		q.Hi = q.Lo + rng.Intn(h.rows-q.Lo+1)
+	case 3: // empty range
+		q.Lo = rng.Intn(h.rows)
+		q.Hi = q.Lo
+	case 4: // single row
+		q.Lo = rng.Intn(h.rows)
+		q.Hi = q.Lo + 1
+	}
+	return q
+}
+
+// genPredicate builds a random WHERE-style predicate of n clauses.
+func (h *Harness) genPredicate(n int) string {
+	rng := h.rng
+	clauses := []string{
+		"d1 = 'd1_03'", "d0 != 'd0_01'", "d2 = 'd2_17'",
+		"m1 > 50.25", "m1 <= -10", "m0 IS NULL", "m0 IS NOT NULL",
+		"b0 = TRUE", "b0 IS NULL", "k0 IN (1, 2)", "k0 = 4",
+		"m2 BETWEEN -20 AND 35", "m2 NOT BETWEEN 0 AND 10",
+		"NOT (d1 = 'd1_00')", "d0 IN ('d0_00', 'd0_02')",
+		"m0 > m1", "m2 % 3 = 0",
+	}
+	parts := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		parts = append(parts, pick(rng, clauses))
+	}
+	op := " AND "
+	if rng.Intn(2) == 0 {
+		op = " OR "
+	}
+	return strings.Join(parts, op)
+}
+
+// Stats summarizes one differential run.
+type Stats struct {
+	Queries    int
+	Vectorized int // queries the Workers=N run executed on the fast path
+	Fallback   int // queries that fell back to the interpreter
+}
+
+// Run generates and checks n queries, executing each under Workers=1 and
+// under the given worker count, and returns an error describing the
+// first divergence.
+func (h *Harness) Run(n, workers int) (Stats, error) {
+	var st Stats
+	for i := 0; i < n; i++ {
+		q := h.Gen()
+		st.Queries++
+		serial, err := h.DB.QueryOpts(q.SQL, sqldb.ExecOptions{Lo: q.Lo, Hi: q.Hi, Workers: 1})
+		if err != nil {
+			return st, fmt.Errorf("query %d serial failed: %v (sql: %s)", i, err, q.SQL)
+		}
+		par, err := h.DB.QueryOpts(q.SQL, sqldb.ExecOptions{Lo: q.Lo, Hi: q.Hi, Workers: workers})
+		if err != nil {
+			return st, fmt.Errorf("query %d workers=%d failed: %v (sql: %s)", i, workers, err, q.SQL)
+		}
+		if par.Stats.Vectorized {
+			st.Vectorized++
+		} else {
+			st.Fallback++
+		}
+		if err := equalResults(serial, par); err != nil {
+			return st, fmt.Errorf("query %d diverged (workers=%d, range [%d,%d)): %v\nsql: %s",
+				i, workers, q.Lo, q.Hi, err, q.SQL)
+		}
+	}
+	return st, nil
+}
+
+// equalResults compares two results exactly, row for row.
+func equalResults(a, b *sqldb.Result) error {
+	if len(a.Columns) != len(b.Columns) {
+		return fmt.Errorf("column count %d vs %d", len(a.Columns), len(b.Columns))
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return fmt.Errorf("column %d name %q vs %q", i, a.Columns[i], b.Columns[i])
+		}
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Errorf("row count %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if len(ra) != len(rb) {
+			return fmt.Errorf("row %d width %d vs %d", i, len(ra), len(rb))
+		}
+		for j := range ra {
+			if !equalValue(ra[j], rb[j]) {
+				return fmt.Errorf("row %d col %d: %s (%v) vs %s (%v)",
+					i, j, ra[j].String(), ra[j].Kind, rb[j].String(), rb[j].Kind)
+			}
+		}
+	}
+	if a.Stats.RowsScanned != b.Stats.RowsScanned {
+		return fmt.Errorf("rows scanned %d vs %d", a.Stats.RowsScanned, b.Stats.RowsScanned)
+	}
+	if a.Stats.Groups != b.Stats.Groups {
+		return fmt.Errorf("groups %d vs %d", a.Stats.Groups, b.Stats.Groups)
+	}
+	return nil
+}
+
+// equalValue is bit-exact Value equality: same kind and identical
+// payload bits (distinguishing NaN payloads and -0.0 from +0.0).
+func equalValue(a, b sqldb.Value) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case sqldb.KindNull:
+		return true
+	case sqldb.KindFloat:
+		return math.Float64bits(a.F) == math.Float64bits(b.F)
+	case sqldb.KindString:
+		return a.S == b.S
+	default:
+		return a.I == b.I
+	}
+}

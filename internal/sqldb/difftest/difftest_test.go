@@ -1,0 +1,58 @@
+package difftest
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestDifferential runs the generator under several seeds, checking every
+// query for exact agreement between the Workers=1 interpreter and the
+// parallel vectorized executor (and its fallback). The worker counts
+// exceed GOMAXPROCS on small machines on purpose: chunked execution and
+// merging must be correct regardless of physical parallelism.
+func TestDifferential(t *testing.T) {
+	const queriesPerSeed = 600
+	seeds := []int64{1, 2, 3}
+	workerSweep := []int{2, 4, 5}
+	if gmp := runtime.GOMAXPROCS(0); gmp > 5 {
+		workerSweep = append(workerSweep, gmp)
+	}
+	for i, seed := range seeds {
+		workers := workerSweep[i%len(workerSweep)]
+		h, err := New(seed, 2500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := h.Run(queriesPerSeed, workers)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if st.Queries != queriesPerSeed {
+			t.Fatalf("seed %d: ran %d queries, want %d", seed, st.Queries, queriesPerSeed)
+		}
+		// The generator must exercise both executors heavily; a collapse
+		// to one side would quietly gut the differential coverage.
+		if st.Vectorized < queriesPerSeed/4 {
+			t.Errorf("seed %d: only %d/%d queries vectorized", seed, st.Vectorized, st.Queries)
+		}
+		if st.Fallback < queriesPerSeed/20 {
+			t.Errorf("seed %d: only %d/%d queries hit the interpreter fallback", seed, st.Fallback, st.Queries)
+		}
+		t.Logf("seed %d workers %d: %d queries, %d vectorized, %d fallback",
+			seed, workers, st.Queries, st.Vectorized, st.Fallback)
+	}
+}
+
+// TestDifferentialTinyTables covers degenerate table sizes where chunk
+// boundaries collapse (fewer rows than workers, empty table).
+func TestDifferentialTinyTables(t *testing.T) {
+	for _, rows := range []int{1, 2, 3, 7} {
+		h, err := New(77, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Run(150, 4); err != nil {
+			t.Fatalf("rows=%d: %v", rows, err)
+		}
+	}
+}

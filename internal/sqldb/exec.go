@@ -16,6 +16,19 @@ type ExecOptions struct {
 	// means "to the end of the table". SeeDB's phased execution framework
 	// uses this to process the i-th of n partitions.
 	Lo, Hi int
+	// Workers sets the intra-query scan parallelism. Values <= 1 select
+	// the serial row interpreter. Values > 1 enable the parallel
+	// vectorized fast path (see vexec.go) for grouped-aggregation queries
+	// over column-store tables; queries or tables the fast path cannot
+	// handle fall back to the serial interpreter. The effective count is
+	// capped at a small multiple of GOMAXPROCS (and at the scanned row
+	// count), so forwarding an untrusted value cannot spawn unbounded
+	// goroutines. The parallel merge is
+	// deterministic (first-seen group order is preserved), but SUM/AVG
+	// reassociate floating-point addition across chunks, so float
+	// aggregates may differ from the serial result in final ulps on data
+	// whose partial sums are inexact.
+	Workers int
 }
 
 // ExecStats reports per-query execution measurements.
@@ -26,6 +39,13 @@ type ExecStats struct {
 	// aggregation — the engine's memory-utilization proxy for the SeeDB
 	// memory budget B (Problem 4.1 in the paper).
 	Groups int
+	// Vectorized reports whether the parallel vectorized fast path
+	// executed the aggregation (false for the serial interpreter and for
+	// non-grouped queries).
+	Vectorized bool
+	// Workers is the number of scan workers actually used (1 for the
+	// serial interpreter; never more than the scanned row count).
+	Workers int
 }
 
 // Result is a fully materialized query result.
@@ -55,6 +75,10 @@ type plan struct {
 	distinct bool
 	limit    int
 	offset   int
+
+	// vec is the vectorized fast-path analysis of a grouped plan, or nil
+	// when the query shape is not eligible (see vexec.go).
+	vec *vecInfo
 }
 
 // orderKey is a compiled ORDER BY entry. If outCol >= 0 the key is an
@@ -239,6 +263,7 @@ func compileGroupedPlan(p *plan, stmt *SelectStmt, items []SelectItem, schema *S
 		}
 		p.orderBy = append(p.orderBy, key)
 	}
+	p.vec = vectorizeGrouped(stmt, p, schema)
 	return p, nil
 }
 
@@ -447,6 +472,7 @@ func (p *plan) execute(opts ExecOptions) (*Result, error) {
 		hi = p.table.NumRows()
 	}
 	res := &Result{Columns: p.colNames}
+	res.Stats.Workers = 1
 
 	if p.grouped {
 		if err := p.executeGrouped(opts, lo, hi, res); err != nil {
@@ -525,10 +551,69 @@ func (p *plan) executeSimple(opts ExecOptions, lo, hi int, res *Result) error {
 	return err
 }
 
-// executeGrouped runs hash aggregation.
+// executeGrouped runs hash aggregation: the scan/accumulate stage (serial
+// interpreter or parallel vectorized fast path) followed by the shared
+// finalize stage (HAVING, outputs, order keys).
 func (p *plan) executeGrouped(opts ExecOptions, lo, hi int, res *Result) error {
+	entries, err := p.aggregateRange(opts, lo, hi, &res.Stats)
+	if err != nil {
+		return err
+	}
+
+	// Global aggregation with no groups still emits one row.
+	if len(p.groupKeys) == 0 && len(entries) == 0 {
+		entries = append(entries, &groupEntry{states: make([]aggState, len(p.aggs))})
+	}
+
+	for _, g := range entries {
+		gr := groupRow{keys: g.keys, aggs: make([]Value, len(p.aggs))}
+		for i := range p.aggs {
+			gr.aggs[i] = g.states[i].final(&p.aggs[i])
+		}
+		if p.having != nil && !p.having(gr).Truthy() {
+			continue
+		}
+		out := make([]Value, len(p.outputs))
+		for i, f := range p.outputs {
+			out[i] = f(gr)
+		}
+		for _, key := range p.orderBy {
+			if key.eval != nil {
+				out = append(out, key.eval(gr))
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return nil
+}
+
+// aggregateRange produces the group entries for [lo, hi) in deterministic
+// first-seen order, dispatching to the parallel vectorized fast path when
+// the caller asked for intra-query parallelism and the plan and table
+// support it, and to the serial row interpreter otherwise.
+func (p *plan) aggregateRange(opts ExecOptions, lo, hi int, stats *ExecStats) ([]*groupEntry, error) {
+	if opts.Workers > 1 && p.vec != nil {
+		if t, ok := p.table.(*ColStore); ok {
+			entries, scanned, workers, ran, err := p.vec.run(p, t, opts, lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			if ran {
+				stats.RowsScanned = scanned
+				stats.Groups = len(entries)
+				stats.Vectorized = true
+				stats.Workers = workers
+				return entries, nil
+			}
+		}
+	}
+	return p.aggregateSerial(opts, lo, hi, stats)
+}
+
+// aggregateSerial is the row-at-a-time hash aggregation interpreter.
+func (p *plan) aggregateSerial(opts ExecOptions, lo, hi int, stats *ExecStats) ([]*groupEntry, error) {
 	groups := make(map[string]*groupEntry)
-	var order []string // deterministic first-seen order
+	var entries []*groupEntry // deterministic first-seen order
 	keyBuf := make([]byte, 0, 64)
 	scratch := make([]Value, len(p.groupKeys))
 	n := 0
@@ -553,9 +638,8 @@ func (p *plan) executeGrouped(opts ExecOptions, lo, hi int, res *Result) error {
 			keys := make([]Value, len(scratch))
 			copy(keys, scratch)
 			g = &groupEntry{keys: keys, states: make([]aggState, len(p.aggs))}
-			k := string(keyBuf)
-			groups[k] = g
-			order = append(order, k)
+			groups[string(keyBuf)] = g
+			entries = append(entries, g)
 		}
 		for i := range p.aggs {
 			g.states[i].update(&p.aggs[i], row)
@@ -563,39 +647,11 @@ func (p *plan) executeGrouped(opts ExecOptions, lo, hi int, res *Result) error {
 		return nil
 	}
 	if err := p.table.ScanRange(lo, hi, p.scanCols, scan); err != nil {
-		return err
+		return nil, err
 	}
-	res.Stats.RowsScanned = n
-	res.Stats.Groups = len(groups)
-
-	// Global aggregation with no groups still emits one row.
-	if len(p.groupKeys) == 0 && len(groups) == 0 {
-		g := &groupEntry{states: make([]aggState, len(p.aggs))}
-		groups[""] = g
-		order = append(order, "")
-	}
-
-	for _, k := range order {
-		g := groups[k]
-		gr := groupRow{keys: g.keys, aggs: make([]Value, len(p.aggs))}
-		for i := range p.aggs {
-			gr.aggs[i] = g.states[i].final(&p.aggs[i])
-		}
-		if p.having != nil && !p.having(gr).Truthy() {
-			continue
-		}
-		out := make([]Value, len(p.outputs))
-		for i, f := range p.outputs {
-			out[i] = f(gr)
-		}
-		for _, key := range p.orderBy {
-			if key.eval != nil {
-				out = append(out, key.eval(gr))
-			}
-		}
-		res.Rows = append(res.Rows, out)
-	}
-	return nil
+	stats.RowsScanned = n
+	stats.Groups = len(groups)
+	return entries, nil
 }
 
 // sortRows applies ORDER BY and strips any inline order-key columns.

@@ -1,0 +1,483 @@
+package sqldb
+
+// Parallel vectorized aggregation fast path.
+//
+// The dominant SeeDB query shape — GROUP BY one or more dimension columns
+// (plus, for the combined target/reference rewrite, a CASE-WHEN flag over
+// the target predicate), aggregating SUM/COUNT/AVG/MIN/MAX over measure
+// columns — spends almost all of its time in the row interpreter's
+// per-row closure calls, group-key string encoding and map lookups. This
+// file replaces that inner loop for column-store tables:
+//
+//   - The row range [lo, hi) is partitioned into one contiguous chunk per
+//     worker. Chunk boundaries are a pure function of (lo, hi, workers),
+//     so execution is deterministic regardless of scheduling.
+//   - Each worker scans the referenced column vectors directly. Group
+//     identity is a small integer — the mixed radix combination of
+//     per-column dictionary codes (strings), tri-state bool codes and the
+//     CASE flag — instead of a per-row encoded string key. Dense group-id
+//     spaces use a flat lookup table; larger ones fall back to an integer
+//     map, never a string map.
+//   - Workers accumulate private aggState tables (first-seen order within
+//     the chunk) that merge in chunk order, which reproduces exactly the
+//     first-seen group order of a sequential scan. Results are therefore
+//     identical to the serial interpreter, with one caveat: SUM/AVG
+//     reassociate floating-point addition across chunks, so float
+//     aggregates can differ in final ulps when partial sums are inexact.
+//   - Context cancellation checks run every checkEvery rows inside each
+//     worker loop, so large scans stay cancellable.
+//
+// Queries outside the shape (row stores, non-column group keys or
+// aggregate arguments, DISTINCT aggregates, string MIN/MAX, group-id
+// spaces that overflow) fall back to the serial interpreter. WHERE,
+// HAVING, ORDER BY, projection, DISTINCT, LIMIT and OFFSET need no
+// analysis here: WHERE evaluates row-at-a-time inside the workers, and
+// the rest operate on the finalized groups, shared with the serial path.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// denseGroupIDCap bounds the per-worker flat lookup table (entries are
+// int32, so this is 256 KiB per worker). Larger id spaces use a map.
+const denseGroupIDCap = 1 << 16
+
+// maxGroupIDSpace bounds the total mixed-radix group-id space; beyond it
+// the fast path declines (runtime fallback to the interpreter).
+const maxGroupIDSpace = 1 << 40
+
+// maxWorkersPerQuery caps effective scan workers at a small multiple of
+// GOMAXPROCS: more workers than cores only adds partial tables to merge,
+// and the cap keeps an absurd ExecOptions.Workers (e.g. forwarded from
+// an untrusted request knob) from spawning a goroutine per row.
+func maxWorkersPerQuery() int { return 4 * runtime.GOMAXPROCS(0) }
+
+// vecGroupKind classifies one GROUP BY expression for the fast path.
+type vecGroupKind uint8
+
+const (
+	// vecGroupDict is a dictionary-encoded string column; ids are
+	// 0 = NULL, code+1 otherwise.
+	vecGroupDict vecGroupKind = iota
+	// vecGroupBool is a bool column; ids are 0 = NULL, 1 = false,
+	// 2 = true.
+	vecGroupBool
+	// vecGroupFlag is CASE WHEN pred THEN a ELSE b END over integer
+	// literals (SeeDB's combined target/reference flag); ids are
+	// 0 = else-arm, 1 = then-arm.
+	vecGroupFlag
+)
+
+// vecGroup is one analyzed GROUP BY column.
+type vecGroup struct {
+	kind         vecGroupKind
+	col          int    // table column (dict/bool)
+	pred         evalFn // flag predicate (flag only)
+	thenV, elseV int64  // flag arm values (flag only)
+}
+
+// vecInfo is the compile-time fast-path analysis of a grouped plan. The
+// aggregate slots reuse plan.aggs (argCol/argType are validated here).
+type vecInfo struct {
+	groups []vecGroup
+}
+
+// vectorizeGrouped analyzes a grouped statement and returns the fast-path
+// info, or nil when any part of the query shape is ineligible.
+func vectorizeGrouped(stmt *SelectStmt, p *plan, schema *Schema) *vecInfo {
+	v := &vecInfo{groups: make([]vecGroup, 0, len(stmt.GroupBy))}
+	for _, g := range stmt.GroupBy {
+		switch e := g.(type) {
+		case *ColumnExpr:
+			idx, ok := schema.Lookup(e.Name)
+			if !ok {
+				return nil
+			}
+			switch schema.Column(idx).Type {
+			case TypeString:
+				v.groups = append(v.groups, vecGroup{kind: vecGroupDict, col: idx})
+			case TypeBool:
+				v.groups = append(v.groups, vecGroup{kind: vecGroupBool, col: idx})
+			default:
+				// Int/float group keys have no dictionary to derive dense
+				// ids from; leave them to the interpreter.
+				return nil
+			}
+		case *CaseExpr:
+			if len(e.Whens) != 1 || e.Else == nil || IsAggregate(e.Whens[0].Cond) {
+				return nil
+			}
+			thenLit, ok1 := e.Whens[0].Then.(*LiteralExpr)
+			elseLit, ok2 := e.Else.(*LiteralExpr)
+			if !ok1 || !ok2 || thenLit.Val.Kind != KindInt || elseLit.Val.Kind != KindInt {
+				return nil
+			}
+			if thenLit.Val.I == elseLit.Val.I {
+				// Both arms produce the same group key value; the two flag
+				// ids would split what the interpreter treats as one group.
+				return nil
+			}
+			pred, err := compileScalar(e.Whens[0].Cond, schema)
+			if err != nil {
+				return nil
+			}
+			v.groups = append(v.groups, vecGroup{
+				kind: vecGroupFlag, pred: pred,
+				thenV: thenLit.Val.I, elseV: elseLit.Val.I,
+			})
+		default:
+			return nil
+		}
+	}
+	for i := range p.aggs {
+		a := &p.aggs[i]
+		if a.distinct {
+			return nil
+		}
+		switch a.kind {
+		case aggCountStar:
+		case aggCount:
+			if a.argCol < 0 {
+				return nil
+			}
+		case aggSum, aggAvg, aggMin, aggMax:
+			if a.argCol < 0 {
+				return nil
+			}
+			switch a.argType {
+			case TypeInt, TypeFloat, TypeBool:
+			default:
+				// String MIN/MAX would need dictionary-order comparisons;
+				// SUM/AVG over strings is a degenerate all-skip. Fall back.
+				return nil
+			}
+		default:
+			return nil
+		}
+	}
+	return v
+}
+
+// vecPartial is one worker's accumulated chunk state: entries in the
+// chunk's first-seen order, with the group id of each entry alongside.
+type vecPartial struct {
+	entries []*groupEntry
+	gids    []uint64
+	scanned int
+}
+
+// gidIndex maps combined group ids to entry slots (-1 = absent): a flat
+// table when the id space is small, an integer map otherwise. Both the
+// chunk scans and the merge use it, so group identity cannot drift
+// between the two.
+type gidIndex struct {
+	dense  []int32
+	sparse map[uint64]int32
+}
+
+// newGIDIndex sizes the index for the given id space.
+func newGIDIndex(idSpace uint64) *gidIndex {
+	if idSpace <= denseGroupIDCap {
+		d := make([]int32, idSpace)
+		for i := range d {
+			d[i] = -1
+		}
+		return &gidIndex{dense: d}
+	}
+	return &gidIndex{sparse: make(map[uint64]int32)}
+}
+
+// get returns the slot for gid, or -1.
+func (x *gidIndex) get(gid uint64) int32 {
+	if x.dense != nil {
+		return x.dense[gid]
+	}
+	if i, ok := x.sparse[gid]; ok {
+		return i
+	}
+	return -1
+}
+
+// put records gid's slot.
+func (x *gidIndex) put(gid uint64, idx int32) {
+	if x.dense != nil {
+		x.dense[gid] = idx
+	} else {
+		x.sparse[gid] = idx
+	}
+}
+
+// run executes the fast path over [lo, hi) with opts.Workers workers. ran
+// reports whether the fast path was applicable at runtime; when false the
+// caller must use the serial interpreter.
+func (v *vecInfo) run(p *plan, t *ColStore, opts ExecOptions, lo, hi int) (entries []*groupEntry, scanned, workers int, ran bool, err error) {
+	lo, hi = clampRange(lo, hi, t.rows)
+
+	// Mixed-radix layout of the combined group id. Cardinalities come
+	// from the live table (dictionary sizes), so this is a runtime check.
+	cards := make([]uint64, len(v.groups))
+	strides := make([]uint64, len(v.groups))
+	idSpace := uint64(1)
+	for i, g := range v.groups {
+		var card uint64
+		switch g.kind {
+		case vecGroupDict:
+			card = uint64(len(t.cols[g.col].dict)) + 1 // +1 for NULL
+		case vecGroupBool:
+			card = 3
+		case vecGroupFlag:
+			card = 2
+		}
+		cards[i] = card
+		strides[i] = idSpace
+		if idSpace > maxGroupIDSpace/card {
+			return nil, 0, 0, false, nil
+		}
+		idSpace *= card
+	}
+
+	workers = opts.Workers
+	if max := maxWorkersPerQuery(); workers > max {
+		workers = max
+	}
+	if n := hi - lo; workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// The same projection mask the serial scan would use, shared
+	// read-only by every worker's filter/flag evaluations.
+	wanted := t.wantedMask(p.scanCols)
+
+	parts := make([]*vecPartial, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cLo := lo + w*(hi-lo)/workers
+		cHi := lo + (w+1)*(hi-lo)/workers
+		wg.Add(1)
+		go func(w, cLo, cHi int) {
+			defer wg.Done()
+			parts[w], errs[w] = v.scanChunk(p, t, opts.Ctx, cLo, cHi, idSpace, strides, wanted)
+		}(w, cLo, cHi)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, 0, 0, false, e
+		}
+	}
+
+	entries, scanned = v.merge(p, parts, idSpace)
+	return entries, scanned, workers, true, nil
+}
+
+// scanChunk accumulates one worker's contiguous row chunk.
+func (v *vecInfo) scanChunk(p *plan, t *ColStore, ctx context.Context, lo, hi int, idSpace uint64, strides []uint64, wanted []bool) (*vecPartial, error) {
+	part := &vecPartial{}
+	index := newGIDIndex(idSpace)
+	view := colRowView{t: t, wanted: wanted}
+	// Hoist loop-invariant column-vector derivations out of the row loop.
+	groupCols := make([]*columnVector, len(v.groups))
+	for i, g := range v.groups {
+		if g.kind != vecGroupFlag {
+			groupCols[i] = &t.cols[g.col]
+		}
+	}
+	aggCols := make([]*columnVector, len(p.aggs))
+	for ai := range p.aggs {
+		if p.aggs[ai].argCol >= 0 {
+			aggCols[ai] = &t.cols[p.aggs[ai].argCol]
+		}
+	}
+	n := 0
+	for r := lo; r < hi; r++ {
+		n++
+		if n%checkEvery == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if p.filter != nil {
+			view.row = r
+			if !p.filter(view).Truthy() {
+				continue
+			}
+		}
+
+		gid := uint64(0)
+		for i := range v.groups {
+			g := &v.groups[i]
+			var id uint64
+			switch g.kind {
+			case vecGroupDict:
+				c := groupCols[i]
+				if c.nulls == nil || !c.nulls[r] {
+					id = uint64(c.codes[r]) + 1
+				}
+			case vecGroupBool:
+				c := groupCols[i]
+				switch {
+				case c.nulls != nil && c.nulls[r]:
+					id = 0
+				case c.ints[r] != 0:
+					id = 2
+				default:
+					id = 1
+				}
+			case vecGroupFlag:
+				view.row = r
+				if g.pred(view).Truthy() {
+					id = 1
+				}
+			}
+			gid += id * strides[i]
+		}
+
+		idx := index.get(gid)
+		if idx < 0 {
+			idx = int32(len(part.entries))
+			part.entries = append(part.entries, &groupEntry{
+				keys:   v.decodeKeys(t, gid, strides),
+				states: make([]aggState, len(p.aggs)),
+			})
+			part.gids = append(part.gids, gid)
+			index.put(gid, idx)
+		}
+
+		states := part.entries[idx].states
+		for ai := range p.aggs {
+			a := &p.aggs[ai]
+			s := &states[ai]
+			c := aggCols[ai]
+			switch a.kind {
+			case aggCountStar:
+				s.count++
+			case aggCount:
+				if c.nulls == nil || !c.nulls[r] {
+					s.count++
+				}
+			case aggSum, aggAvg:
+				if c.nulls != nil && c.nulls[r] {
+					break
+				}
+				s.count++
+				if a.argType == TypeFloat {
+					s.sum += c.flts[r]
+				} else {
+					s.sum += float64(c.ints[r])
+				}
+			case aggMin:
+				if c.nulls != nil && c.nulls[r] {
+					break
+				}
+				cand := colNumValue(c, a.argType, r)
+				if !s.seen || cand.Compare(s.min) < 0 {
+					s.min = cand
+					s.seen = true
+				}
+			case aggMax:
+				if c.nulls != nil && c.nulls[r] {
+					break
+				}
+				cand := colNumValue(c, a.argType, r)
+				if !s.seen || cand.Compare(s.max) > 0 {
+					s.max = cand
+					s.seen = true
+				}
+			}
+		}
+	}
+	part.scanned = n
+	return part, nil
+}
+
+// decodeKeys reconstructs the group-key Values a serial scan would have
+// produced for the row(s) behind a combined group id.
+func (v *vecInfo) decodeKeys(t *ColStore, gid uint64, strides []uint64) []Value {
+	keys := make([]Value, len(v.groups))
+	for i := range v.groups {
+		g := &v.groups[i]
+		var span uint64
+		switch g.kind {
+		case vecGroupDict:
+			span = uint64(len(t.cols[g.col].dict)) + 1
+		case vecGroupBool:
+			span = 3
+		case vecGroupFlag:
+			span = 2
+		}
+		id := (gid / strides[i]) % span
+		switch g.kind {
+		case vecGroupDict:
+			if id == 0 {
+				keys[i] = Null()
+			} else {
+				keys[i] = Str(t.cols[g.col].dict[id-1])
+			}
+		case vecGroupBool:
+			switch id {
+			case 0:
+				keys[i] = Null()
+			case 1:
+				keys[i] = Bool(false)
+			default:
+				keys[i] = Bool(true)
+			}
+		case vecGroupFlag:
+			if id == 1 {
+				keys[i] = Int(g.thenV)
+			} else {
+				keys[i] = Int(g.elseV)
+			}
+		}
+	}
+	return keys
+}
+
+// merge folds worker partials together in chunk order. Because chunks are
+// contiguous and ordered, appending each chunk's unseen groups in its own
+// first-seen order reproduces the first-seen order of a sequential scan.
+func (v *vecInfo) merge(p *plan, parts []*vecPartial, idSpace uint64) ([]*groupEntry, int) {
+	if len(parts) == 1 {
+		return parts[0].entries, parts[0].scanned
+	}
+	index := newGIDIndex(idSpace)
+	var out []*groupEntry
+	scanned := 0
+	for _, part := range parts {
+		scanned += part.scanned
+		for j, e := range part.entries {
+			gid := part.gids[j]
+			idx := index.get(gid)
+			if idx < 0 {
+				idx = int32(len(out))
+				out = append(out, e)
+				index.put(gid, idx)
+				continue
+			}
+			dst := out[idx].states
+			for ai := range p.aggs {
+				dst[ai].merge(&p.aggs[ai], &e.states[ai])
+			}
+		}
+	}
+	return out, scanned
+}
+
+// colNumValue builds the Value a colRowView would return for a non-NULL
+// numeric cell, reading the typed vector directly.
+func colNumValue(c *columnVector, typ ColumnType, r int) Value {
+	switch typ {
+	case TypeInt:
+		return Int(c.ints[r])
+	case TypeBool:
+		return Bool(c.ints[r] != 0)
+	default:
+		return Float(c.flts[r])
+	}
+}

@@ -1,0 +1,247 @@
+package sqldb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// vexecTable builds a ColStore with SeeDB-shaped data: string dims (with
+// NULLs), a bool column, int and float measures (with NULLs). Float
+// values are multiples of 0.25 so chunked summation stays exact.
+func vexecTable(t *testing.T, rows int) *DB {
+	t.Helper()
+	db := NewDB()
+	schema := MustSchema(
+		Column{Name: "d1", Type: TypeString},
+		Column{Name: "d2", Type: TypeString},
+		Column{Name: "b1", Type: TypeBool},
+		Column{Name: "k1", Type: TypeInt},
+		Column{Name: "m1", Type: TypeFloat},
+		Column{Name: "m2", Type: TypeInt},
+	)
+	tab, err := db.CreateTable("t", schema, LayoutCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		vals := []Value{
+			Str(fmt.Sprintf("g%d", i%7)),
+			Str(fmt.Sprintf("h%d", i%3)),
+			Bool(i%2 == 0),
+			Int(int64(i % 5)),
+			Float(float64(i%1000) * 0.25),
+			Int(int64(i%90 - 45)),
+		}
+		if i%11 == 0 {
+			vals[0] = Null()
+		}
+		if i%13 == 0 {
+			vals[4] = Null()
+		}
+		if i%17 == 0 {
+			vals[2] = Null()
+		}
+		if err := tab.AppendRow(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// mustEqualResults asserts byte-identical rows (appendKey encoding, so
+// NaN and -0.0 are distinguished) and equal columns.
+func mustEqualResults(t *testing.T, sql string, a, b *Result) {
+	t.Helper()
+	if len(a.Columns) != len(b.Columns) {
+		t.Fatalf("%s: column count %d vs %d", sql, len(a.Columns), len(b.Columns))
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("%s: row count %d vs %d", sql, len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			t.Fatalf("%s: row %d width %d vs %d", sql, i, len(a.Rows[i]), len(b.Rows[i]))
+		}
+		for j := range a.Rows[i] {
+			ka := string(a.Rows[i][j].appendKey(nil))
+			kb := string(b.Rows[i][j].appendKey(nil))
+			if ka != kb {
+				t.Fatalf("%s: row %d col %d: %v vs %v", sql, i, j,
+					a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestVectorizedMatchesSerial(t *testing.T) {
+	db := vexecTable(t, 5000)
+	queries := []string{
+		"SELECT d1, COUNT(*), SUM(m1), AVG(m1), MIN(m2), MAX(m2) FROM t GROUP BY d1",
+		"SELECT d1, d2, AVG(m1) FROM t GROUP BY d1, d2",
+		"SELECT d1, CASE WHEN d2 = 'h1' THEN 1 ELSE 0 END AS flag, SUM(m1), COUNT(m1) FROM t GROUP BY d1, CASE WHEN d2 = 'h1' THEN 1 ELSE 0 END",
+		"SELECT b1, COUNT(m1), MIN(m1), MAX(m1) FROM t GROUP BY b1",
+		"SELECT d1, COUNT(*) FROM t WHERE m2 > 0 AND d2 != 'h2' GROUP BY d1",
+		"SELECT d1, SUM(m2) FROM t GROUP BY d1 HAVING COUNT(*) > 100 ORDER BY SUM(m2) DESC",
+		"SELECT COUNT(*), SUM(m1) FROM t",                      // global aggregation
+		"SELECT COUNT(*) FROM t WHERE m1 < -1",                 // empty global group
+		"SELECT d1, COUNT(*) FROM t WHERE m1 < -1 GROUP BY d1", // zero groups
+		"SELECT d1, AVG(m1) FROM t GROUP BY d1 ORDER BY 2 DESC LIMIT 3",
+	}
+	for _, sql := range queries {
+		for _, workers := range []int{2, 3, 7} {
+			serial, err := db.QueryOpts(sql, ExecOptions{Workers: 1})
+			if err != nil {
+				t.Fatalf("%s: serial: %v", sql, err)
+			}
+			if serial.Stats.Vectorized {
+				t.Fatalf("%s: Workers=1 must use the interpreter", sql)
+			}
+			par, err := db.QueryOpts(sql, ExecOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s: workers=%d: %v", sql, workers, err)
+			}
+			if !par.Stats.Vectorized {
+				t.Fatalf("%s: workers=%d: expected vectorized execution", sql, workers)
+			}
+			if par.Stats.Workers < 1 || par.Stats.Workers > workers {
+				t.Fatalf("%s: reported %d workers, asked for %d", sql, par.Stats.Workers, workers)
+			}
+			mustEqualResults(t, sql, serial, par)
+			if serial.Stats.RowsScanned != par.Stats.RowsScanned {
+				t.Fatalf("%s: rows scanned %d vs %d", sql, serial.Stats.RowsScanned, par.Stats.RowsScanned)
+			}
+			if serial.Stats.Groups != par.Stats.Groups {
+				t.Fatalf("%s: groups %d vs %d", sql, serial.Stats.Groups, par.Stats.Groups)
+			}
+		}
+	}
+}
+
+// TestVectorizedWorkerCap asserts an absurd Workers value (e.g. one
+// forwarded from an untrusted request knob) is capped near GOMAXPROCS
+// instead of spawning a goroutine per row.
+func TestVectorizedWorkerCap(t *testing.T) {
+	db := vexecTable(t, 4000)
+	res, err := db.QueryOpts("SELECT d1, SUM(m1) FROM t GROUP BY d1",
+		ExecOptions{Workers: 1_000_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Vectorized {
+		t.Fatal("expected vectorized execution")
+	}
+	if max := maxWorkersPerQuery(); res.Stats.Workers > max {
+		t.Fatalf("used %d workers, cap is %d", res.Stats.Workers, max)
+	}
+}
+
+func TestVectorizedSubRanges(t *testing.T) {
+	db := vexecTable(t, 3000)
+	sql := "SELECT d1, d2, SUM(m1), COUNT(*) FROM t GROUP BY d1, d2"
+	ranges := [][2]int{{0, 1}, {0, 100}, {17, 18}, {500, 2999}, {2999, 3000}, {1000, 1000}, {2000, 0}, {-5, 50}}
+	for _, r := range ranges {
+		serial, err := db.QueryOpts(sql, ExecOptions{Lo: r[0], Hi: r[1], Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := db.QueryOpts(sql, ExecOptions{Lo: r[0], Hi: r[1], Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualResults(t, fmt.Sprintf("%s [%d,%d)", sql, r[0], r[1]), serial, par)
+	}
+}
+
+// TestVectorizedFallbacks asserts the interpreter handles shapes the fast
+// path declines, with identical results either way.
+func TestVectorizedFallbacks(t *testing.T) {
+	db := vexecTable(t, 2000)
+	fallbacks := []string{
+		"SELECT k1, COUNT(*) FROM t GROUP BY k1",                                                                 // int group key
+		"SELECT d1, COUNT(DISTINCT d2) FROM t GROUP BY d1",                                                       // DISTINCT aggregate
+		"SELECT d1, MIN(d2) FROM t GROUP BY d1",                                                                  // string MIN
+		"SELECT d1, SUM(m1 + m2) FROM t GROUP BY d1",                                                             // expression argument
+		"SELECT UPPER(d1), COUNT(*) FROM t GROUP BY UPPER(d1)",                                                   // expression group key
+		"SELECT CASE WHEN b1 THEN 'y' ELSE 'n' END, COUNT(*) FROM t GROUP BY CASE WHEN b1 THEN 'y' ELSE 'n' END", // non-int CASE arms
+	}
+	for _, sql := range fallbacks {
+		par, err := db.QueryOpts(sql, ExecOptions{Workers: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if par.Stats.Vectorized {
+			t.Fatalf("%s: expected interpreter fallback", sql)
+		}
+		if par.Stats.Workers != 1 {
+			t.Fatalf("%s: fallback should report 1 worker, got %d", sql, par.Stats.Workers)
+		}
+		serial, err := db.QueryOpts(sql, ExecOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualResults(t, sql, serial, par)
+	}
+
+	// Row stores always use the interpreter.
+	rdb := NewDB()
+	tab, err := rdb.CreateTable("t", MustSchema(
+		Column{Name: "d", Type: TypeString}, Column{Name: "m", Type: TypeFloat},
+	), LayoutRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tab.AppendRow([]Value{Str(fmt.Sprintf("g%d", i%4)), Float(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := rdb.QueryOpts("SELECT d, SUM(m) FROM t GROUP BY d", ExecOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Vectorized {
+		t.Fatal("row store must not vectorize")
+	}
+}
+
+// TestVectorizedCancellation asserts the checkEvery context checks are
+// preserved inside the per-worker loops: a cancelled context aborts the
+// scan promptly instead of completing it.
+func TestVectorizedCancellation(t *testing.T) {
+	db := vexecTable(t, 100_000) // > checkEvery rows per worker chunk
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the scan starts: first checkEvery boundary must abort
+
+	for _, workers := range []int{1, 4} {
+		start := time.Now()
+		_, err := db.QueryOpts("SELECT d1, SUM(m1) FROM t GROUP BY d1",
+			ExecOptions{Ctx: ctx, Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("workers=%d: cancellation took %v, want prompt return", workers, elapsed)
+		}
+	}
+
+	// Mid-scan cancellation: cancel shortly after kickoff; the query must
+	// return an error (or, on a fast machine, complete) without hanging.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.QueryOpts("SELECT d1, d2, b1, AVG(m1), SUM(m2) FROM t GROUP BY d1, d2, b1",
+			ExecOptions{Ctx: ctx2, Workers: 4})
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+	cancel2()
+	select {
+	case <-done:
+		// Completed or cancelled — either way it returned promptly.
+	case <-time.After(10 * time.Second):
+		t.Fatal("query did not return after cancellation")
+	}
+}

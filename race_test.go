@@ -1,0 +1,116 @@
+package seedb
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRecommendParallelScansAndLoads drives the full stack
+// under -race: concurrent Recommend calls using phased pruning and
+// intra-query parallel scans (ScanParallelism > 1) against the shared
+// result cache, while other goroutines mutate the catalog (LoadCSV into
+// fresh tables, drops) — the operations that bump dataset versions and
+// invalidate cache keys. Writes go to tables the recommendations never
+// scan: sqldb documents that per-table loading must finish before that
+// table is queried, and the race this test polices is in the shared
+// engine/cache/executor state, not in a single table's vectors.
+func TestConcurrentRecommendParallelScansAndLoads(t *testing.T) {
+	client := newCachedCensusClient(t)
+	ctx := context.Background()
+	req := Request{Table: "census", TargetWhere: "marital = 'Unmarried'"}
+	schema, err := NewSchema(
+		Column{Name: "d", Type: TypeString},
+		Column{Name: "m", Type: TypeFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const recommenders = 4
+	const loaders = 2
+	const rounds = 6
+	var wg sync.WaitGroup
+	errs := make([]error, recommenders+loaders)
+
+	for g := 0; g < recommenders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Alternate strategies so both the single-pass and the
+				// phased (pruning) paths run concurrently; vary K so
+				// whole-request keys differ and real executions overlap
+				// cache hits.
+				opts := Options{
+					Strategy:        Comb,
+					Pruning:         CIPruning,
+					K:               2 + (g+i)%3,
+					ScanParallelism: 3,
+					EnableCache:     true,
+				}
+				if (g+i)%2 == 0 {
+					opts.Strategy = Sharing
+					opts.Pruning = NoPruning
+				}
+				if _, err := client.Recommend(ctx, req, opts); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				name := fmt.Sprintf("scratch_%d_%d", l, i)
+				csv := "d,m\na,1.5\nb,2.5\nc,3.5\n"
+				if err := client.LoadCSV(name, schema, ColumnLayout, strings.NewReader(csv)); err != nil {
+					errs[recommenders+l] = err
+					return
+				}
+				if err := client.DB().DropTable(name); err != nil {
+					errs[recommenders+l] = err
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+
+	// Appends to the queried table invalidate its version: the next
+	// request must recompute, not serve the pre-append cached result.
+	tab, ok := client.DB().Table("census")
+	if !ok {
+		t.Fatal("census table missing")
+	}
+	row := make([]Value, tab.Schema().NumColumns())
+	for i := range row {
+		if tab.Schema().Column(i).Type == TypeString {
+			row[i] = Str("Unmarried")
+		} else {
+			row[i] = Float(1)
+		}
+	}
+	if err := tab.AppendRow(row); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Strategy: Sharing, K: 2, ScanParallelism: 3, EnableCache: true}
+	res, err := client.Recommend(ctx, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.ServedFromCache {
+		t.Fatal("post-append request served a stale cached result")
+	}
+}
