@@ -1,0 +1,82 @@
+package seedb
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"seedb/internal/sqldriver"
+)
+
+// newSQLClient builds one embedded client holding data and a second
+// client reaching the same data through the database/sql backend.
+func newSQLClient(t *testing.T) (*Client, *Client) {
+	t.Helper()
+	embedded := New()
+	if err := embedded.LoadDatasetRows("census", ColumnLayout, 2000); err != nil {
+		t.Fatal(err)
+	}
+	external := NewWithBackend(NewSQLBackend(sqldriver.Open(embedded.DB()), SQLBackendOptions{}))
+	return embedded, external
+}
+
+func TestClientWithSQLBackend(t *testing.T) {
+	embedded, external := newSQLClient(t)
+	if external.DB() != nil {
+		t.Error("external client must not expose an embedded DB")
+	}
+	if external.Backend().Name() != "sql" {
+		t.Errorf("backend name = %q", external.Backend().Name())
+	}
+
+	ctx := context.Background()
+	req := Request{Table: "census", TargetWhere: "marital = 'Unmarried'"}
+	opts := Options{K: 3, ScanParallelism: 1}
+	want, err := embedded.Recommend(ctx, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := external.Recommend(ctx, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Recommendations) != len(want.Recommendations) {
+		t.Fatalf("recommendations = %d, want %d", len(got.Recommendations), len(want.Recommendations))
+	}
+	for i := range want.Recommendations {
+		if got.Recommendations[i].View != want.Recommendations[i].View {
+			t.Errorf("rank %d: %v vs %v", i+1,
+				got.Recommendations[i].View, want.Recommendations[i].View)
+		}
+	}
+	if got.Metrics.VectorizedQueries != 0 {
+		t.Errorf("sql backend cannot vectorize: %+v", got.Metrics)
+	}
+
+	// Raw SQL routes through the backend too.
+	res, err := external.Query("SELECT COUNT(*) FROM census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0][0].AsInt(); n != 2000 {
+		t.Errorf("COUNT(*) = %d", n)
+	}
+}
+
+func TestExternalClientGuardsEmbeddedOps(t *testing.T) {
+	_, external := newSQLClient(t)
+	if err := external.LoadDataset("census", ColumnLayout); err == nil ||
+		!strings.Contains(err.Error(), "NewWithBackend") {
+		t.Errorf("LoadDataset guard: %v", err)
+	}
+	if err := external.CreateTable("t", nil, ColumnLayout); err == nil {
+		t.Error("CreateTable guard missing")
+	}
+	schema, err := NewSchema(Column{Name: "a", Type: TypeString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := external.LoadCSV("t", schema, ColumnLayout, strings.NewReader("a\nx\n")); err == nil {
+		t.Error("LoadCSV guard missing")
+	}
+}

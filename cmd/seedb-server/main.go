@@ -20,9 +20,11 @@ import (
 	"os"
 	"strings"
 
+	"seedb/internal/backend/sqlbe"
 	"seedb/internal/dataset"
 	"seedb/internal/server"
 	"seedb/internal/sqldb"
+	"seedb/internal/sqldriver"
 )
 
 func main() {
@@ -39,6 +41,9 @@ func run() error {
 		layoutStr   = flag.String("layout", "col", "physical layout for preloaded datasets")
 		rows        = flag.Int("rows", 0, "row override for preloaded datasets (0 = defaults)")
 		cacheBudget = flag.Int64("cachebudget", 0, "result cache byte budget (0 = 64MiB default)")
+		sqlBackend  = flag.Bool("sql-backend", false,
+			"also register a \"sql\" backend that reaches the store through database/sql\n"+
+				"(the external-backend path; select per request with {\"backend\": \"sql\"})")
 	)
 	flag.Parse()
 
@@ -67,6 +72,21 @@ func run() error {
 		}
 	}
 
+	srv := server.NewWithCacheBudget(db, *cacheBudget)
+	if *sqlBackend {
+		// Wire the same data through database/sql (the sqldriver shim), so
+		// the full external-store execution path — SQL text, driver-value
+		// conversion, capability degradation — is exercisable end to end.
+		// A real deployment would hand sqlbe.New a postgres/mysql handle
+		// instead; see docs/BACKENDS.md. The embedded catalog doubles as
+		// the version watermark, so cache invalidation stays automatic
+		// even through the database/sql path.
+		be := sqlbe.New(sqldriver.Open(db), sqlbe.Options{Version: db.TableVersion})
+		if err := srv.RegisterBackend("sql", be); err != nil {
+			return err
+		}
+		fmt.Println(`registered database/sql backend "sql"`)
+	}
 	fmt.Printf("SeeDB middleware listening on %s\n", *listen)
-	return http.ListenAndServe(*listen, server.NewWithCacheBudget(db, *cacheBudget))
+	return http.ListenAndServe(*listen, srv)
 }

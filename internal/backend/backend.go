@@ -1,0 +1,217 @@
+// Package backend defines the seam between the SeeDB recommendation
+// middleware and the data store it runs on.
+//
+// The paper's architecture (Section 3, Figure 3) deliberately separates
+// the middleware — view generation, sharing optimizations, pruning,
+// phased execution — from the DBMS that executes the generated
+// aggregation queries, so the same optimizer can sit in front of any
+// store. This package is that separation made concrete: core.Engine
+// depends only on the Backend interface, and a Backend supplies three
+// things:
+//
+//   - schema introspection (TableInfo, TableStats), which feeds the view
+//     generator's dimension/measure classification and the bin-packing
+//     group-by optimizer;
+//   - dataset versioning (TableVersion), which keys the shared result
+//     cache so stale entries become unreachable when data changes;
+//   - query execution (Exec), which runs one generated SQL aggregation
+//     query and returns materialized rows plus execution stats.
+//
+// Two implementations ship with the repository: Embedded (this package)
+// wraps the in-process sqldb column/row store with zero behavior change,
+// and sqlbe (a subpackage) pushes the combined CASE-flag aggregate
+// queries through database/sql to any external SQL store.
+//
+// Not every store supports every engine optimization, so backends
+// declare Capabilities and the engine degrades gracefully: phased
+// sharing-aware execution (COMB/COMB_EARLY) for backends with row-range
+// scans, single-pass combined queries (SHARING) otherwise. The
+// conformancetest subpackage checks any implementation against the
+// embedded reference, modulo exactly those documented degradations.
+package backend
+
+import (
+	"context"
+	"errors"
+	"strings"
+
+	"seedb/internal/sqldb"
+)
+
+// ErrNoTable reports that a table does not exist in the backend's
+// store. TableInfo implementations return it (possibly wrapped) when
+// they can tell the difference between a missing table and a store
+// failure; callers match with errors.Is.
+var ErrNoTable = errors.New("backend: table does not exist")
+
+// Value is the engine's runtime scalar, shared with the embedded store
+// so the hot path (the embedded adapter) moves rows without conversion.
+type Value = sqldb.Value
+
+// ColumnType identifies a column's declared type.
+type ColumnType = sqldb.ColumnType
+
+// Layout identifies a table's physical storage organization. External
+// backends that do not know (or do not expose) their physical layout
+// should report LayoutRow, whose larger group-by memory budget is the
+// conservative default for general-purpose stores.
+type Layout = sqldb.Layout
+
+// Column types and layouts, re-exported so engine code above this seam
+// does not import the embedded store directly.
+const (
+	TypeInt    = sqldb.TypeInt
+	TypeFloat  = sqldb.TypeFloat
+	TypeString = sqldb.TypeString
+	TypeBool   = sqldb.TypeBool
+
+	LayoutRow = sqldb.LayoutRow
+	LayoutCol = sqldb.LayoutCol
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// TableInfo is the schema-level description of one table, as the view
+// generator and the engine's option defaulting need it.
+type TableInfo struct {
+	// Name is the table's canonical name.
+	Name string
+	// Columns lists the table's attributes in declaration order.
+	Columns []Column
+	// Rows is the current row count. The phased execution framework
+	// partitions [0, Rows) into scan ranges; backends without
+	// SupportsPhasedExecution still report it for diagnostics.
+	Rows int
+	// Layout is the physical layout, which selects the engine's default
+	// group-by memory budget (Figure 8a of the paper).
+	Layout Layout
+}
+
+// Lookup returns the named column (case-insensitive) and whether it
+// exists.
+func (ti TableInfo) Lookup(name string) (Column, bool) {
+	for _, c := range ti.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// ColumnStats summarizes one column for the view generator (which
+// classifies columns into dimension and measure attributes) and the
+// bin-packing group-by optimizer (which needs distinct counts).
+type ColumnStats struct {
+	Name string
+	Type ColumnType
+	// Distinct is the distinct non-NULL value count. Exact for the
+	// embedded store; external backends may estimate.
+	Distinct int
+}
+
+// TableStats holds per-column statistics for a table.
+type TableStats struct {
+	Rows    int
+	Columns []ColumnStats
+}
+
+// Column returns stats for the named column (case-insensitive).
+func (ts *TableStats) Column(name string) (ColumnStats, bool) {
+	for _, c := range ts.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return c, true
+		}
+	}
+	return ColumnStats{}, false
+}
+
+// ExecOptions controls one query execution.
+type ExecOptions struct {
+	// Lo and Hi restrict the scan to base-table rows in [Lo, Hi).
+	// Hi <= 0 means "to the end of the table". Only meaningful on
+	// backends with SupportsPhasedExecution; others must reject a
+	// sub-range rather than silently scan everything.
+	Lo, Hi int
+	// Workers is the intra-query scan parallelism hint. Backends without
+	// SupportsVectorized ignore it.
+	Workers int
+}
+
+// ExecStats reports what one query execution cost. Fields a backend
+// cannot measure are zero (see the capability matrix in
+// docs/BACKENDS.md).
+type ExecStats struct {
+	// RowsScanned is the number of base-table rows visited (0 when the
+	// store does not expose scan counts).
+	RowsScanned int
+	// Groups is the number of distinct groups materialized.
+	Groups int
+	// Vectorized reports whether a parallel vectorized fast path
+	// executed the aggregation.
+	Vectorized bool
+	// Workers is the number of scan workers actually used (1 for serial
+	// execution).
+	Workers int
+}
+
+// Rows is a fully materialized query result: named columns over rows of
+// engine scalars.
+type Rows struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Capabilities declares which engine optimizations a backend can
+// support. The engine consults them once per request and degrades
+// gracefully: a missing capability changes cost, never correctness.
+type Capabilities struct {
+	// SupportsVectorized reports whether Exec honors ExecOptions.Workers
+	// with an intra-query parallel scan.
+	SupportsVectorized bool
+	// SupportsPhasedExecution reports whether Exec honors the
+	// ExecOptions.Lo/Hi row-range restriction, which SeeDB's phased
+	// execution framework (Section 3) needs to process the i-th of n
+	// partitions. Without it the engine rewrites COMB/COMB_EARLY
+	// requests to the single-pass SHARING strategy.
+	SupportsPhasedExecution bool
+}
+
+// Backend is a data store the SeeDB engine can recommend over.
+//
+// Implementations must be safe for concurrent use: the engine issues
+// view queries from a worker pool, and one backend may serve many
+// concurrent Recommend invocations.
+type Backend interface {
+	// Name identifies the backend implementation (e.g. "sqldb", "sql").
+	// It namespaces cache version tokens, so two backends over
+	// coincidentally same-named tables never share cache entries.
+	Name() string
+	// Capabilities reports which optional engine optimizations this
+	// backend supports.
+	Capabilities() Capabilities
+	// TableInfo returns the schema-level description of a table. A
+	// missing table is reported as ErrNoTable (possibly wrapped); any
+	// other error means the store could not be introspected — callers
+	// must not conflate the two (an outage is not a bad table name).
+	TableInfo(table string) (TableInfo, error)
+	// TableVersion returns an opaque token identifying the table's
+	// current contents, and whether the table exists. Any data change
+	// must yield a token never seen before; the shared result cache
+	// embeds it in every key, which is what makes invalidation purely
+	// versioned. Backends that cannot observe external writes return an
+	// instance-scoped token and document the staleness window.
+	TableVersion(table string) (string, bool)
+	// TableStats returns per-column statistics for the view generator
+	// and the bin-packing optimizer.
+	TableStats(table string) (*TableStats, error)
+	// Exec runs one SQL query and returns the materialized result and
+	// its execution stats. The query text is generated by the engine's
+	// query builder (SELECT ... FROM t [WHERE ...] GROUP BY ... with
+	// optional CASE-flag group columns); ctx cancellation must abort
+	// long scans.
+	Exec(ctx context.Context, query string, opts ExecOptions) (*Rows, ExecStats, error)
+}

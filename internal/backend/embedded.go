@@ -1,0 +1,99 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+
+	"seedb/internal/sqldb"
+)
+
+// Embedded adapts the in-process sqldb store to the Backend interface
+// with zero behavior change: queries, row-range scans and the parallel
+// vectorized executor are delegated directly, and result rows are shared
+// (not copied) with the underlying store's materialized results.
+type Embedded struct {
+	db *sqldb.DB
+}
+
+// NewEmbedded wraps db as a Backend.
+func NewEmbedded(db *sqldb.DB) *Embedded {
+	return &Embedded{db: db}
+}
+
+// DB returns the underlying embedded database, for table management
+// paths (loading datasets, appending rows) that are inherently
+// embedded-only.
+func (b *Embedded) DB() *sqldb.DB { return b.db }
+
+// Name identifies the embedded store.
+func (b *Embedded) Name() string { return "sqldb" }
+
+// Capabilities: the embedded store supports everything — row-range
+// scans for phased execution, and the parallel vectorized fast path.
+func (b *Embedded) Capabilities() Capabilities {
+	return Capabilities{
+		SupportsVectorized:      true,
+		SupportsPhasedExecution: true,
+	}
+}
+
+// TableInfo describes a table from the live catalog.
+func (b *Embedded) TableInfo(table string) (TableInfo, error) {
+	t, ok := b.db.Table(table)
+	if !ok {
+		return TableInfo{}, fmt.Errorf("%w: %q", ErrNoTable, table)
+	}
+	schema := t.Schema()
+	cols := make([]Column, schema.NumColumns())
+	for i := range cols {
+		c := schema.Column(i)
+		cols[i] = Column{Name: c.Name, Type: c.Type}
+	}
+	return TableInfo{
+		Name:    t.Name(),
+		Columns: cols,
+		Rows:    t.NumRows(),
+		Layout:  t.Layout(),
+	}, nil
+}
+
+// TableVersion delegates to the store's versioned catalog (process-unique
+// DB id + catalog epoch + row generation), so every load, append and
+// drop-and-reload yields a fresh token.
+func (b *Embedded) TableVersion(table string) (string, bool) {
+	return b.db.TableVersion(table)
+}
+
+// TableStats converts the store's exact single-scan statistics.
+func (b *Embedded) TableStats(table string) (*TableStats, error) {
+	ts, err := b.db.Stats(table)
+	if err != nil {
+		return nil, err
+	}
+	out := &TableStats{Rows: ts.Rows, Columns: make([]ColumnStats, len(ts.Columns))}
+	for i, c := range ts.Columns {
+		out.Columns[i] = ColumnStats{Name: c.Name, Type: c.Type, Distinct: c.Distinct}
+	}
+	return out, nil
+}
+
+// Exec executes one query with full support for row ranges and
+// intra-query scan parallelism.
+func (b *Embedded) Exec(ctx context.Context, query string, opts ExecOptions) (*Rows, ExecStats, error) {
+	res, err := b.db.QueryOpts(query, sqldb.ExecOptions{
+		Ctx:     ctx,
+		Lo:      opts.Lo,
+		Hi:      opts.Hi,
+		Workers: opts.Workers,
+	})
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	stats := ExecStats{
+		RowsScanned: res.Stats.RowsScanned,
+		Groups:      res.Stats.Groups,
+		Vectorized:  res.Stats.Vectorized,
+		Workers:     res.Stats.Workers,
+	}
+	return &Rows{Columns: res.Columns, Rows: res.Rows}, stats, nil
+}

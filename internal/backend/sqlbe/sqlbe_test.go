@@ -1,0 +1,298 @@
+package sqlbe
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"seedb/internal/backend"
+	"seedb/internal/sqldb"
+	"seedb/internal/sqldriver"
+)
+
+// newBackend builds an embedded store, loads a small table and wraps it
+// through database/sql (the sqldriver stub), which is exactly how the
+// conformance tests exercise external-store execution without cgo.
+func newBackend(t *testing.T) (*Backend, *sqldb.DB) {
+	t.Helper()
+	db := sqldb.NewDB()
+	schema := sqldb.MustSchema(
+		sqldb.Column{Name: "region", Type: sqldb.TypeString},
+		sqldb.Column{Name: "ok", Type: sqldb.TypeBool},
+		sqldb.Column{Name: "qty", Type: sqldb.TypeInt},
+		sqldb.Column{Name: "price", Type: sqldb.TypeFloat},
+	)
+	tab, err := db.CreateTable("sales", schema, sqldb.LayoutCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]sqldb.Value{
+		{sqldb.Str("east"), sqldb.Bool(true), sqldb.Int(1), sqldb.Float(1.5)},
+		{sqldb.Str("west"), sqldb.Bool(false), sqldb.Int(2), sqldb.Null()},
+		{sqldb.Str("east"), sqldb.Bool(true), sqldb.Int(3), sqldb.Float(3.5)},
+		{sqldb.Str("west"), sqldb.Bool(true), sqldb.Int(4), sqldb.Float(4.5)},
+	}
+	for _, r := range rows {
+		if err := tab.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(sqldriver.Open(db), Options{}), db
+}
+
+func TestIntrospection(t *testing.T) {
+	be, _ := newBackend(t)
+	if be.Name() != "sql" {
+		t.Errorf("Name = %q", be.Name())
+	}
+	caps := be.Capabilities()
+	if caps.SupportsVectorized || caps.SupportsPhasedExecution {
+		t.Errorf("capabilities = %+v, want none", caps)
+	}
+
+	ti, err := be.TableInfo("sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti.Rows != 4 || ti.Layout != backend.LayoutRow {
+		t.Errorf("TableInfo = %+v", ti)
+	}
+	wantTypes := map[string]backend.ColumnType{
+		"region": backend.TypeString,
+		"ok":     backend.TypeBool,
+		"qty":    backend.TypeInt,
+		"price":  backend.TypeFloat,
+	}
+	for name, want := range wantTypes {
+		c, ok := ti.Lookup(name)
+		if !ok || c.Type != want {
+			t.Errorf("column %s = %+v (ok=%v), want type %v", name, c, ok, want)
+		}
+	}
+	if _, err := be.TableInfo("missing"); err == nil {
+		t.Error("TableInfo(missing) should error")
+	}
+}
+
+func TestTableStats(t *testing.T) {
+	be, _ := newBackend(t)
+	ts, err := be.TableStats("sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Rows != 4 {
+		t.Errorf("rows = %d", ts.Rows)
+	}
+	if c, _ := ts.Column("region"); c.Distinct != 2 {
+		t.Errorf("region distinct = %d, want 2", c.Distinct)
+	}
+	if c, _ := ts.Column("price"); c.Distinct != 3 { // one NULL excluded
+		t.Errorf("price distinct = %d, want 3", c.Distinct)
+	}
+	if _, err := be.TableStats("missing"); err == nil {
+		t.Error("TableStats(missing) should error")
+	}
+}
+
+func TestExec(t *testing.T) {
+	be, _ := newBackend(t)
+	rows, stats, err := be.Exec(context.Background(),
+		"SELECT region, CASE WHEN qty > 2 THEN 1 ELSE 0 END AS __seedb_flag, SUM(price), COUNT(price) "+
+			"FROM sales GROUP BY region, CASE WHEN qty > 2 THEN 1 ELSE 0 END",
+		backend.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) != 4 || stats.Groups != 4 || stats.Vectorized {
+		t.Errorf("rows=%d stats=%+v", len(rows.Rows), stats)
+	}
+	// Values must round-trip as engine scalars usable by the merger.
+	for _, r := range rows.Rows {
+		if r[0].Kind != sqldb.KindString {
+			t.Errorf("group key kind = %v", r[0].Kind)
+		}
+		if !r[1].Truthy() && r[1].IsNull() {
+			t.Errorf("flag column came back NULL")
+		}
+	}
+
+	// Row ranges must be rejected, not silently widened.
+	_, _, err = be.Exec(context.Background(), "SELECT region FROM sales", backend.ExecOptions{Lo: 0, Hi: 2})
+	if err == nil || !strings.Contains(err.Error(), "row-range") {
+		t.Errorf("want row-range rejection, got %v", err)
+	}
+
+	// Non-SELECT statements must be rejected: the backend is read-only
+	// whatever surface forwards query text to it.
+	_, _, err = be.Exec(context.Background(), "  drop table sales", backend.ExecOptions{})
+	if err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Errorf("want read-only rejection, got %v", err)
+	}
+}
+
+func TestCheckReadOnly(t *testing.T) {
+	for _, ok := range []string{
+		"SELECT region FROM sales",
+		"  select 1  ",
+		"SELECT region FROM sales WHERE note = 'a;b';",
+		"SELECT region FROM sales WHERE note = 'it''s; fine'",
+	} {
+		if err := checkReadOnly(ok); err != nil {
+			t.Errorf("checkReadOnly(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{
+		"DROP TABLE sales",
+		"UPDATE sales SET qty = 0",
+		"SELECT 1; DROP TABLE sales",
+		"SELECT 1;DELETE FROM sales;",
+	} {
+		if err := checkReadOnly(bad); err == nil {
+			t.Errorf("checkReadOnly(%q) should reject", bad)
+		}
+	}
+}
+
+func TestCoerceNumeric(t *testing.T) {
+	if v, err := coerceNumeric(sqldb.Str("42"), backend.TypeInt); err != nil || v.Kind != sqldb.KindInt || v.I != 42 {
+		t.Errorf("int coercion = %+v, %v", v, err)
+	}
+	// Declared-int values wider than int64 (or decimal) fall to float.
+	if v, err := coerceNumeric(sqldb.Str("1.5"), backend.TypeInt); err != nil || v.Kind != sqldb.KindFloat || v.F != 1.5 {
+		t.Errorf("int→float coercion = %+v, %v", v, err)
+	}
+	if v, err := coerceNumeric(sqldb.Str("123.4500"), backend.TypeFloat); err != nil || v.F != 123.45 {
+		t.Errorf("float coercion = %+v, %v", v, err)
+	}
+	// Declared numeric that cannot parse must fail loudly, not fold as
+	// a silently-skipped string.
+	if _, err := coerceNumeric(sqldb.Str("abc"), backend.TypeFloat); err == nil {
+		t.Error("unparseable declared-numeric value should error")
+	}
+	// Declared strings pass through untouched.
+	if v, err := coerceNumeric(sqldb.Str("02134"), backend.TypeString); err != nil || v.S != "02134" {
+		t.Errorf("string passthrough = %+v, %v", v, err)
+	}
+}
+
+// TestIdentifierValidation: request-supplied table names are
+// interpolated into introspection SQL and must not be able to smuggle
+// subqueries (or anything else) into the store.
+func TestIdentifierValidation(t *testing.T) {
+	be, _ := newBackend(t)
+	for _, bad := range []string{
+		"(SELECT * FROM sales) s",
+		"sales; DROP TABLE sales",
+		"sales--",
+		"sa les",
+		"",
+	} {
+		if _, err := be.TableInfo(bad); err == nil {
+			t.Errorf("TableInfo(%q) should reject the identifier", bad)
+		}
+	}
+	// Schema-qualified names are legitimate external-store identifiers.
+	if err := checkIdent("table", "analytics.sales"); err != nil {
+		t.Errorf("qualified name rejected: %v", err)
+	}
+}
+
+func TestVersioning(t *testing.T) {
+	be, _ := newBackend(t)
+	v1, ok := be.TableVersion("sales")
+	if !ok {
+		t.Fatal("no version for sales")
+	}
+	v2, _ := be.TableVersion("sales")
+	if v1 != v2 {
+		t.Errorf("version unstable without changes: %q vs %q", v1, v2)
+	}
+	be.BumpVersion()
+	v3, _ := be.TableVersion("sales")
+	if v3 == v1 {
+		t.Error("BumpVersion did not change the token")
+	}
+	if _, ok := be.TableVersion("missing"); ok {
+		t.Error("TableVersion(missing) should report absent")
+	}
+
+	custom := New(nil, Options{Version: func(table string) (string, bool) {
+		return "wm-42", table == "sales"
+	}})
+	if v, ok := custom.TableVersion("sales"); !ok || v != "wm-42" {
+		t.Errorf("custom version = %q %v", v, ok)
+	}
+}
+
+func TestStatsMemoInvalidatesOnBump(t *testing.T) {
+	be, db := newBackend(t)
+	ti, _ := be.TableInfo("sales")
+	if ti.Rows != 4 {
+		t.Fatalf("rows = %d", ti.Rows)
+	}
+	tab, _ := db.Table("sales")
+	if err := tab.AppendRow([]sqldb.Value{sqldb.Str("north"), sqldb.Bool(false), sqldb.Int(9), sqldb.Float(9)}); err != nil {
+		t.Fatal(err)
+	}
+	// Memoized introspection still reports the old count until the
+	// operator signals a change...
+	ti, _ = be.TableInfo("sales")
+	if ti.Rows != 4 {
+		t.Errorf("memoized rows = %d, want 4", ti.Rows)
+	}
+	// ...after which it re-introspects.
+	be.BumpVersion()
+	ti, _ = be.TableInfo("sales")
+	if ti.Rows != 5 {
+		t.Errorf("post-bump rows = %d, want 5", ti.Rows)
+	}
+}
+
+// TestCustomVersionRefreshesIntrospection: with Options.Version, a new
+// watermark must invalidate the memoized schema/stats too — not only
+// the result cache.
+func TestCustomVersionRefreshesIntrospection(t *testing.T) {
+	db := sqldb.NewDB()
+	schema := sqldb.MustSchema(
+		sqldb.Column{Name: "g", Type: sqldb.TypeString},
+		sqldb.Column{Name: "m", Type: sqldb.TypeFloat},
+	)
+	tab, err := db.CreateTable("t", schema, sqldb.LayoutCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AppendRow([]sqldb.Value{sqldb.Str("a"), sqldb.Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	watermark := "w1"
+	be := New(sqldriver.Open(db), Options{Version: func(string) (string, bool) {
+		return watermark, true
+	}})
+
+	if ti, err := be.TableInfo("t"); err != nil || ti.Rows != 1 {
+		t.Fatalf("TableInfo = %+v, %v", ti, err)
+	}
+	if ts, err := be.TableStats("t"); err != nil {
+		t.Fatal(err)
+	} else if c, _ := ts.Column("g"); c.Distinct != 1 {
+		t.Fatalf("g distinct = %d", c.Distinct)
+	}
+
+	if err := tab.AppendRow([]sqldb.Value{sqldb.Str("b"), sqldb.Float(2)}); err != nil {
+		t.Fatal(err)
+	}
+	// Same watermark → memo still serves the old counts.
+	if ti, _ := be.TableInfo("t"); ti.Rows != 1 {
+		t.Errorf("same-watermark rows = %d, want memoized 1", ti.Rows)
+	}
+	// New watermark → full re-introspection, stats included.
+	watermark = "w2"
+	if ti, _ := be.TableInfo("t"); ti.Rows != 2 {
+		t.Errorf("new-watermark rows = %d, want 2", ti.Rows)
+	}
+	if ts, err := be.TableStats("t"); err != nil {
+		t.Fatal(err)
+	} else if c, _ := ts.Column("g"); c.Distinct != 2 {
+		t.Errorf("new-watermark g distinct = %d, want 2", c.Distinct)
+	}
+}

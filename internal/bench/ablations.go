@@ -43,7 +43,7 @@ func AblationDistance(ctx context.Context, cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := core.NewEngine(db)
+	eng := newEngine(db)
 	req := requestFor(spec)
 
 	const k = 10
@@ -89,7 +89,7 @@ func AblationPhases(ctx context.Context, cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := core.NewEngine(db)
+	eng := newEngine(db)
 	req := requestFor(spec)
 	const k = 10
 	oracle, err := eng.ExactTopK(ctx, req, distance.EMD, spec.NumViews())
@@ -137,7 +137,7 @@ func AblationDelta(ctx context.Context, cfg Config) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := core.NewEngine(db)
+	eng := newEngine(db)
 	req := requestFor(spec)
 	const k = 5
 	oracle, err := eng.ExactTopK(ctx, req, distance.EMD, spec.NumViews())
@@ -189,7 +189,7 @@ func AblationEarlyError(ctx context.Context, cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng := core.NewEngine(db)
+		eng := newEngine(db)
 		req := requestFor(spec)
 		oracle, err := eng.ExactTopK(ctx, req, distance.EMD, spec.NumViews())
 		if err != nil {

@@ -18,11 +18,18 @@ import (
 	"strings"
 	"time"
 
+	"seedb/internal/backend"
 	"seedb/internal/core"
 	"seedb/internal/dataset"
 	"seedb/internal/distance"
 	"seedb/internal/sqldb"
 )
+
+// newEngine wires an engine over the embedded store through the backend
+// seam; the experiments always run against the in-process substrate.
+func newEngine(db *sqldb.DB) *core.Engine {
+	return core.NewEngine(backend.NewEmbedded(db))
+}
 
 // Config scales the experiments.
 type Config struct {
@@ -255,5 +262,5 @@ func f4(x float64) string { return fmt.Sprintf("%.4f", x) }
 
 // oracleFor computes exact utilities for a request.
 func oracleFor(ctx context.Context, db *sqldb.DB, req core.Request, k int) (*core.Result, error) {
-	return core.NewEngine(db).ExactTopK(ctx, req, distance.EMD, k)
+	return newEngine(db).ExactTopK(ctx, req, distance.EMD, k)
 }

@@ -53,7 +53,7 @@ func MeasureCache(ctx context.Context, cfg Config) (*CacheDatapoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := core.NewEngine(db)
+	eng := newEngine(db)
 	req := requestFor(spec)
 	req.Reference = core.RefAll // reference views are shareable across predicates
 	opts := core.Options{Strategy: core.Sharing, K: 10, EnableCache: true, Parallelism: cfg.Parallelism}
@@ -69,7 +69,7 @@ func MeasureCache(ctx context.Context, cfg Config) (*CacheDatapoint, error) {
 
 	// Concurrent identical requests against a fresh engine: singleflight
 	// must collapse them into one execution.
-	engC := core.NewEngine(db)
+	engC := newEngine(db)
 	const concurrent = 8
 	var wg sync.WaitGroup
 	execs := make([]int, concurrent)

@@ -52,7 +52,7 @@ func MeasureParallel(ctx context.Context, cfg Config) (*ParallelDatapoint, error
 	if err != nil {
 		return nil, err
 	}
-	eng := core.NewEngine(db)
+	eng := newEngine(db)
 	req := requestFor(spec)
 	// At least two workers so the vectorized path always runs: on a
 	// single core the measurement then isolates what vectorization alone

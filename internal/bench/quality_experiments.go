@@ -105,7 +105,7 @@ func qualityRun(ctx context.Context, cfg Config, name string, figID string) ([]*
 		if err != nil {
 			return nil, err
 		}
-		eng := core.NewEngine(db)
+		eng := newEngine(db)
 		req := requestFor(spec)
 		oracle, err := eng.ExactTopK(ctx, req, distance.EMD, spec.NumViews())
 		if err != nil {
@@ -175,7 +175,7 @@ func Figure13(ctx context.Context, cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng := core.NewEngine(db)
+		eng := newEngine(db)
 		req := requestFor(spec)
 		t := &Table{
 			ID:     fmt.Sprintf("figure13%c", 'a'+i),

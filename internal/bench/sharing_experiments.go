@@ -75,7 +75,7 @@ func Figure5(ctx context.Context, cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			eng := core.NewEngine(db)
+			eng := newEngine(db)
 			req := requestFor(spec)
 			lat := make([]time.Duration, len(strategies))
 			for si, s := range strategies {
@@ -128,7 +128,7 @@ func Figure6(ctx context.Context, cfg Config) ([]*Table, error) {
 			}
 			req := requestFor(spec)
 			req.Dimensions, req.Measures = dimsA, measA
-			d, _, err := timeRecommend(ctx, core.NewEngine(db), req, core.Options{Strategy: core.NoOpt, K: 10})
+			d, _, err := timeRecommend(ctx, newEngine(db), req, core.Options{Strategy: core.NoOpt, K: 10})
 			if err != nil {
 				return nil, err
 			}
@@ -162,11 +162,11 @@ func Figure6(ctx context.Context, cfg Config) ([]*Table, error) {
 		req := requestFor(spec)
 		req.Dimensions = base.DimNames()[:vs.d]
 		req.Measures = base.MeasureNames()[:vs.m]
-		dRow, _, err := timeRecommend(ctx, core.NewEngine(dbRow), req, core.Options{Strategy: core.NoOpt, K: 10})
+		dRow, _, err := timeRecommend(ctx, newEngine(dbRow), req, core.Options{Strategy: core.NoOpt, K: 10})
 		if err != nil {
 			return nil, err
 		}
-		dCol, _, err := timeRecommend(ctx, core.NewEngine(dbCol), req, core.Options{Strategy: core.NoOpt, K: 10})
+		dCol, _, err := timeRecommend(ctx, newEngine(dbCol), req, core.Options{Strategy: core.NoOpt, K: 10})
 		if err != nil {
 			return nil, err
 		}
@@ -212,7 +212,7 @@ func Figure7(ctx context.Context, cfg Config) ([]*Table, error) {
 				K:                     10,
 				Parallelism:           cfg.Parallelism,
 			}
-			d, _, err := timeRecommend(ctx, core.NewEngine(dbs[li]), req, opts)
+			d, _, err := timeRecommend(ctx, newEngine(dbs[li]), req, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -242,7 +242,7 @@ func Figure7(ctx context.Context, cfg Config) ([]*Table, error) {
 				Parallelism:             par,
 				K:                       10,
 			}
-			d, _, err := timeRecommend(ctx, core.NewEngine(dbs[li]), req, opts)
+			d, _, err := timeRecommend(ctx, newEngine(dbs[li]), req, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -281,7 +281,7 @@ func Figure8(ctx context.Context, cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			eng := core.NewEngine(db)
+			eng := newEngine(db)
 			req := requestFor(spec)
 			for _, ngb := range ngbSweep {
 				opts := core.Options{
@@ -341,7 +341,7 @@ func Figure8(ctx context.Context, cfg Config) ([]*Table, error) {
 				Strategy: core.Sharing, GroupBy: core.GroupByMaxN, GroupBySet: true,
 				MaxGroupBy: ngb, K: 10, Parallelism: cfg.Parallelism,
 			}
-			d, res, err := timeRecommend(ctx, core.NewEngine(dbs[li]), req, opts)
+			d, res, err := timeRecommend(ctx, newEngine(dbs[li]), req, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -361,7 +361,7 @@ func Figure8(ctx context.Context, cfg Config) ([]*Table, error) {
 			Strategy: core.Sharing, GroupBy: core.GroupByBinPack, GroupBySet: true,
 			MemoryBudget: budget, K: 10, Parallelism: cfg.Parallelism,
 		}
-		d, res, err := timeRecommend(ctx, core.NewEngine(dbs[li]), req, opts)
+		d, res, err := timeRecommend(ctx, newEngine(dbs[li]), req, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -401,7 +401,7 @@ func Figure9(ctx context.Context, cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			eng := core.NewEngine(db)
+			eng := newEngine(db)
 			req := requestFor(spec)
 			req.Dimensions, req.Measures = dims, meas
 			dNo, _, err := timeRecommend(ctx, eng, req, core.Options{Strategy: core.NoOpt, K: 10})

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"seedb/internal/dataset"
+	"seedb/internal/sqldb"
+)
+
+// These tests pin the executor-counter contract: on every execution
+// path, QueriesExecuted == VectorizedQueries + FallbackQueries, and the
+// counters describe what actually ran. The audit behind them found the
+// counters are folded in exactly one place (Metrics.recordExec, called
+// per paid execution in runQueries); the edge most worth guarding is the
+// vectorized fast path's runtime fallback retry — a query whose plan is
+// vectorizable (opts.Workers > 1, eligible shape) but whose execution
+// falls back to the serial interpreter at runtime (row-store table,
+// group-id-space overflow). A regression that counted that retry as
+// vectorized, or skipped QueriesExecuted for it, would silently skew the
+// /healthz executor dashboards and the bench reports.
+
+// assertCounters checks the partition invariant.
+func assertCounters(t *testing.T, m Metrics) {
+	t.Helper()
+	if m.QueriesExecuted != m.VectorizedQueries+m.FallbackQueries {
+		t.Errorf("QueriesExecuted=%d must equal Vectorized=%d + Fallback=%d",
+			m.QueriesExecuted, m.VectorizedQueries, m.FallbackQueries)
+	}
+}
+
+// TestCountersVectorizedPath: column store + Workers>1 runs the fast
+// path, and the counters say so.
+func TestCountersVectorizedPath(t *testing.T) {
+	e, req := buildCensus(t, sqldb.LayoutCol, 2000)
+	res, err := e.Recommend(context.Background(), req, Options{
+		Strategy: Sharing, K: 3, ScanParallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	assertCounters(t, m)
+	if m.QueriesExecuted == 0 || m.VectorizedQueries == 0 {
+		t.Errorf("expected vectorized executions, metrics: %+v", m)
+	}
+	if m.ScanWorkers < 2 {
+		t.Errorf("ScanWorkers = %d, want >= 2", m.ScanWorkers)
+	}
+}
+
+// TestCountersRuntimeFallbackEdge: a row-store table compiles the same
+// vectorizable plan, but the fast path declines at runtime (it only
+// scans column-store vectors) and retries on the serial interpreter.
+// Every such retry must still count as an executed fallback query.
+func TestCountersRuntimeFallbackEdge(t *testing.T) {
+	e, req := buildCensus(t, sqldb.LayoutRow, 2000)
+	res, err := e.Recommend(context.Background(), req, Options{
+		Strategy: Sharing, K: 3, ScanParallelism: 4,
+		// Row stores default to bin-packed group-bys; pin single so the
+		// query count is layout-independent.
+		GroupBy: GroupBySingle, GroupBySet: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	assertCounters(t, m)
+	if m.QueriesExecuted == 0 {
+		t.Fatal("no queries executed")
+	}
+	if m.VectorizedQueries != 0 {
+		t.Errorf("row store cannot vectorize, metrics: %+v", m)
+	}
+	if m.FallbackQueries != m.QueriesExecuted {
+		t.Errorf("fallback retries must all be counted: %+v", m)
+	}
+}
+
+// TestCountersInterpreterShapes: int-dimension group keys are ineligible
+// at plan time; phased execution and NoOpt run serial. All paths must
+// keep the partition invariant.
+func TestCountersInterpreterShapes(t *testing.T) {
+	db := sqldb.NewDB()
+	schema := sqldb.MustSchema(
+		sqldb.Column{Name: "code", Type: sqldb.TypeInt},
+		sqldb.Column{Name: "m", Type: sqldb.TypeFloat},
+	)
+	tab, err := db.CreateTable("t", schema, sqldb.LayoutCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := tab.AppendRow([]sqldb.Value{sqldb.Int(int64(i % 5)), sqldb.Float(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := newTestEngine(db)
+	req := Request{Table: "t", TargetWhere: "code = 1 OR code = 2",
+		Dimensions: []string{"code"}, Measures: []string{"m"}}
+
+	for _, opts := range []Options{
+		{Strategy: Sharing, K: 1, ScanParallelism: 4}, // int dim → plan-time fallback
+		{Strategy: NoOpt, K: 1, ScanParallelism: 4},   // baseline pins serial
+		{Strategy: Comb, Pruning: CIPruning, K: 1, Phases: 4, ScanParallelism: 4},
+	} {
+		res, err := e.Recommend(context.Background(), req, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", opts.Strategy, err)
+		}
+		m := res.Metrics
+		assertCounters(t, m)
+		if m.QueriesExecuted == 0 {
+			t.Errorf("%v: no queries executed", opts.Strategy)
+		}
+		if opts.Strategy != Comb && m.VectorizedQueries != 0 {
+			t.Errorf("%v: int group key should fall back, metrics: %+v", opts.Strategy, m)
+		}
+	}
+}
+
+// TestCountersCacheHitsExcluded: warm requests count cache hits, not
+// executions, so the partition invariant holds trivially at zero.
+func TestCountersCacheHitsExcluded(t *testing.T) {
+	spec := dataset.Census().WithRows(1000)
+	db, _, err := dataset.BuildDB(spec, sqldb.LayoutCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEngine(db)
+	req := Request{Table: spec.Name, TargetWhere: spec.TargetPredicate(),
+		Dimensions: spec.DimNames(), Measures: spec.MeasureNames()}
+	opts := Options{Strategy: Sharing, K: 2, EnableCache: true}
+	if _, err := e.Recommend(context.Background(), req, opts); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := e.Recommend(context.Background(), req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := warm.Metrics
+	assertCounters(t, m)
+	if m.QueriesExecuted != 0 || m.VectorizedQueries != 0 || m.FallbackQueries != 0 || m.ScanWorkers != 0 {
+		t.Errorf("warm metrics must not report executions: %+v", m)
+	}
+}

@@ -2,34 +2,39 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"seedb/internal/backend"
 	"seedb/internal/cache"
 	"seedb/internal/distance"
-	"seedb/internal/sqldb"
 )
 
 // Engine is the SeeDB execution engine: it evaluates the candidate view
 // space for a request and returns the k most interesting (highest
-// deviation) visualizations.
+// deviation) visualizations. It talks to the store exclusively through
+// the backend seam (internal/backend), so the same sharing/pruning
+// optimizer runs over the embedded sqldb store or any external SQL
+// store, degrading per the backend's declared capabilities.
 type Engine struct {
-	db  *sqldb.DB
+	be  backend.Backend
 	gen *ViewGenerator
 
 	cacheMu sync.Mutex
 	cache   *cache.Cache
 }
 
-// NewEngine creates an engine over db.
-func NewEngine(db *sqldb.DB) *Engine {
-	return &Engine{db: db, gen: NewViewGenerator(db)}
+// NewEngine creates an engine over a backend. Wrap the embedded store
+// with backend.NewEmbedded.
+func NewEngine(be backend.Backend) *Engine {
+	return &Engine{be: be, gen: NewViewGenerator(be)}
 }
 
-// DB returns the underlying database.
-func (e *Engine) DB() *sqldb.DB { return e.db }
+// Backend returns the backend the engine executes against.
+func (e *Engine) Backend() backend.Backend { return e.be }
 
 // Generator returns the engine's view generator.
 func (e *Engine) Generator() *ViewGenerator { return e.gen }
@@ -138,7 +143,7 @@ type Result struct {
 
 // execState carries one invocation's working state.
 type execState struct {
-	db      *sqldb.DB
+	be      backend.Backend
 	req     Request
 	opts    Options
 	views   []View
@@ -156,6 +161,10 @@ type execState struct {
 // Recommend evaluates the view space for req and returns the top-k
 // recommendations under the configured options.
 //
+// The strategy actually executed may degrade per the backend's
+// capabilities — see EffectiveStrategy — so COMB/COMB_EARLY requests
+// against a backend without row-range scans run as single-pass SHARING.
+//
 // With Options.EnableCache set, the whole invocation is memoized in the
 // engine's shared cache under the request's canonical key and the
 // table's dataset version: repeat requests return without issuing any
@@ -170,21 +179,49 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 	if req.Reference == RefCustom && req.ReferenceWhere == "" {
 		return nil, fmt.Errorf("core: RefCustom requires ReferenceWhere")
 	}
-	t, ok := e.db.Table(req.Table)
-	if !ok {
+	ti, err := e.be.TableInfo(req.Table)
+	if errors.Is(err, backend.ErrNoTable) {
 		return nil, fmt.Errorf("core: table %q does not exist", req.Table)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: table metadata for %q: %w", req.Table, err)
 	}
 	views, err := e.gen.Views(req)
 	if err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults(t.Layout(), len(views))
+	caps := e.be.Capabilities()
+	opts.Strategy = EffectiveStrategy(opts.Strategy, caps)
+	if opts.Strategy == NoOpt || opts.Strategy == Sharing {
+		// Pruning options are inert on single-pass plans (the pruner
+		// never runs); canonicalize them before defaulting and cache-key
+		// construction so equivalent requests — including a COMB request
+		// degraded to SHARING — share one cache entry.
+		opts.Pruning = NoPruning
+		opts.Phases = 0
+		opts.Delta = 0
+		opts.ConfidenceScale = 0
+		opts.Seed = 0
+	}
+	opts = opts.withDefaults(ti.Layout, len(views))
+	if !caps.SupportsVectorized {
+		opts.ScanParallelism = 1
+	}
 	if opts.K > len(views) {
 		opts.K = len(views)
 	}
 
-	if !opts.EnableCache {
-		res, err := e.runRecommend(ctx, req, opts, views, t, nil, "")
+	// Without a dataset version token, cached entries could never be
+	// invalidated — treat the request as uncacheable rather than risk
+	// serving stale results forever. The token is only fetched for
+	// caching requests (it may cost a store round-trip on external
+	// backends with watermark version functions).
+	version, versioned := "", false
+	if opts.EnableCache {
+		version, versioned = e.be.TableVersion(req.Table)
+	}
+	if !versioned {
+		res, err := e.runRecommend(ctx, req, opts, views, ti, nil, "")
 		if err != nil {
 			return nil, err
 		}
@@ -193,11 +230,14 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 	}
 
 	c := e.ensureCache(opts.CacheBudgetBytes)
-	version, _ := e.db.TableVersion(req.Table)
+	// The version token is namespaced by the backend's name, so two
+	// backends holding coincidentally same-named tables can share one
+	// cache without ever sharing entries.
+	version = e.be.Name() + "|" + version
 	key := requestCacheKey(req, opts, version)
 	v, outcome, err := c.Do(ctx, key,
 		func(v any) int64 { return resultSizeBytes(v.(*Result)) },
-		func() (any, error) { return e.runRecommend(ctx, req, opts, views, t, c, version) },
+		func() (any, error) { return e.runRecommend(ctx, req, opts, views, ti, c, version) },
 	)
 	if err != nil {
 		return nil, err
@@ -224,10 +264,10 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 // runRecommend executes one cold recommendation. With a non-nil cache it
 // consults the shared-query memoization inside runQueries and the
 // reference-view store around the run.
-func (e *Engine) runRecommend(ctx context.Context, req Request, opts Options, views []View, t sqldb.Table, c *cache.Cache, version string) (*Result, error) {
+func (e *Engine) runRecommend(ctx context.Context, req Request, opts Options, views []View, ti backend.TableInfo, c *cache.Cache, version string) (*Result, error) {
 	start := time.Now()
 	st := &execState{
-		db:      e.db,
+		be:      e.be,
 		req:     req,
 		opts:    opts,
 		views:   views,
@@ -287,7 +327,7 @@ func (e *Engine) runRecommend(ctx context.Context, req Request, opts Options, vi
 	case NoOpt, Sharing:
 		err = st.runSinglePass(ctx, qb)
 	case Comb, CombEarly:
-		err = st.runPhased(ctx, qb, t.NumRows())
+		err = st.runPhased(ctx, qb, ti.Rows)
 	default:
 		err = fmt.Errorf("core: unknown strategy %v", opts.Strategy)
 	}

@@ -8,10 +8,22 @@ import (
 	"strings"
 	"testing"
 
+	"seedb/internal/backend"
 	"seedb/internal/dataset"
 	"seedb/internal/distance"
 	"seedb/internal/sqldb"
 )
+
+// newTestEngine wires an engine over the embedded store.
+func newTestEngine(db *sqldb.DB) *Engine {
+	return NewEngine(backend.NewEmbedded(db))
+}
+
+// embeddedDB unwraps the embedded database behind an engine's backend,
+// for tests that mutate table data directly.
+func embeddedDB(e *Engine) *sqldb.DB {
+	return e.Backend().(*backend.Embedded).DB()
+}
 
 // buildCensus loads a scaled-down census dataset and returns an engine
 // plus the canonical request (unmarried vs. all adults).
@@ -28,7 +40,7 @@ func buildCensus(t testing.TB, layout sqldb.Layout, rows int) (*Engine, Request)
 		Dimensions:  spec.DimNames(),
 		Measures:    spec.MeasureNames(),
 	}
-	return NewEngine(db), req
+	return newTestEngine(db), req
 }
 
 func TestViewSQLGeneration(t *testing.T) {
@@ -359,7 +371,7 @@ func TestAggregateFunctionsEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	e := NewEngine(db)
+	e := newTestEngine(db)
 	req := Request{
 		Table:       "t",
 		TargetWhere: "flagcol = 't'",
@@ -661,7 +673,7 @@ func TestNoOptQueriesAreSerialAndPerView(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	e := NewEngine(db)
+	e := newTestEngine(db)
 	res, err := e.Recommend(context.Background(), Request{
 		Table:       "t",
 		TargetWhere: "d = 'g0' OR d = 'g1'",

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
-	"seedb/internal/sqldb"
+	"seedb/internal/backend"
 )
 
 // maxDimensionCardinality is the default ceiling on distinct values for a
@@ -13,14 +14,16 @@ const maxDimensionCardinality = 1000
 
 // ViewGenerator enumerates the candidate aggregate views for a request
 // from system metadata (the "view generator" component in the paper's
-// architecture, Figure 3).
+// architecture, Figure 3). Metadata comes from the backend's schema
+// introspection, so enumeration works identically over the embedded
+// store and external SQL stores.
 type ViewGenerator struct {
-	db *sqldb.DB
+	be backend.Backend
 }
 
-// NewViewGenerator creates a generator over db.
-func NewViewGenerator(db *sqldb.DB) *ViewGenerator {
-	return &ViewGenerator{db: db}
+// NewViewGenerator creates a generator over a backend.
+func NewViewGenerator(be backend.Backend) *ViewGenerator {
+	return &ViewGenerator{be: be}
 }
 
 // Views enumerates V = A × M × F for the request. Explicitly listed
@@ -31,33 +34,35 @@ func NewViewGenerator(db *sqldb.DB) *ViewGenerator {
 // enumeration: low-cardinality numerics become dimensions, the rest
 // measures.
 func (g *ViewGenerator) Views(req Request) ([]View, error) {
-	t, ok := g.db.Table(req.Table)
-	if !ok {
+	ti, err := g.be.TableInfo(req.Table)
+	if errors.Is(err, backend.ErrNoTable) {
 		return nil, fmt.Errorf("core: table %q does not exist", req.Table)
 	}
-	schema := t.Schema()
+	if err != nil {
+		return nil, fmt.Errorf("core: table metadata for %q: %w", req.Table, err)
+	}
 
 	dims := req.Dimensions
 	measures := req.Measures
 	if len(dims) == 0 || len(measures) == 0 {
-		stats, err := g.db.Stats(req.Table)
+		stats, err := g.be.TableStats(req.Table)
 		if err != nil {
 			return nil, err
 		}
 		var derivedDims, derivedMeasures []string
 		for _, cs := range stats.Columns {
 			switch cs.Type {
-			case sqldb.TypeString, sqldb.TypeBool:
+			case backend.TypeString, backend.TypeBool:
 				if cs.Distinct <= maxDimensionCardinality {
 					derivedDims = append(derivedDims, cs.Name)
 				}
-			case sqldb.TypeInt:
+			case backend.TypeInt:
 				if cs.Distinct <= maxDimensionCardinality/10 {
 					derivedDims = append(derivedDims, cs.Name)
 				} else {
 					derivedMeasures = append(derivedMeasures, cs.Name)
 				}
-			case sqldb.TypeFloat:
+			case backend.TypeFloat:
 				derivedMeasures = append(derivedMeasures, cs.Name)
 			}
 		}
@@ -69,12 +74,12 @@ func (g *ViewGenerator) Views(req Request) ([]View, error) {
 		}
 	}
 	for _, d := range dims {
-		if _, ok := schema.Lookup(d); !ok {
+		if _, ok := ti.Lookup(d); !ok {
 			return nil, fmt.Errorf("core: dimension %q not in table %s", d, req.Table)
 		}
 	}
 	for _, m := range measures {
-		if _, ok := schema.Lookup(m); !ok {
+		if _, ok := ti.Lookup(m); !ok {
 			return nil, fmt.Errorf("core: measure %q not in table %s", m, req.Table)
 		}
 	}
@@ -115,7 +120,7 @@ func (g *ViewGenerator) Views(req Request) ([]View, error) {
 // DimensionCardinalities returns the distinct-value count for each named
 // dimension, in order — the |a_i| inputs to the bin-packing optimizer.
 func (g *ViewGenerator) DimensionCardinalities(table string, dims []string) ([]int, error) {
-	stats, err := g.db.Stats(table)
+	stats, err := g.be.TableStats(table)
 	if err != nil {
 		return nil, err
 	}

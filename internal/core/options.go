@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"runtime"
 
+	"seedb/internal/backend"
 	"seedb/internal/cache"
 	"seedb/internal/distance"
-	"seedb/internal/sqldb"
 )
 
 // Strategy selects the execution strategy, mirroring the paper's
@@ -30,6 +30,22 @@ const (
 	// returned (the paper's COMB_EARLY).
 	CombEarly
 )
+
+// EffectiveStrategy returns the strategy the engine actually executes
+// against a backend with the given capabilities. The phased execution
+// framework needs row-range scans (process the i-th of n partitions);
+// backends without SupportsPhasedExecution therefore run COMB and
+// COMB_EARLY requests as single-pass SHARING — every sharing
+// optimization still applies, only pruning and early return are lost.
+// The engine applies this rewrite (and canonicalizes the now-inert
+// pruning options) before cache-key construction, so a degraded COMB
+// request and the equivalent SHARING request share one cache entry.
+func EffectiveStrategy(s Strategy, caps backend.Capabilities) Strategy {
+	if !caps.SupportsPhasedExecution && (s == Comb || s == CombEarly) {
+		return Sharing
+	}
+	return s
+}
 
 // String returns the paper's name for the strategy.
 func (s Strategy) String() string {
@@ -205,7 +221,7 @@ type Options struct {
 }
 
 // withDefaults fills unset options given the table layout.
-func (o Options) withDefaults(layout sqldb.Layout, numViews int) Options {
+func (o Options) withDefaults(layout backend.Layout, numViews int) Options {
 	if o.K <= 0 {
 		o.K = 10
 	}
@@ -216,14 +232,14 @@ func (o Options) withDefaults(layout sqldb.Layout, numViews int) Options {
 		o.ScanParallelism = runtime.GOMAXPROCS(0)
 	}
 	if !o.GroupBySet {
-		if layout == sqldb.LayoutRow {
+		if layout == backend.LayoutRow {
 			o.GroupBy = GroupByBinPack
 		} else {
 			o.GroupBy = GroupBySingle
 		}
 	}
 	if o.MemoryBudget <= 0 {
-		if layout == sqldb.LayoutRow {
+		if layout == backend.LayoutRow {
 			o.MemoryBudget = DefaultRowMemoryBudget
 		} else {
 			o.MemoryBudget = DefaultColMemoryBudget

@@ -74,7 +74,7 @@ func utilitiesOf(t *testing.T, db *sqldb.DB, req Request, opts Options) map[stri
 	t.Helper()
 	opts.KeepAllViews = true
 	opts.K = 1000
-	res, err := NewEngine(db).Recommend(context.Background(), req, opts)
+	res, err := newTestEngine(db).Recommend(context.Background(), req, opts)
 	if err != nil {
 		t.Fatalf("%v/%v: %v", opts.Strategy, opts.Pruning, err)
 	}
@@ -174,7 +174,7 @@ func TestOptionDefaults(t *testing.T) {
 func TestPhasesClampedToRows(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	dbRow, _, req := randomTable(rng)
-	res, err := NewEngine(dbRow).Recommend(context.Background(), req, Options{
+	res, err := newTestEngine(dbRow).Recommend(context.Background(), req, Options{
 		Strategy: Comb, Pruning: NoPruning, Phases: 1_000_000, K: 3,
 	})
 	if err != nil {

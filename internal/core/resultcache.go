@@ -21,7 +21,6 @@ import (
 	"strconv"
 
 	"seedb/internal/cache"
-	"seedb/internal/sqldb"
 )
 
 // requestCacheKey canonicalizes everything that can influence a
@@ -135,13 +134,14 @@ func recommendationsSizeBytes(recs []Recommendation) int64 {
 	return n
 }
 
-// sqlResultSizeBytes estimates a materialized sqldb result's footprint.
-func sqlResultSizeBytes(res *sqldb.Result) int64 {
+// execResultSizeBytes estimates a materialized query result's cache
+// footprint.
+func execResultSizeBytes(res *execResult) int64 {
 	n := int64(96)
-	for _, c := range res.Columns {
+	for _, c := range res.rows.Columns {
 		n += int64(len(c)) + 16
 	}
-	for _, row := range res.Rows {
+	for _, row := range res.rows.Rows {
 		n += 24
 		for _, v := range row {
 			n += 40 + int64(len(v.S))

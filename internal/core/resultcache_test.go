@@ -198,7 +198,7 @@ func TestCacheInvalidationOnAppend(t *testing.T) {
 	}
 	// Appending a row bumps the table generation: the next request must
 	// recompute rather than serve the stale entry.
-	tab, _ := eng.DB().Table(req.Table)
+	tab, _ := embeddedDB(eng).Table(req.Table)
 	row := make([]sqldb.Value, tab.Schema().NumColumns())
 	err := tab.ScanRange(0, 1, nil, func(rv sqldb.RowView) error {
 		for i := range row {

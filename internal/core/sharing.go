@@ -7,9 +7,9 @@ import (
 	"strings"
 	"sync"
 
+	"seedb/internal/backend"
 	"seedb/internal/binpack"
 	"seedb/internal/cache"
-	"seedb/internal/sqldb"
 )
 
 // accumRole identifies how one aggregate output column folds into a view
@@ -372,6 +372,14 @@ func (qb *queryBuilder) renderSQL(dims, exprs []string, where string, flag bool)
 	return b.String()
 }
 
+// execResult pairs one query's materialized rows with the stats of the
+// execution that produced them; the pair is what the shared-query cache
+// stores, so warm hits replay the rows without re-counting the cost.
+type execResult struct {
+	rows  *backend.Rows
+	stats backend.ExecStats
+}
+
 // runQueries executes the shared queries over table rows [lo, hi) on a
 // worker pool and merges every result into the view accumulators.
 // Results merge in deterministic (query-index) order.
@@ -400,7 +408,7 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 		par = 1
 	}
 
-	results := make([]*sqldb.Result, len(queries))
+	results := make([]*execResult, len(queries))
 	outcomes := make([]cache.Outcome, len(queries))
 	errs := make([]error, len(queries))
 	var wg sync.WaitGroup
@@ -411,24 +419,33 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 			defer wg.Done()
 			for qi := range work {
 				sql := queries[qi].sql
-				execOpts := sqldb.ExecOptions{Ctx: ctx, Lo: lo, Hi: hi, Workers: scanWorkers}
+				execOpts := backend.ExecOptions{Lo: lo, Hi: hi, Workers: scanWorkers}
+				exec := func() (any, error) {
+					rows, stats, err := s.be.Exec(ctx, sql, execOpts)
+					if err != nil {
+						return nil, err
+					}
+					return &execResult{rows: rows, stats: stats}, nil
+				}
 				if s.cache == nil {
-					results[qi], errs[qi] = s.db.QueryOpts(sql, execOpts)
-					outcomes[qi] = cache.Computed
+					v, err := exec()
+					if err != nil {
+						errs[qi] = err
+						continue
+					}
+					results[qi], outcomes[qi] = v.(*execResult), cache.Computed
 					continue
 				}
 				key := cache.QueryKey(s.req.Table, s.version, sql, lo, hi)
 				v, outcome, err := s.cache.Do(ctx, key,
-					func(v any) int64 { return sqlResultSizeBytes(v.(*sqldb.Result)) },
-					func() (any, error) {
-						return s.db.QueryOpts(sql, execOpts)
-					},
+					func(v any) int64 { return execResultSizeBytes(v.(*execResult)) },
+					exec,
 				)
 				if err != nil {
 					errs[qi] = err
 					continue
 				}
-				results[qi], outcomes[qi] = v.(*sqldb.Result), outcome
+				results[qi], outcomes[qi] = v.(*execResult), outcome
 			}
 		}()
 	}
@@ -445,33 +462,46 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 	}
 	for qi, res := range results {
 		if outcomes[qi] == cache.Computed {
-			// This invocation paid for the execution.
-			s.metrics.QueriesExecuted++
-			if res.Stats.Vectorized {
-				s.metrics.VectorizedQueries++
-			} else {
-				s.metrics.FallbackQueries++
-			}
-			if res.Stats.Workers > s.metrics.ScanWorkers {
-				s.metrics.ScanWorkers = res.Stats.Workers
-			}
-			s.metrics.RowsScanned += int64(res.Stats.RowsScanned)
-			if res.Stats.Groups > s.metrics.MaxGroups {
-				s.metrics.MaxGroups = res.Stats.Groups
-			}
+			// This invocation paid for the execution. recordExec keeps the
+			// executed/vectorized/fallback counters in lockstep whatever
+			// path the backend took (fast path, runtime fallback, external
+			// store).
+			s.metrics.recordExec(res.stats)
 			if s.cache != nil {
 				s.metrics.CacheMisses++
 			}
 		} else {
 			s.metrics.CacheHits++
 		}
-		s.mergeResult(queries[qi], res)
+		s.mergeResult(queries[qi], res.rows)
 	}
 	return nil
 }
 
+// recordExec folds one paid query execution into the invocation metrics.
+// It is the single place the executor counters advance, which is what
+// keeps the invariant QueriesExecuted == VectorizedQueries +
+// FallbackQueries true on every path — including the vectorized fast
+// path's runtime fallback retry (row-store tables, group-id overflow)
+// and backends that never vectorize.
+func (m *Metrics) recordExec(stats backend.ExecStats) {
+	m.QueriesExecuted++
+	if stats.Vectorized {
+		m.VectorizedQueries++
+	} else {
+		m.FallbackQueries++
+	}
+	if stats.Workers > m.ScanWorkers {
+		m.ScanWorkers = stats.Workers
+	}
+	m.RowsScanned += int64(stats.RowsScanned)
+	if stats.Groups > m.MaxGroups {
+		m.MaxGroups = stats.Groups
+	}
+}
+
 // mergeResult folds one query result into the accumulators.
-func (s *execState) mergeResult(q *sharedQuery, res *sqldb.Result) {
+func (s *execState) mergeResult(q *sharedQuery, res *backend.Rows) {
 	aggBase := q.numDims
 	flagPos := -1
 	if q.side == sideCombined {

@@ -5,6 +5,15 @@
 // target/reference queries, parallel execution) and pruning optimizations
 // (confidence-interval and multi-armed-bandit pruning) composed through
 // the phased execution framework.
+//
+// The engine is store-agnostic: it executes against the Backend
+// interface (internal/backend), obtaining schema metadata, dataset
+// version tokens and query results through that seam, and degrading per
+// the backend's declared capabilities (see EffectiveStrategy). Cross-
+// request reuse comes from the shared result cache (internal/cache),
+// consulted at three granularities: whole requests, individual shared
+// queries, and materialized reference views. docs/ARCHITECTURE.md walks
+// one Recommend invocation through all of it.
 package core
 
 import (

@@ -1,0 +1,112 @@
+// Package docscheck keeps the repository's documentation from rotting:
+// it verifies that every relative markdown link in README.md and docs/
+// points at a file that exists, and that the architecture docs stay
+// linked from the README. CI runs it as a dedicated step.
+package docscheck
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the repository root from this file's location.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate caller")
+	}
+	return filepath.Clean(filepath.Join(filepath.Dir(file), "..", ".."))
+}
+
+// mdFiles returns the markdown files under the docs contract: README.md
+// plus everything in docs/.
+func mdFiles(t *testing.T, root string) []string {
+	t.Helper()
+	files := []string{filepath.Join(root, "README.md")}
+	entries, err := os.ReadDir(filepath.Join(root, "docs"))
+	if err != nil {
+		t.Fatalf("docs/ directory: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, filepath.Join(root, "docs", e.Name()))
+		}
+	}
+	return files
+}
+
+// linkRE matches markdown inline links [text](target).
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestRelativeLinksResolve fails on any relative markdown link whose
+// target file does not exist.
+func TestRelativeLinksResolve(t *testing.T) {
+	root := repoRoot(t)
+	for _, f := range mdFiles(t, root) {
+		body, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(f), target)
+			if _, err := os.Stat(resolved); err != nil {
+				rel, _ := filepath.Rel(root, f)
+				t.Errorf("%s: dangling link %q (resolved %s)", rel, m[1], resolved)
+			}
+		}
+	}
+}
+
+// TestArchitectureDocsLinkedFromREADME pins the documentation contract
+// of the backend seam: both guides exist, the README links them, and
+// each names the four layers and the capability flags it documents.
+func TestArchitectureDocsLinkedFromREADME(t *testing.T) {
+	root := repoRoot(t)
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/BACKENDS.md"} {
+		if !strings.Contains(string(readme), "("+doc+")") {
+			t.Errorf("README.md does not link %s", doc)
+		}
+	}
+
+	arch, err := os.ReadFile(filepath.Join(root, "docs", "ARCHITECTURE.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"internal/core", "internal/cache", "internal/backend",
+		"internal/sqldb", "internal/server", "SupportsPhasedExecution", "SupportsVectorized"} {
+		if !strings.Contains(string(arch), want) {
+			t.Errorf("ARCHITECTURE.md does not mention %s", want)
+		}
+	}
+
+	be, err := os.ReadFile(filepath.Join(root, "docs", "BACKENDS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Capabilities", "TableVersion", "conformancetest",
+		"SupportsPhasedExecution", "SupportsVectorized", "RegisterBackend"} {
+		if !strings.Contains(string(be), want) {
+			t.Errorf("BACKENDS.md does not mention %s", want)
+		}
+	}
+}

@@ -7,7 +7,7 @@
 //
 // Endpoints (all JSON):
 //
-//	GET  /healthz               liveness probe + cache counters
+//	GET  /healthz               liveness probe + cache/executor counters + backends
 //	GET  /api/datasets          built-in dataset generators
 //	POST /api/datasets/load     {"name","layout","rows"} → load a builtin
 //	GET  /api/tables            tables with schemas and row counts
@@ -21,7 +21,10 @@
 // The server owns one process-wide result cache (internal/cache) shared
 // by every recommendation request, so repeated and concurrent identical
 // requests from different clients are answered from memory instead of
-// re-aggregating the data.
+// re-aggregating the data. It can front several backends at once
+// (RegisterBackend); recommendation requests select one by name with
+// {"backend": "..."} and degrade per its capabilities — see
+// docs/BACKENDS.md.
 package server
 
 import (
@@ -29,10 +32,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"seedb/internal/backend"
 	"seedb/internal/cache"
 	"seedb/internal/chart"
 	"seedb/internal/core"
@@ -41,15 +47,32 @@ import (
 	"seedb/internal/sqldb"
 )
 
-// Server is the SeeDB middleware server.
+// DefaultBackendName is the name the embedded store registers under.
+const DefaultBackendName = "sqldb"
+
+// Server is the SeeDB middleware server. It can front several backends
+// at once — the embedded store is always registered under
+// DefaultBackendName, and RegisterBackend adds external stores — with
+// every recommendation request free to pick one by name. All backends
+// share the one process-wide result cache (version tokens are
+// backend-namespaced, so entries never leak across stores).
 type Server struct {
-	db     *sqldb.DB
-	engine *core.Engine
-	cache  *cache.Cache
-	mux    *http.ServeMux
-	exec   executorStats
+	db    *sqldb.DB
+	cache *cache.Cache
+	mux   *http.ServeMux
+	exec  executorStats
 	// Timeout bounds each recommendation request (default 2 minutes).
 	Timeout time.Duration
+
+	mu       sync.RWMutex
+	backends map[string]*registeredBackend
+}
+
+// registeredBackend is one named backend with its engine.
+type registeredBackend struct {
+	name   string
+	be     backend.Backend
+	engine *core.Engine
 }
 
 // executorStats accumulates, across every recommendation served by this
@@ -92,13 +115,15 @@ func New(db *sqldb.DB) *Server {
 // has the given byte budget (<= 0 selects the default).
 func NewWithCacheBudget(db *sqldb.DB, cacheBudgetBytes int64) *Server {
 	s := &Server{
-		db:      db,
-		engine:  core.NewEngine(db),
-		cache:   cache.New(cacheBudgetBytes),
-		mux:     http.NewServeMux(),
-		Timeout: 2 * time.Minute,
+		db:       db,
+		cache:    cache.New(cacheBudgetBytes),
+		mux:      http.NewServeMux(),
+		Timeout:  2 * time.Minute,
+		backends: make(map[string]*registeredBackend),
 	}
-	s.engine.SetCache(s.cache)
+	if err := s.RegisterBackend(DefaultBackendName, backend.NewEmbedded(db)); err != nil {
+		panic(err) // unreachable: the map is empty
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /api/datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /api/datasets/load", s.handleLoadDataset)
@@ -112,6 +137,69 @@ func NewWithCacheBudget(db *sqldb.DB, cacheBudgetBytes int64) *Server {
 
 // Cache returns the server's process-wide result cache.
 func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// RegisterBackend adds a named backend; recommendation requests select
+// it with {"backend": name}. The engine it gets shares the server's
+// process-wide result cache. Registering a duplicate name is an error.
+func (s *Server) RegisterBackend(name string, be backend.Backend) error {
+	if name == "" {
+		return fmt.Errorf("server: backend name must be non-empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.backends[name]; dup {
+		return fmt.Errorf("server: backend %q already registered", name)
+	}
+	eng := core.NewEngine(be)
+	eng.SetCache(s.cache)
+	s.backends[name] = &registeredBackend{name: name, be: be, engine: eng}
+	return nil
+}
+
+// backendFor resolves a request's backend name ("" = the default).
+func (s *Server) backendFor(name string) (*registeredBackend, error) {
+	if name == "" {
+		name = DefaultBackendName
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rb, ok := s.backends[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown backend %q", name)
+	}
+	return rb, nil
+}
+
+// backendInfo is one backend's /healthz description.
+type backendInfo struct {
+	Name                    string `json:"name"`
+	Default                 bool   `json:"default"`
+	SupportsVectorized      bool   `json:"supports_vectorized"`
+	SupportsPhasedExecution bool   `json:"supports_phased_execution"`
+}
+
+// backendSnapshot lists registered backends, default first then by name.
+func (s *Server) backendSnapshot() []backendInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]backendInfo, 0, len(s.backends))
+	for name, rb := range s.backends {
+		caps := rb.be.Capabilities()
+		out = append(out, backendInfo{
+			Name:                    name,
+			Default:                 name == DefaultBackendName,
+			SupportsVectorized:      caps.SupportsVectorized,
+			SupportsPhasedExecution: caps.SupportsPhasedExecution,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Default != out[b].Default {
+			return out[a].Default
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -134,13 +222,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // handleHealth implements GET /healthz. The payload carries the cache
-// and executor counters so load balancers and dashboards see hit rates
-// and fast-path coverage without a second probe.
+// and executor counters (so load balancers and dashboards see hit rates
+// and fast-path coverage without a second probe) plus the registered
+// backends with their capability flags.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"cache":    s.cache.Stats(),
 		"executor": s.exec.snapshot(),
+		"backends": s.backendSnapshot(),
 	})
 }
 
@@ -253,6 +343,9 @@ func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
 // queryRequest is the POST /api/query payload.
 type queryRequest struct {
 	SQL string `json:"sql"`
+	// Backend selects which registered backend executes the query
+	// (empty = the embedded default).
+	Backend string `json:"backend"`
 }
 
 // queryResponse carries a raw SQL result.
@@ -263,14 +356,21 @@ type queryResponse struct {
 }
 
 // handleQuery implements POST /api/query — the manual chart-construction
-// path of the mixed-initiative frontend.
+// path of the mixed-initiative frontend. Like /api/recommend it routes
+// through the selected backend, so manual charts work over external
+// stores too.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	res, err := s.db.QueryContext(r.Context(), req.SQL)
+	rb, err := s.backendFor(req.Backend)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, _, err := rb.be.Exec(r.Context(), req.SQL, backend.ExecOptions{})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -305,6 +405,9 @@ type RecommendRequest struct {
 	// ScanParallelism caps per-query scan workers (0 = GOMAXPROCS; 1
 	// forces the serial interpreter).
 	ScanParallelism int `json:"scan_parallelism"`
+	// Backend selects which registered backend executes the request
+	// (empty = the embedded default; see /healthz for the list).
+	Backend string `json:"backend"`
 }
 
 // RecommendedView is one ranked visualization.
@@ -336,7 +439,12 @@ type RecommendResponse struct {
 	Vectorized      int               `json:"vectorized_queries"`
 	Fallback        int               `json:"fallback_queries"`
 	ScanWorkers     int               `json:"scan_workers"`
-	ElapsedMS       float64           `json:"elapsed_ms"`
+	// Backend names the backend that served the request; Strategy is the
+	// strategy actually executed there (capability degradation may turn
+	// a phased request into single-pass SHARING).
+	Backend   string  `json:"backend"`
+	Strategy  string  `json:"strategy"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // handleRecommend implements POST /api/recommend.
@@ -406,13 +514,19 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		opts.Distance = f
 	}
 
+	rb, err := s.backendFor(req.Backend)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
 	ctx := r.Context()
 	if s.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.Timeout)
 		defer cancel()
 	}
-	res, err := s.engine.Recommend(ctx, coreReq, opts)
+	res, err := rb.engine.Recommend(ctx, coreReq, opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -420,6 +534,8 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	s.exec.record(res.Metrics)
 
 	resp := RecommendResponse{
+		Backend:         rb.name,
+		Strategy:        core.EffectiveStrategy(opts.Strategy, rb.be.Capabilities()).String(),
 		Recommendations: []RecommendedView{},
 		Views:           res.Metrics.Views,
 		QueriesExecuted: res.Metrics.QueriesExecuted,

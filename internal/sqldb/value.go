@@ -17,7 +17,15 @@
 //
 // Queries may additionally be executed against a half-open row range
 // ([lo, hi)) of the fact table, which is how SeeDB's phased execution
-// framework processes the i-th of n partitions.
+// framework processes the i-th of n partitions, and with intra-query
+// scan parallelism (ExecOptions.Workers), which engages the parallel
+// vectorized fast path in vexec.go for eligible column-store queries.
+//
+// The recommendation engine does not import this package directly: it
+// reaches it through the backend seam (internal/backend's Embedded
+// adapter), and internal/sqldriver additionally re-exports this engine
+// through database/sql so external-store code paths can be exercised
+// in-process. See docs/ARCHITECTURE.md for how the layers compose.
 package sqldb
 
 import (

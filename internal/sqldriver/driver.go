@@ -1,0 +1,152 @@
+// Package sqldriver exposes the embedded sqldb store through Go's
+// standard database/sql interface. Any database/sql consumer — notably
+// the sqlbe external-store backend and its conformance tests — can then
+// run against the in-process engine exactly as it would against a
+// network DBMS, without cgo or external dependencies.
+//
+// Open a handle with sqldriver.Open(db); there is no global driver
+// registration and no DSN. The driver is read-only (queries only),
+// supports no placeholder arguments and no transactions: that is the
+// entire surface SeeDB's generated aggregation queries need.
+package sqldriver
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+
+	"seedb/internal/sqldb"
+)
+
+// Open returns a database/sql handle whose queries execute against the
+// embedded db. The handle is safe for concurrent use (the underlying
+// store is).
+func Open(db *sqldb.DB) *sql.DB {
+	return sql.OpenDB(connector{db: db})
+}
+
+// connector hands out connections bound to one embedded DB.
+type connector struct {
+	db *sqldb.DB
+}
+
+// Connect returns a new (stateless) connection.
+func (c connector) Connect(context.Context) (driver.Conn, error) {
+	return &conn{db: c.db}, nil
+}
+
+// Driver returns the parent driver.
+func (c connector) Driver() driver.Driver { return drv{} }
+
+// drv exists to satisfy driver.Connector; connections are only created
+// through Open.
+type drv struct{}
+
+// Open is unsupported: handles come from sqldriver.Open, not DSNs.
+func (drv) Open(string) (driver.Conn, error) {
+	return nil, fmt.Errorf("sqldriver: open via sqldriver.Open(*sqldb.DB), not a DSN")
+}
+
+// conn is one stateless connection to the embedded store.
+type conn struct {
+	db *sqldb.DB
+}
+
+// Prepare compiles the query against the current catalog.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	pq, err := c.db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{pq: pq}, nil
+}
+
+// Close releases the (stateless) connection.
+func (c *conn) Close() error { return nil }
+
+// Begin is unsupported: the store is bulk-load-then-query.
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, fmt.Errorf("sqldriver: transactions are not supported")
+}
+
+// QueryContext executes query directly, bypassing Prepare (the fast path
+// database/sql uses when the driver supports it).
+func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	if len(args) > 0 {
+		return nil, fmt.Errorf("sqldriver: placeholder arguments are not supported")
+	}
+	res, err := c.db.QueryContext(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
+}
+
+// stmt is a prepared query.
+type stmt struct {
+	pq *sqldb.PreparedQuery
+}
+
+// Close releases the statement.
+func (s *stmt) Close() error { return nil }
+
+// NumInput: the driver supports no placeholders.
+func (s *stmt) NumInput() int { return 0 }
+
+// Exec is unsupported: the driver is read-only.
+func (s *stmt) Exec([]driver.Value) (driver.Result, error) {
+	return nil, fmt.Errorf("sqldriver: Exec is not supported (read-only driver)")
+}
+
+// Query executes the prepared statement.
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	if len(args) > 0 {
+		return nil, fmt.Errorf("sqldriver: placeholder arguments are not supported")
+	}
+	res, err := s.pq.Exec(sqldb.ExecOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
+}
+
+// rows iterates a materialized result.
+type rows struct {
+	res *sqldb.Result
+	i   int
+}
+
+// Columns returns the result column names.
+func (r *rows) Columns() []string { return r.res.Columns }
+
+// Close releases the cursor.
+func (r *rows) Close() error { return nil }
+
+// Next copies the next row into dest as driver values (int64, float64,
+// bool, string or nil).
+func (r *rows) Next(dest []driver.Value) error {
+	if r.i >= len(r.res.Rows) {
+		return io.EOF
+	}
+	row := r.res.Rows[r.i]
+	r.i++
+	for i, v := range row {
+		switch v.Kind {
+		case sqldb.KindNull:
+			dest[i] = nil
+		case sqldb.KindInt:
+			dest[i] = v.I
+		case sqldb.KindFloat:
+			dest[i] = v.F
+		case sqldb.KindBool:
+			dest[i] = v.I != 0
+		case sqldb.KindString:
+			dest[i] = v.S
+		default:
+			return fmt.Errorf("sqldriver: unsupported value kind %v", v.Kind)
+		}
+	}
+	return nil
+}

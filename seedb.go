@@ -32,9 +32,12 @@ package seedb
 
 import (
 	"context"
+	"database/sql"
 	"fmt"
 	"io"
 
+	"seedb/internal/backend"
+	"seedb/internal/backend/sqlbe"
 	"seedb/internal/cache"
 	"seedb/internal/chart"
 	"seedb/internal/core"
@@ -80,6 +83,24 @@ type (
 
 	// CacheStats is a snapshot of the shared result cache's counters.
 	CacheStats = cache.Stats
+
+	// Backend is the pluggable store seam: the engine talks to the data
+	// through this interface, so Recommend can run against the embedded
+	// store or any external SQL store. See docs/BACKENDS.md.
+	Backend = backend.Backend
+	// BackendCapabilities declares which engine optimizations a backend
+	// supports (row-range scans for phased execution, vectorized scans).
+	BackendCapabilities = backend.Capabilities
+	// BackendTableInfo is a backend's schema-level table description.
+	BackendTableInfo = backend.TableInfo
+	// BackendExecOptions controls one backend query execution.
+	BackendExecOptions = backend.ExecOptions
+	// BackendExecStats reports one backend query execution's cost.
+	BackendExecStats = backend.ExecStats
+	// BackendRows is a materialized backend query result.
+	BackendRows = backend.Rows
+	// SQLBackendOptions configures a database/sql backend.
+	SQLBackendOptions = sqlbe.Options
 )
 
 // DefaultCacheBudgetBytes is the result cache's default byte budget.
@@ -140,21 +161,50 @@ var (
 	Bool = sqldb.Bool
 )
 
-// Client is a SeeDB session: an embedded database plus the recommendation
-// engine. It is safe for concurrent use once loading has finished.
+// Client is a SeeDB session: a backend (by default an embedded
+// in-memory database) plus the recommendation engine. It is safe for
+// concurrent use once loading has finished.
 type Client struct {
-	db     *sqldb.DB
+	db     *sqldb.DB // nil for clients over an external backend
 	engine *core.Engine
 }
 
-// New creates a client with an empty in-memory database.
+// New creates a client with an empty embedded in-memory database.
 func New() *Client {
 	db := sqldb.NewDB()
-	return &Client{db: db, engine: core.NewEngine(db)}
+	return &Client{db: db, engine: core.NewEngine(backend.NewEmbedded(db))}
 }
 
-// DB exposes the embedded database for direct table management.
+// NewWithBackend creates a client whose engine runs against the given
+// backend (e.g. a NewSQLBackend over an external store). Such a client
+// has no embedded database: the dataset-management helpers (LoadDataset,
+// LoadCSV, CreateTable) return an error, and DB returns nil; everything
+// else — Recommend, Query, caching — works identically, degrading per
+// the backend's declared capabilities.
+func NewWithBackend(be Backend) *Client {
+	return &Client{engine: core.NewEngine(be)}
+}
+
+// NewSQLBackend wraps a database/sql handle as a SeeDB backend, pushing
+// the engine's combined aggregate queries down to whatever store the
+// driver reaches. See docs/BACKENDS.md for the capability profile and
+// cache-invalidation contract.
+func NewSQLBackend(db *sql.DB, opts SQLBackendOptions) Backend {
+	return sqlbe.New(db, opts)
+}
+
+// DB exposes the embedded database for direct table management. It is
+// nil for clients constructed with NewWithBackend.
 func (c *Client) DB() *sqldb.DB { return c.db }
+
+// Backend returns the store the client's engine executes against.
+func (c *Client) Backend() Backend { return c.engine.Backend() }
+
+// errNoEmbeddedDB reports a table-management call on an external-backend
+// client.
+func errNoEmbeddedDB(op string) error {
+	return fmt.Errorf("seedb: %s requires the embedded database (client was built with NewWithBackend; manage data in the external store instead)", op)
+}
 
 // Datasets lists the built-in Table 1 dataset generators.
 func (c *Client) Datasets() []string { return dataset.Names() }
@@ -162,6 +212,9 @@ func (c *Client) Datasets() []string { return dataset.Names() }
 // LoadDataset generates one of the built-in paper datasets (Table 1) into
 // the database under its canonical name, using the given layout.
 func (c *Client) LoadDataset(name string, layout Layout) error {
+	if c.db == nil {
+		return errNoEmbeddedDB("LoadDataset")
+	}
 	spec, err := dataset.ByName(name)
 	if err != nil {
 		return err
@@ -174,6 +227,9 @@ func (c *Client) LoadDataset(name string, layout Layout) error {
 // specs default to laptop-friendly scales; pass the Table 1 sizes to
 // reproduce the paper's configuration).
 func (c *Client) LoadDatasetRows(name string, layout Layout, rows int) error {
+	if c.db == nil {
+		return errNoEmbeddedDB("LoadDatasetRows")
+	}
 	spec, err := dataset.ByName(name)
 	if err != nil {
 		return err
@@ -185,25 +241,45 @@ func (c *Client) LoadDatasetRows(name string, layout Layout, rows int) error {
 // LoadCSV loads CSV data (header row required, matching the schema) into
 // a new table.
 func (c *Client) LoadCSV(table string, schema *Schema, layout Layout, r io.Reader) error {
+	if c.db == nil {
+		return errNoEmbeddedDB("LoadCSV")
+	}
 	_, err := dataset.LoadCSV(c.db, table, schema, layout, r)
 	return err
 }
 
 // CreateTable creates an empty table; append rows via DB().Table(name).
 func (c *Client) CreateTable(name string, schema *Schema, layout Layout) error {
+	if c.db == nil {
+		return errNoEmbeddedDB("CreateTable")
+	}
 	_, err := c.db.CreateTable(name, schema, layout)
 	return err
 }
 
 // Query runs a raw SQL query — the manual chart-building path of the
-// paper's mixed-initiative frontend.
+// paper's mixed-initiative frontend. It routes through the client's
+// backend, so it works over external stores too.
 func (c *Client) Query(sql string) (*SQLResult, error) {
-	return c.db.Query(sql)
+	return c.QueryContext(context.Background(), sql)
 }
 
 // QueryContext is Query with cancellation.
 func (c *Client) QueryContext(ctx context.Context, sql string) (*SQLResult, error) {
-	return c.db.QueryContext(ctx, sql)
+	rows, stats, err := c.engine.Backend().Exec(ctx, sql, backend.ExecOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &SQLResult{
+		Columns: rows.Columns,
+		Rows:    rows.Rows,
+		Stats: sqldb.ExecStats{
+			RowsScanned: stats.RowsScanned,
+			Groups:      stats.Groups,
+			Vectorized:  stats.Vectorized,
+			Workers:     stats.Workers,
+		},
+	}, nil
 }
 
 // Recommend evaluates the candidate view space for req and returns the
