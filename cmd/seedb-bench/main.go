@@ -52,6 +52,7 @@ func run() error {
 		outPath      = flag.String("o", "", "also write output to this file")
 		cacheJSON    = flag.String("cachejson", "", "run the cache experiment and write its datapoint to this JSON file")
 		parallelJSON = flag.String("paralleljson", "", "run the parallel-executor experiment and write its datapoint to this JSON file")
+		filterJSON   = flag.String("filterjson", "", "run the selection-kernel filter experiment and write its report to this JSON file")
 		timeout      = flag.Duration("timeout", 4*time.Hour, "overall timeout")
 	)
 	flag.Parse()
@@ -83,6 +84,22 @@ func run() error {
 		}
 		fmt.Printf("parallel datapoint: serial %.2fms, vectorized %.2fms (%.1fx at %d workers), wrote %s\n",
 			dp.SerialMS, dp.ParallelMS, dp.Speedup, dp.ScanWorkers, *parallelJSON)
+		return nil
+	}
+
+	if *filterJSON != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		rep, err := bench.MeasureFilter(ctx, bench.Config{Quick: *quick, PaperScale: *paperScale, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(*filterJSON, rep); err != nil {
+			return err
+		}
+		best := rep.Points[0]
+		fmt.Printf("filter datapoint (%.0f%% selectivity): closure %.2fms, kernels %.2fms (%.1fx; %.1fx vs serial), wrote %s\n",
+			best.Selectivity*100, best.BaselineMS, best.KernelMS, best.Speedup, best.SpeedupVsSerial, *filterJSON)
 		return nil
 	}
 

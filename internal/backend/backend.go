@@ -139,6 +139,10 @@ type ExecOptions struct {
 	// Workers is the intra-query scan parallelism hint. Backends without
 	// SupportsVectorized ignore it.
 	Workers int
+	// NoSelectionKernels disables compiled predicate selection kernels
+	// inside a vectorized executor (a cost-only benchmarking knob).
+	// Backends without SupportsVectorized ignore it.
+	NoSelectionKernels bool
 }
 
 // ExecStats reports what one query execution cost. Fields a backend
@@ -153,9 +157,20 @@ type ExecStats struct {
 	// Vectorized reports whether a parallel vectorized fast path
 	// executed the aggregation.
 	Vectorized bool
+	// FallbackReason says why Vectorized is false (e.g. "serial
+	// execution", "non-column group key", "id-space overflow"). Backends
+	// that cannot introspect their executor leave it empty; the engine
+	// then reports the fallback as "unreported".
+	FallbackReason string
 	// Workers is the number of scan workers actually used (1 for serial
 	// execution).
 	Workers int
+	// SelectionKernels counts compiled predicate selection kernels the
+	// execution used; ResidualPredicates counts predicate conjuncts that
+	// stayed on a row-at-a-time path. Zero on backends without an
+	// engine-side vectorized executor.
+	SelectionKernels   int
+	ResidualPredicates int
 }
 
 // Rows is a fully materialized query result: named columns over rows of
@@ -197,17 +212,21 @@ type Backend interface {
 	// missing table is reported as ErrNoTable (possibly wrapped); any
 	// other error means the store could not be introspected — callers
 	// must not conflate the two (an outage is not a bad table name).
-	TableInfo(table string) (TableInfo, error)
+	// Introspection against a slow external store must honor ctx
+	// cancellation, like Exec.
+	TableInfo(ctx context.Context, table string) (TableInfo, error)
 	// TableVersion returns an opaque token identifying the table's
 	// current contents, and whether the table exists. Any data change
 	// must yield a token never seen before; the shared result cache
 	// embeds it in every key, which is what makes invalidation purely
 	// versioned. Backends that cannot observe external writes return an
-	// instance-scoped token and document the staleness window.
-	TableVersion(table string) (string, bool)
+	// instance-scoped token and document the staleness window. A
+	// cancelled ctx reports the table as absent (the engine then treats
+	// the request as uncacheable or fails on a later ctx check).
+	TableVersion(ctx context.Context, table string) (string, bool)
 	// TableStats returns per-column statistics for the view generator
-	// and the bin-packing optimizer.
-	TableStats(table string) (*TableStats, error)
+	// and the bin-packing optimizer, honoring ctx cancellation.
+	TableStats(ctx context.Context, table string) (*TableStats, error)
 	// Exec runs one SQL query and returns the materialized result and
 	// its execution stats. The query text is generated by the engine's
 	// query builder (SELECT ... FROM t [WHERE ...] GROUP BY ... with

@@ -46,7 +46,7 @@ func TestEmbeddedTableInfo(t *testing.T) {
 	if !caps.SupportsVectorized || !caps.SupportsPhasedExecution {
 		t.Errorf("embedded capabilities = %+v, want all true", caps)
 	}
-	ti, err := be.TableInfo("sales")
+	ti, err := be.TableInfo(context.Background(), "sales")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestEmbeddedTableInfo(t *testing.T) {
 	if _, ok := ti.Lookup("nope"); ok {
 		t.Error("Lookup(nope) should miss")
 	}
-	if _, err := be.TableInfo("missing"); !errors.Is(err, ErrNoTable) {
+	if _, err := be.TableInfo(context.Background(), "missing"); !errors.Is(err, ErrNoTable) {
 		t.Errorf("TableInfo(missing) = %v, want ErrNoTable", err)
 	}
 }
@@ -70,7 +70,7 @@ func TestEmbeddedTableInfo(t *testing.T) {
 func TestEmbeddedTableVersionChangesOnAppend(t *testing.T) {
 	db := buildDB(t)
 	be := NewEmbedded(db)
-	v1, ok := be.TableVersion("sales")
+	v1, ok := be.TableVersion(context.Background(), "sales")
 	if !ok || v1 == "" {
 		t.Fatalf("TableVersion = %q %v", v1, ok)
 	}
@@ -78,7 +78,7 @@ func TestEmbeddedTableVersionChangesOnAppend(t *testing.T) {
 	if err := tab.AppendRow([]sqldb.Value{sqldb.Str("north"), sqldb.Int(9), sqldb.Float(9)}); err != nil {
 		t.Fatal(err)
 	}
-	v2, _ := be.TableVersion("sales")
+	v2, _ := be.TableVersion(context.Background(), "sales")
 	if v1 == v2 {
 		t.Errorf("version unchanged after append: %q", v1)
 	}
@@ -87,7 +87,7 @@ func TestEmbeddedTableVersionChangesOnAppend(t *testing.T) {
 func TestEmbeddedStatsAndExec(t *testing.T) {
 	db := buildDB(t)
 	be := NewEmbedded(db)
-	ts, err := be.TableStats("sales")
+	ts, err := be.TableStats(context.Background(), "sales")
 	if err != nil {
 		t.Fatal(err)
 	}

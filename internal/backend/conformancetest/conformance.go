@@ -162,6 +162,38 @@ func scenarios() []scenario {
 func (h Harness) Run(t *testing.T) {
 	t.Run("Scenarios", h.runScenarios)
 	t.Run("CacheReuseAndInvalidation", h.runCaching)
+	t.Run("IntrospectionCancellation", h.runIntrospectionCancellation)
+}
+
+// runIntrospectionCancellation checks the introspection half of the
+// Backend contract honors context cancellation: against a fresh backend
+// (no introspection memo), a cancelled ctx must fail TableInfo and
+// TableStats promptly and report no version token, rather than issuing
+// store round-trips whose results the caller will discard.
+func (h Harness) runIntrospectionCancellation(t *testing.T) {
+	db := BuildSource(t, 300)
+	under := h.New(t, db)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := under.TableInfo(ctx, SourceTable); err == nil {
+		t.Error("TableInfo with a cancelled ctx must fail")
+	}
+	if _, err := under.TableStats(ctx, SourceTable); err == nil {
+		t.Error("TableStats with a cancelled ctx must fail")
+	}
+	if v, ok := under.TableVersion(ctx, SourceTable); ok {
+		t.Errorf("TableVersion with a cancelled ctx reported %q, want absent", v)
+	}
+
+	// And the same calls succeed once the context is live again.
+	live := context.Background()
+	if _, err := under.TableInfo(live, SourceTable); err != nil {
+		t.Errorf("TableInfo after cancellation: %v", err)
+	}
+	if _, err := under.TableStats(live, SourceTable); err != nil {
+		t.Errorf("TableStats after cancellation: %v", err)
+	}
 }
 
 // runScenarios compares every scenario's complete output against the

@@ -37,8 +37,13 @@ func (b *Embedded) Capabilities() Capabilities {
 	}
 }
 
-// TableInfo describes a table from the live catalog.
-func (b *Embedded) TableInfo(table string) (TableInfo, error) {
+// TableInfo describes a table from the live catalog. The lookup is an
+// in-memory map read, so ctx only gates entry (a cancelled context
+// fails fast instead of returning metadata the caller will discard).
+func (b *Embedded) TableInfo(ctx context.Context, table string) (TableInfo, error) {
+	if err := ctxErr(ctx); err != nil {
+		return TableInfo{}, err
+	}
 	t, ok := b.db.Table(table)
 	if !ok {
 		return TableInfo{}, fmt.Errorf("%w: %q", ErrNoTable, table)
@@ -59,14 +64,20 @@ func (b *Embedded) TableInfo(table string) (TableInfo, error) {
 
 // TableVersion delegates to the store's versioned catalog (process-unique
 // DB id + catalog epoch + row generation), so every load, append and
-// drop-and-reload yields a fresh token.
-func (b *Embedded) TableVersion(table string) (string, bool) {
+// drop-and-reload yields a fresh token. A cancelled ctx reports the
+// table as absent.
+func (b *Embedded) TableVersion(ctx context.Context, table string) (string, bool) {
+	if ctxErr(ctx) != nil {
+		return "", false
+	}
 	return b.db.TableVersion(table)
 }
 
-// TableStats converts the store's exact single-scan statistics.
-func (b *Embedded) TableStats(table string) (*TableStats, error) {
-	ts, err := b.db.Stats(table)
+// TableStats converts the store's exact single-scan statistics. The
+// statistics scan itself honors ctx, so introspecting a huge cold table
+// is cancellable, not just Exec.
+func (b *Embedded) TableStats(ctx context.Context, table string) (*TableStats, error) {
+	ts, err := b.db.StatsContext(ctx, table)
 	if err != nil {
 		return nil, err
 	}
@@ -81,19 +92,31 @@ func (b *Embedded) TableStats(table string) (*TableStats, error) {
 // intra-query scan parallelism.
 func (b *Embedded) Exec(ctx context.Context, query string, opts ExecOptions) (*Rows, ExecStats, error) {
 	res, err := b.db.QueryOpts(query, sqldb.ExecOptions{
-		Ctx:     ctx,
-		Lo:      opts.Lo,
-		Hi:      opts.Hi,
-		Workers: opts.Workers,
+		Ctx:                ctx,
+		Lo:                 opts.Lo,
+		Hi:                 opts.Hi,
+		Workers:            opts.Workers,
+		NoSelectionKernels: opts.NoSelectionKernels,
 	})
 	if err != nil {
 		return nil, ExecStats{}, err
 	}
 	stats := ExecStats{
-		RowsScanned: res.Stats.RowsScanned,
-		Groups:      res.Stats.Groups,
-		Vectorized:  res.Stats.Vectorized,
-		Workers:     res.Stats.Workers,
+		RowsScanned:        res.Stats.RowsScanned,
+		Groups:             res.Stats.Groups,
+		Vectorized:         res.Stats.Vectorized,
+		FallbackReason:     res.Stats.FallbackReason,
+		Workers:            res.Stats.Workers,
+		SelectionKernels:   res.Stats.SelectionKernels,
+		ResidualPredicates: res.Stats.ResidualPredicates,
 	}
 	return &Rows{Columns: res.Columns, Rows: res.Rows}, stats, nil
+}
+
+// ctxErr returns ctx.Err(), tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }

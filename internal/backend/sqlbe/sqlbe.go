@@ -114,12 +114,18 @@ func (b *Backend) Capabilities() backend.Capabilities {
 func (b *Backend) BumpVersion() { b.gen.Add(1) }
 
 // TableVersion returns the configured version function's token, or the
-// instance-scoped generation token.
-func (b *Backend) TableVersion(table string) (string, bool) {
+// instance-scoped generation token. A cancelled ctx reports the table
+// absent (the existence probe cannot run).
+func (b *Backend) TableVersion(ctx context.Context, table string) (string, bool) {
+	if ctx != nil && ctx.Err() != nil {
+		// The contract: a cancelled ctx reports the table absent, even
+		// when a custom version function could answer without the store.
+		return "", false
+	}
 	if b.opts.Version != nil {
 		return b.opts.Version(table)
 	}
-	if _, err := b.TableInfo(table); err != nil {
+	if _, err := b.TableInfo(ctx, table); err != nil {
 		return "", false
 	}
 	return fmt.Sprintf("%d.%d", b.id, b.gen.Load()), true
@@ -166,13 +172,15 @@ func (b *Backend) storeMeta(table string, tm *tableMeta) {
 
 // TableInfo introspects a table by probing it with a sampled SELECT *.
 // A failed probe surfaces the store's error (which is how a genuinely
-// missing table reports itself, in the store's own words).
-func (b *Backend) TableInfo(table string) (backend.TableInfo, error) {
+// missing table reports itself, in the store's own words). The probe
+// queries run under ctx, so introspecting a slow external store is
+// cancellable, not just Exec.
+func (b *Backend) TableInfo(ctx context.Context, table string) (backend.TableInfo, error) {
 	version := b.metaVersion(table)
 	if tm, ok := b.lookupMeta(table, version); ok {
 		return tm.info, nil
 	}
-	ti, err := b.introspect(table)
+	ti, err := b.introspect(ctx, table)
 	if err != nil {
 		return backend.TableInfo{}, fmt.Errorf("sqlbe: introspecting %s: %w", table, err)
 	}
@@ -198,11 +206,11 @@ func checkIdent(kind, name string) error {
 }
 
 // introspect samples the table for column names/types and counts rows.
-func (b *Backend) introspect(table string) (backend.TableInfo, error) {
+func (b *Backend) introspect(ctx context.Context, table string) (backend.TableInfo, error) {
 	if err := checkIdent("table", table); err != nil {
 		return backend.TableInfo{}, err
 	}
-	rows, err := b.db.Query(fmt.Sprintf("SELECT * FROM %s LIMIT %d", table, b.opts.SampleRows))
+	rows, err := b.db.QueryContext(ctx, fmt.Sprintf("SELECT * FROM %s LIMIT %d", table, b.opts.SampleRows))
 	if err != nil {
 		return backend.TableInfo{}, err
 	}
@@ -259,20 +267,22 @@ func (b *Backend) introspect(table string) (backend.TableInfo, error) {
 	}
 
 	var count int
-	if err := b.db.QueryRow(fmt.Sprintf("SELECT COUNT(*) FROM %s", table)).Scan(&count); err != nil {
+	if err := b.db.QueryRowContext(ctx, fmt.Sprintf("SELECT COUNT(*) FROM %s", table)).Scan(&count); err != nil {
 		return backend.TableInfo{}, err
 	}
 	return backend.TableInfo{Name: table, Columns: cols, Rows: count, Layout: b.opts.Layout}, nil
 }
 
 // TableStats computes per-column distinct counts with one
-// COUNT(DISTINCT ...) query over the table.
-func (b *Backend) TableStats(table string) (*backend.TableStats, error) {
+// COUNT(DISTINCT ...) query over the table, run under ctx (the query
+// scans the whole table on most stores, so cancellation matters here
+// most of all).
+func (b *Backend) TableStats(ctx context.Context, table string) (*backend.TableStats, error) {
 	version := b.metaVersion(table)
 	if tm, ok := b.lookupMeta(table, version); ok && tm.stats != nil {
 		return tm.stats, nil
 	}
-	ti, err := b.TableInfo(table)
+	ti, err := b.TableInfo(ctx, table)
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +300,7 @@ func (b *Backend) TableStats(table string) (*backend.TableStats, error) {
 	for i := range counts {
 		ptrs[i] = &counts[i]
 	}
-	if err := b.db.QueryRow(q).Scan(ptrs...); err != nil {
+	if err := b.db.QueryRowContext(ctx, q).Scan(ptrs...); err != nil {
 		return nil, fmt.Errorf("sqlbe: distinct counts for %s: %w", table, err)
 	}
 	ts := &backend.TableStats{Rows: ti.Rows, Columns: make([]backend.ColumnStats, len(ti.Columns))}

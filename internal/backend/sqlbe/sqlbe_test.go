@@ -50,7 +50,7 @@ func TestIntrospection(t *testing.T) {
 		t.Errorf("capabilities = %+v, want none", caps)
 	}
 
-	ti, err := be.TableInfo("sales")
+	ti, err := be.TableInfo(context.Background(), "sales")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,14 +69,14 @@ func TestIntrospection(t *testing.T) {
 			t.Errorf("column %s = %+v (ok=%v), want type %v", name, c, ok, want)
 		}
 	}
-	if _, err := be.TableInfo("missing"); err == nil {
+	if _, err := be.TableInfo(context.Background(), "missing"); err == nil {
 		t.Error("TableInfo(missing) should error")
 	}
 }
 
 func TestTableStats(t *testing.T) {
 	be, _ := newBackend(t)
-	ts, err := be.TableStats("sales")
+	ts, err := be.TableStats(context.Background(), "sales")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestTableStats(t *testing.T) {
 	if c, _ := ts.Column("price"); c.Distinct != 3 { // one NULL excluded
 		t.Errorf("price distinct = %d, want 3", c.Distinct)
 	}
-	if _, err := be.TableStats("missing"); err == nil {
+	if _, err := be.TableStats(context.Background(), "missing"); err == nil {
 		t.Error("TableStats(missing) should error")
 	}
 }
@@ -187,7 +187,7 @@ func TestIdentifierValidation(t *testing.T) {
 		"sa les",
 		"",
 	} {
-		if _, err := be.TableInfo(bad); err == nil {
+		if _, err := be.TableInfo(context.Background(), bad); err == nil {
 			t.Errorf("TableInfo(%q) should reject the identifier", bad)
 		}
 	}
@@ -199,34 +199,41 @@ func TestIdentifierValidation(t *testing.T) {
 
 func TestVersioning(t *testing.T) {
 	be, _ := newBackend(t)
-	v1, ok := be.TableVersion("sales")
+	v1, ok := be.TableVersion(context.Background(), "sales")
 	if !ok {
 		t.Fatal("no version for sales")
 	}
-	v2, _ := be.TableVersion("sales")
+	v2, _ := be.TableVersion(context.Background(), "sales")
 	if v1 != v2 {
 		t.Errorf("version unstable without changes: %q vs %q", v1, v2)
 	}
 	be.BumpVersion()
-	v3, _ := be.TableVersion("sales")
+	v3, _ := be.TableVersion(context.Background(), "sales")
 	if v3 == v1 {
 		t.Error("BumpVersion did not change the token")
 	}
-	if _, ok := be.TableVersion("missing"); ok {
+	if _, ok := be.TableVersion(context.Background(), "missing"); ok {
 		t.Error("TableVersion(missing) should report absent")
 	}
 
 	custom := New(nil, Options{Version: func(table string) (string, bool) {
 		return "wm-42", table == "sales"
 	}})
-	if v, ok := custom.TableVersion("sales"); !ok || v != "wm-42" {
+	if v, ok := custom.TableVersion(context.Background(), "sales"); !ok || v != "wm-42" {
 		t.Errorf("custom version = %q %v", v, ok)
+	}
+	// The Backend contract: a cancelled ctx reports the table absent,
+	// even when the custom watermark function needs no store round-trip.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if v, ok := custom.TableVersion(cancelled, "sales"); ok {
+		t.Errorf("cancelled ctx reported version %q, want absent", v)
 	}
 }
 
 func TestStatsMemoInvalidatesOnBump(t *testing.T) {
 	be, db := newBackend(t)
-	ti, _ := be.TableInfo("sales")
+	ti, _ := be.TableInfo(context.Background(), "sales")
 	if ti.Rows != 4 {
 		t.Fatalf("rows = %d", ti.Rows)
 	}
@@ -236,13 +243,13 @@ func TestStatsMemoInvalidatesOnBump(t *testing.T) {
 	}
 	// Memoized introspection still reports the old count until the
 	// operator signals a change...
-	ti, _ = be.TableInfo("sales")
+	ti, _ = be.TableInfo(context.Background(), "sales")
 	if ti.Rows != 4 {
 		t.Errorf("memoized rows = %d, want 4", ti.Rows)
 	}
 	// ...after which it re-introspects.
 	be.BumpVersion()
-	ti, _ = be.TableInfo("sales")
+	ti, _ = be.TableInfo(context.Background(), "sales")
 	if ti.Rows != 5 {
 		t.Errorf("post-bump rows = %d, want 5", ti.Rows)
 	}
@@ -269,10 +276,10 @@ func TestCustomVersionRefreshesIntrospection(t *testing.T) {
 		return watermark, true
 	}})
 
-	if ti, err := be.TableInfo("t"); err != nil || ti.Rows != 1 {
+	if ti, err := be.TableInfo(context.Background(), "t"); err != nil || ti.Rows != 1 {
 		t.Fatalf("TableInfo = %+v, %v", ti, err)
 	}
-	if ts, err := be.TableStats("t"); err != nil {
+	if ts, err := be.TableStats(context.Background(), "t"); err != nil {
 		t.Fatal(err)
 	} else if c, _ := ts.Column("g"); c.Distinct != 1 {
 		t.Fatalf("g distinct = %d", c.Distinct)
@@ -282,15 +289,15 @@ func TestCustomVersionRefreshesIntrospection(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Same watermark → memo still serves the old counts.
-	if ti, _ := be.TableInfo("t"); ti.Rows != 1 {
+	if ti, _ := be.TableInfo(context.Background(), "t"); ti.Rows != 1 {
 		t.Errorf("same-watermark rows = %d, want memoized 1", ti.Rows)
 	}
 	// New watermark → full re-introspection, stats included.
 	watermark = "w2"
-	if ti, _ := be.TableInfo("t"); ti.Rows != 2 {
+	if ti, _ := be.TableInfo(context.Background(), "t"); ti.Rows != 2 {
 		t.Errorf("new-watermark rows = %d, want 2", ti.Rows)
 	}
-	if ts, err := be.TableStats("t"); err != nil {
+	if ts, err := be.TableStats(context.Background(), "t"); err != nil {
 		t.Fatal(err)
 	} else if c, _ := ts.Column("g"); c.Distinct != 2 {
 		t.Errorf("new-watermark g distinct = %d, want 2", c.Distinct)

@@ -160,6 +160,7 @@ func All() []Experiment {
 		{"ablations", "Design-choice ablations (beyond the paper)", Ablations},
 		{"cache", "Cross-request result cache (beyond the paper)", CacheExperiment},
 		{"parallel", "Intra-query parallel vectorized executor (beyond the paper)", ParallelExperiment},
+		{"filter", "Vectorized predicate selection kernels (beyond the paper)", FilterExperiment},
 	}
 }
 

@@ -50,8 +50,8 @@ func runExperiment(t *testing.T, id string) []*Table {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Errorf("registered %d experiments, want 15", len(all))
+	if len(all) != 16 {
+		t.Errorf("registered %d experiments, want 16", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -273,6 +273,40 @@ func TestParallelExecutorNoSlowerThanSerial(t *testing.T) {
 	}
 	t.Logf("serial %.2fms, parallel %.2fms (%.1fx, %d workers)",
 		dp.SerialMS, dp.ParallelMS, dp.Speedup, dp.ScanWorkers)
+}
+
+// TestFilterKernelsNoSlowerThanSerial is the bench regression guard for
+// the predicate selection kernels: kernels must never turn a filtered
+// parallel scan slower than the Workers=1 serial interpreter, and the
+// sweep itself asserts the kernels and numeric group dictionaries
+// engaged (vectorized, zero fallback reasons). The margin absorbs
+// scheduler noise; BENCH_filter.json records the measured speedups.
+func TestFilterKernelsNoSlowerThanSerial(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs GOMAXPROCS > 1; single-core machines cannot exercise parallel scans")
+	}
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	rep, err := MeasureFilter(context.Background(), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IntGroupVectorized || !rep.FloatGroupVectorized {
+		t.Errorf("numeric group keys must vectorize: int=%v float=%v",
+			rep.IntGroupVectorized, rep.FloatGroupVectorized)
+	}
+	for _, dp := range rep.Points {
+		if dp.SelectionKernels == 0 {
+			t.Errorf("selectivity %.0f%%: no selection kernels bound", dp.Selectivity*100)
+		}
+		if dp.KernelMS > dp.SerialMS*1.25 {
+			t.Errorf("selectivity %.0f%%: kernels slower than serial: %.2fms vs %.2fms",
+				dp.Selectivity*100, dp.KernelMS, dp.SerialMS)
+		}
+		t.Logf("selectivity %.0f%%: serial %.2fms, closure %.2fms, kernels %.2fms (%.1fx vs closure)",
+			dp.Selectivity*100, dp.SerialMS, dp.BaselineMS, dp.KernelMS, dp.Speedup)
+	}
 }
 
 func TestBuildShuffledPreservesContent(t *testing.T) {

@@ -20,12 +20,28 @@ import (
 // vectorized, or skipped QueriesExecuted for it, would silently skew the
 // /healthz executor dashboards and the bench reports.
 
-// assertCounters checks the partition invariant.
+// assertCounters checks the partition invariants: executed queries
+// split into vectorized + fallback, and the per-reason fallback counts
+// sum back to the fallback total.
 func assertCounters(t *testing.T, m Metrics) {
 	t.Helper()
 	if m.QueriesExecuted != m.VectorizedQueries+m.FallbackQueries {
 		t.Errorf("QueriesExecuted=%d must equal Vectorized=%d + Fallback=%d",
 			m.QueriesExecuted, m.VectorizedQueries, m.FallbackQueries)
+	}
+	reasonSum := 0
+	for reason, n := range m.FallbackReasons {
+		if reason == "" {
+			t.Error("FallbackReasons must not contain an empty reason key")
+		}
+		if n <= 0 {
+			t.Errorf("FallbackReasons[%q] = %d, want positive", reason, n)
+		}
+		reasonSum += n
+	}
+	if reasonSum != m.FallbackQueries {
+		t.Errorf("FallbackReasons sum to %d, FallbackQueries = %d (%v)",
+			reasonSum, m.FallbackQueries, m.FallbackReasons)
 	}
 }
 
@@ -77,9 +93,10 @@ func TestCountersRuntimeFallbackEdge(t *testing.T) {
 	}
 }
 
-// TestCountersInterpreterShapes: int-dimension group keys are ineligible
-// at plan time; phased execution and NoOpt run serial. All paths must
-// keep the partition invariant.
+// TestCountersInterpreterShapes: int-dimension group keys vectorize via
+// the runtime value dictionaries under SHARING; NoOpt pins the serial
+// interpreter (reason "serial execution"); phased execution mixes
+// per-phase executions. All paths must keep the partition invariants.
 func TestCountersInterpreterShapes(t *testing.T) {
 	db := sqldb.NewDB()
 	schema := sqldb.MustSchema(
@@ -100,7 +117,7 @@ func TestCountersInterpreterShapes(t *testing.T) {
 		Dimensions: []string{"code"}, Measures: []string{"m"}}
 
 	for _, opts := range []Options{
-		{Strategy: Sharing, K: 1, ScanParallelism: 4}, // int dim → plan-time fallback
+		{Strategy: Sharing, K: 1, ScanParallelism: 4}, // int dim → numeric dictionary fast path
 		{Strategy: NoOpt, K: 1, ScanParallelism: 4},   // baseline pins serial
 		{Strategy: Comb, Pruning: CIPruning, K: 1, Phases: 4, ScanParallelism: 4},
 	} {
@@ -113,9 +130,43 @@ func TestCountersInterpreterShapes(t *testing.T) {
 		if m.QueriesExecuted == 0 {
 			t.Errorf("%v: no queries executed", opts.Strategy)
 		}
-		if opts.Strategy != Comb && m.VectorizedQueries != 0 {
-			t.Errorf("%v: int group key should fall back, metrics: %+v", opts.Strategy, m)
+		switch opts.Strategy {
+		case Sharing:
+			if m.FallbackQueries != 0 {
+				t.Errorf("SHARING: int group key should vectorize now, metrics: %+v", m)
+			}
+			if m.SelectionKernels == 0 {
+				t.Errorf("SHARING: the combined CASE-flag predicate should compile to kernels, metrics: %+v", m)
+			}
+		case NoOpt:
+			if m.VectorizedQueries != 0 {
+				t.Errorf("NO_OPT: must stay on the serial baseline, metrics: %+v", m)
+			}
+			if m.FallbackReasons["serial execution"] != m.FallbackQueries {
+				t.Errorf("NO_OPT: every fallback should be 'serial execution': %v", m.FallbackReasons)
+			}
 		}
+	}
+}
+
+// TestCountersFallbackReasons: a row-store table reports every fallback
+// under the "row-store table" reason.
+func TestCountersFallbackReasons(t *testing.T) {
+	e, req := buildCensus(t, sqldb.LayoutRow, 1000)
+	res, err := e.Recommend(context.Background(), req, Options{
+		Strategy: Sharing, K: 2, ScanParallelism: 4,
+		GroupBy: GroupBySingle, GroupBySet: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	assertCounters(t, m)
+	if m.FallbackQueries == 0 {
+		t.Fatal("expected fallback executions on a row store")
+	}
+	if m.FallbackReasons["row-store table"] != m.FallbackQueries {
+		t.Errorf("want all fallbacks under 'row-store table', got %v", m.FallbackReasons)
 	}
 }
 

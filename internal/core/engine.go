@@ -78,6 +78,18 @@ type Metrics struct {
 	// QueriesExecuted (cache hits are counted in neither).
 	VectorizedQueries int
 	FallbackQueries   int
+	// FallbackReasons breaks FallbackQueries down by the executor's
+	// reported reason ("serial execution", "non-column group key",
+	// "id-space overflow", ...); backends that report none are counted
+	// under "unreported". The per-reason counts always sum to
+	// FallbackQueries. Nil when nothing fell back.
+	FallbackReasons map[string]int
+	// SelectionKernels counts the compiled predicate selection kernels
+	// bound across executed queries; ResidualPredicates counts predicate
+	// conjuncts that stayed on the per-row closure path (the hybrid
+	// residual filter).
+	SelectionKernels   int
+	ResidualPredicates int
 	// ScanWorkers is the peak per-query scan worker count used.
 	ScanWorkers int
 	// RowsScanned sums base-table rows visited across all queries.
@@ -179,14 +191,14 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 	if req.Reference == RefCustom && req.ReferenceWhere == "" {
 		return nil, fmt.Errorf("core: RefCustom requires ReferenceWhere")
 	}
-	ti, err := e.be.TableInfo(req.Table)
+	ti, err := e.be.TableInfo(ctx, req.Table)
 	if errors.Is(err, backend.ErrNoTable) {
 		return nil, fmt.Errorf("core: table %q does not exist", req.Table)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: table metadata for %q: %w", req.Table, err)
 	}
-	views, err := e.gen.Views(req)
+	views, err := e.gen.Views(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -203,9 +215,20 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 		opts.ConfidenceScale = 0
 		opts.Seed = 0
 	}
+	if opts.Strategy == NoOpt {
+		// The unoptimized baseline pins serial scans (see runQueries);
+		// canonicalize the inert intra-query knobs the same way the
+		// pruning options are, so they can never make two equivalent
+		// NO_OPT requests look different anywhere downstream.
+		opts.ScanParallelism = 1
+		opts.DisableSelectionKernels = false
+	}
 	opts = opts.withDefaults(ti.Layout, len(views))
 	if !caps.SupportsVectorized {
+		// Scan-parallelism knobs are inert on backends without an
+		// engine-side vectorized executor; canonicalize them too.
 		opts.ScanParallelism = 1
+		opts.DisableSelectionKernels = false
 	}
 	if opts.K > len(views) {
 		opts.K = len(views)
@@ -218,7 +241,7 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 	// backends with watermark version functions).
 	version, versioned := "", false
 	if opts.EnableCache {
-		version, versioned = e.be.TableVersion(req.Table)
+		version, versioned = e.be.TableVersion(ctx, req.Table)
 	}
 	if !versioned {
 		res, err := e.runRecommend(ctx, req, opts, views, ti, nil, "")
@@ -253,6 +276,8 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 		m := &res.Metrics
 		m.QueriesExecuted, m.RowsScanned, m.MaxGroups, m.PhasesRun = 0, 0, 0, 0
 		m.VectorizedQueries, m.FallbackQueries, m.ScanWorkers = 0, 0, 0
+		m.FallbackReasons = nil
+		m.SelectionKernels, m.ResidualPredicates = 0, 0
 		m.CacheMisses, m.RefViewsReused = 0, 0
 		m.CacheHits = 1
 		m.ServedFromCache = true
@@ -312,7 +337,7 @@ func (e *Engine) runRecommend(ctx context.Context, req Request, opts Options, vi
 	qb := &queryBuilder{table: req.Table, req: req, opts: opts, refDone: st.refSeeded}
 	if opts.GroupBy == GroupByBinPack && opts.Strategy != NoOpt {
 		dims := dimensionSet(views)
-		cards, err := e.gen.DimensionCardinalities(req.Table, dims)
+		cards, err := e.gen.DimensionCardinalities(ctx, req.Table, dims)
 		if err != nil {
 			return nil, err
 		}

@@ -68,7 +68,7 @@ func TestViewSQLGeneration(t *testing.T) {
 
 func TestViewGeneratorEnumeration(t *testing.T) {
 	e, req := buildCensus(t, sqldb.LayoutCol, 2000)
-	views, err := e.Generator().Views(req)
+	views, err := e.Generator().Views(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestViewGeneratorEnumeration(t *testing.T) {
 	}
 	// Multiple aggregate functions multiply the space.
 	req.Aggs = []AggFunc{AggAvg, AggSum}
-	views, err = e.Generator().Views(req)
+	views, err = e.Generator().Views(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestViewGeneratorDerivesFromMetadata(t *testing.T) {
 	e, req := buildCensus(t, sqldb.LayoutCol, 2000)
 	req.Dimensions = nil
 	req.Measures = nil
-	views, err := e.Generator().Views(req)
+	views, err := e.Generator().Views(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,22 +110,22 @@ func TestViewGeneratorErrors(t *testing.T) {
 	e, req := buildCensus(t, sqldb.LayoutCol, 500)
 	bad := req
 	bad.Table = "nope"
-	if _, err := e.Generator().Views(bad); err == nil {
+	if _, err := e.Generator().Views(context.Background(), bad); err == nil {
 		t.Error("unknown table should fail")
 	}
 	bad = req
 	bad.Dimensions = []string{"nosuch"}
-	if _, err := e.Generator().Views(bad); err == nil {
+	if _, err := e.Generator().Views(context.Background(), bad); err == nil {
 		t.Error("unknown dimension should fail")
 	}
 	bad = req
 	bad.Measures = []string{"nosuch"}
-	if _, err := e.Generator().Views(bad); err == nil {
+	if _, err := e.Generator().Views(context.Background(), bad); err == nil {
 		t.Error("unknown measure should fail")
 	}
 	bad = req
 	bad.Aggs = []AggFunc{"MEDIAN"}
-	if _, err := e.Generator().Views(bad); err == nil {
+	if _, err := e.Generator().Views(context.Background(), bad); err == nil {
 		t.Error("unsupported aggregate should fail")
 	}
 }

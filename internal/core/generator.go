@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -33,8 +34,8 @@ func NewViewGenerator(be backend.Backend) *ViewGenerator {
 // numeric columns. A column never plays both roles in the derived
 // enumeration: low-cardinality numerics become dimensions, the rest
 // measures.
-func (g *ViewGenerator) Views(req Request) ([]View, error) {
-	ti, err := g.be.TableInfo(req.Table)
+func (g *ViewGenerator) Views(ctx context.Context, req Request) ([]View, error) {
+	ti, err := g.be.TableInfo(ctx, req.Table)
 	if errors.Is(err, backend.ErrNoTable) {
 		return nil, fmt.Errorf("core: table %q does not exist", req.Table)
 	}
@@ -45,7 +46,7 @@ func (g *ViewGenerator) Views(req Request) ([]View, error) {
 	dims := req.Dimensions
 	measures := req.Measures
 	if len(dims) == 0 || len(measures) == 0 {
-		stats, err := g.be.TableStats(req.Table)
+		stats, err := g.be.TableStats(ctx, req.Table)
 		if err != nil {
 			return nil, err
 		}
@@ -119,8 +120,8 @@ func (g *ViewGenerator) Views(req Request) ([]View, error) {
 
 // DimensionCardinalities returns the distinct-value count for each named
 // dimension, in order — the |a_i| inputs to the bin-packing optimizer.
-func (g *ViewGenerator) DimensionCardinalities(table string, dims []string) ([]int, error) {
-	stats, err := g.be.TableStats(table)
+func (g *ViewGenerator) DimensionCardinalities(ctx context.Context, table string, dims []string) ([]int, error) {
+	stats, err := g.be.TableStats(ctx, table)
 	if err != nil {
 		return nil, err
 	}

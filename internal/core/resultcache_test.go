@@ -84,6 +84,42 @@ func TestCacheWarmRequestIssuesZeroQueries(t *testing.T) {
 	sameRecommendations(t, cold.Recommendations, warm.Recommendations, 0)
 }
 
+// TestCacheHitParityAcrossCostKnobs pins the cost-knob canonicalization:
+// ScanParallelism and DisableSelectionKernels change how a query
+// executes, never what it returns, so requests differing only in those
+// knobs must share one cache entry (mirroring the PR 3 pruning-option
+// canonicalization for single-pass plans).
+func TestCacheHitParityAcrossCostKnobs(t *testing.T) {
+	eng, req := buildCensus(t, sqldb.LayoutCol, 3000)
+	ctx := context.Background()
+
+	cold, err := eng.Recommend(ctx, req, Options{
+		Strategy: Sharing, K: 4, EnableCache: true, ScanParallelism: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Metrics.ServedFromCache {
+		t.Fatalf("first request must be cold: %+v", cold.Metrics)
+	}
+
+	variants := []Options{
+		{Strategy: Sharing, K: 4, EnableCache: true, ScanParallelism: 4},
+		{Strategy: Sharing, K: 4, EnableCache: true, ScanParallelism: 7, DisableSelectionKernels: true},
+		{Strategy: Sharing, K: 4, EnableCache: true, DisableSelectionKernels: true},
+	}
+	for i, opts := range variants {
+		warm, err := eng.Recommend(ctx, req, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.Metrics.ServedFromCache || warm.Metrics.QueriesExecuted != 0 {
+			t.Errorf("variant %d (%+v): not served from cache: %+v", i, opts, warm.Metrics)
+		}
+		sameRecommendations(t, cold.Recommendations, warm.Recommendations, 0)
+	}
+}
+
 func TestCacheMatchesUncachedAcrossStrategies(t *testing.T) {
 	ctx := context.Background()
 	for _, strat := range []Strategy{NoOpt, Sharing, Comb, CombEarly} {

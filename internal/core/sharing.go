@@ -419,7 +419,10 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 			defer wg.Done()
 			for qi := range work {
 				sql := queries[qi].sql
-				execOpts := backend.ExecOptions{Lo: lo, Hi: hi, Workers: scanWorkers}
+				execOpts := backend.ExecOptions{
+					Lo: lo, Hi: hi, Workers: scanWorkers,
+					NoSelectionKernels: s.opts.DisableSelectionKernels,
+				}
 				exec := func() (any, error) {
 					rows, stats, err := s.be.Exec(ctx, sql, execOpts)
 					if err != nil {
@@ -490,7 +493,17 @@ func (m *Metrics) recordExec(stats backend.ExecStats) {
 		m.VectorizedQueries++
 	} else {
 		m.FallbackQueries++
+		reason := stats.FallbackReason
+		if reason == "" {
+			reason = "unreported"
+		}
+		if m.FallbackReasons == nil {
+			m.FallbackReasons = make(map[string]int)
+		}
+		m.FallbackReasons[reason]++
 	}
+	m.SelectionKernels += stats.SelectionKernels
+	m.ResidualPredicates += stats.ResidualPredicates
 	if stats.Workers > m.ScanWorkers {
 		m.ScanWorkers = stats.Workers
 	}

@@ -78,17 +78,35 @@ type registeredBackend struct {
 // executorStats accumulates, across every recommendation served by this
 // process, how the sqldb executor ran its queries. Surfaced on /healthz
 // next to the cache counters so dashboards can see whether the parallel
-// vectorized fast path is actually carrying the load.
+// vectorized fast path — and its predicate selection kernels — is
+// actually carrying the load, and why any queries fell back.
 type executorStats struct {
-	vectorizedQueries atomic.Int64
-	fallbackQueries   atomic.Int64
-	maxScanWorkers    atomic.Int64
+	vectorizedQueries  atomic.Int64
+	fallbackQueries    atomic.Int64
+	maxScanWorkers     atomic.Int64
+	selectionKernels   atomic.Int64
+	residualPredicates atomic.Int64
+
+	reasonsMu       sync.Mutex
+	fallbackReasons map[string]int64
 }
 
 // record folds one request's metrics in.
 func (e *executorStats) record(m core.Metrics) {
 	e.vectorizedQueries.Add(int64(m.VectorizedQueries))
 	e.fallbackQueries.Add(int64(m.FallbackQueries))
+	e.selectionKernels.Add(int64(m.SelectionKernels))
+	e.residualPredicates.Add(int64(m.ResidualPredicates))
+	if len(m.FallbackReasons) > 0 {
+		e.reasonsMu.Lock()
+		if e.fallbackReasons == nil {
+			e.fallbackReasons = make(map[string]int64)
+		}
+		for reason, n := range m.FallbackReasons {
+			e.fallbackReasons[reason] += int64(n)
+		}
+		e.reasonsMu.Unlock()
+	}
 	for {
 		cur := e.maxScanWorkers.Load()
 		if int64(m.ScanWorkers) <= cur || e.maxScanWorkers.CompareAndSwap(cur, int64(m.ScanWorkers)) {
@@ -98,11 +116,20 @@ func (e *executorStats) record(m core.Metrics) {
 }
 
 // snapshot renders the counters for JSON payloads.
-func (e *executorStats) snapshot() map[string]int64 {
-	return map[string]int64{
-		"vectorized_queries": e.vectorizedQueries.Load(),
-		"fallback_queries":   e.fallbackQueries.Load(),
-		"max_scan_workers":   e.maxScanWorkers.Load(),
+func (e *executorStats) snapshot() map[string]any {
+	e.reasonsMu.Lock()
+	reasons := make(map[string]int64, len(e.fallbackReasons))
+	for r, n := range e.fallbackReasons {
+		reasons[r] = n
+	}
+	e.reasonsMu.Unlock()
+	return map[string]any{
+		"vectorized_queries":  e.vectorizedQueries.Load(),
+		"fallback_queries":    e.fallbackQueries.Load(),
+		"fallback_reasons":    reasons,
+		"max_scan_workers":    e.maxScanWorkers.Load(),
+		"selection_kernels":   e.selectionKernels.Load(),
+		"residual_predicates": e.residualPredicates.Load(),
 	}
 }
 
@@ -438,6 +465,9 @@ type RecommendResponse struct {
 	ServedFromCache bool              `json:"served_from_cache"`
 	Vectorized      int               `json:"vectorized_queries"`
 	Fallback        int               `json:"fallback_queries"`
+	FallbackReasons map[string]int    `json:"fallback_reasons,omitempty"`
+	SelectionKernel int               `json:"selection_kernels"`
+	ResidualPreds   int               `json:"residual_predicates"`
 	ScanWorkers     int               `json:"scan_workers"`
 	// Backend names the backend that served the request; Strategy is the
 	// strategy actually executed there (capability degradation may turn
@@ -548,6 +578,9 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		ServedFromCache: res.Metrics.ServedFromCache,
 		Vectorized:      res.Metrics.VectorizedQueries,
 		Fallback:        res.Metrics.FallbackQueries,
+		FallbackReasons: res.Metrics.FallbackReasons,
+		SelectionKernel: res.Metrics.SelectionKernels,
+		ResidualPreds:   res.Metrics.ResidualPredicates,
 		ScanWorkers:     res.Metrics.ScanWorkers,
 		ElapsedMS:       float64(res.Metrics.Elapsed.Microseconds()) / 1000,
 	}

@@ -397,6 +397,12 @@ func TestExecutorStats(t *testing.T) {
 	if vec.ScanWorkers < 2 || vec.ScanWorkers > 3 {
 		t.Errorf("scan_workers = %d, want 2-3", vec.ScanWorkers)
 	}
+	if vec.SelectionKernel == 0 {
+		t.Errorf("vectorized run bound no selection kernels: %+v", vec)
+	}
+	if len(vec.FallbackReasons) != 0 {
+		t.Errorf("all-vectorized run reported fallback reasons: %v", vec.FallbackReasons)
+	}
 
 	var serial RecommendResponse
 	req.ScanParallelism = 1
@@ -406,6 +412,9 @@ func TestExecutorStats(t *testing.T) {
 	if serial.Vectorized != 0 || serial.Fallback == 0 || serial.ScanWorkers != 1 {
 		t.Errorf("scan_parallelism=1: vectorized=%d fallback=%d workers=%d, want interpreter only",
 			serial.Vectorized, serial.Fallback, serial.ScanWorkers)
+	}
+	if serial.FallbackReasons["serial execution"] != serial.Fallback {
+		t.Errorf("serial run reasons = %v, want all under 'serial execution'", serial.FallbackReasons)
 	}
 
 	var health map[string]any
@@ -424,5 +433,15 @@ func TestExecutorStats(t *testing.T) {
 	}
 	if got := exec["max_scan_workers"].(float64); int(got) != vec.ScanWorkers {
 		t.Errorf("healthz max_scan_workers = %v, want %d", got, vec.ScanWorkers)
+	}
+	if got := exec["selection_kernels"].(float64); int(got) != vec.SelectionKernel {
+		t.Errorf("healthz selection_kernels = %v, want %d", got, vec.SelectionKernel)
+	}
+	reasons, ok := exec["fallback_reasons"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz has no fallback_reasons: %v", exec)
+	}
+	if got := reasons["serial execution"].(float64); int(got) != serial.Fallback {
+		t.Errorf("healthz fallback_reasons[serial execution] = %v, want %d", got, serial.Fallback)
 	}
 }

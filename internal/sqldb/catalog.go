@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -50,6 +51,18 @@ type statsKey struct {
 // Stats computes (or returns cached) statistics for the named table by a
 // single full scan.
 func (db *DB) Stats(table string) (*TableStats, error) {
+	return db.StatsContext(nil, table)
+}
+
+// StatsContext is Stats with cancellation: the statistics scan checks
+// ctx every checkEvery rows, so introspecting a huge table stays
+// abortable (a nil ctx disables the checks).
+func (db *DB) StatsContext(ctx context.Context, table string) (*TableStats, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	t, ok := db.Table(table)
 	if !ok {
 		return nil, fmt.Errorf("sqldb: table %q does not exist", table)
@@ -58,7 +71,7 @@ func (db *DB) Stats(table string) (*TableStats, error) {
 	if cached, ok := statsCache.Load(key); ok {
 		return cached.(*TableStats), nil
 	}
-	ts, err := ComputeStats(t)
+	ts, err := computeStats(ctx, t)
 	if err != nil {
 		return nil, err
 	}
@@ -68,6 +81,11 @@ func (db *DB) Stats(table string) (*TableStats, error) {
 
 // ComputeStats scans t once and computes exact per-column statistics.
 func ComputeStats(t Table) (*TableStats, error) {
+	return computeStats(nil, t)
+}
+
+// computeStats is ComputeStats with optional cancellation.
+func computeStats(ctx context.Context, t Table) (*TableStats, error) {
 	schema := t.Schema()
 	n := schema.NumColumns()
 	ts := &TableStats{Table: t.Name(), Rows: t.NumRows()}
@@ -80,7 +98,14 @@ func ComputeStats(t Table) (*TableStats, error) {
 		stats[i] = ColumnStats{Name: schema.Column(i).Name, Type: schema.Column(i).Type}
 	}
 	var keyBuf []byte
+	seen := 0
 	err := t.ScanRange(0, t.NumRows(), cols, func(row RowView) error {
+		seen++
+		if ctx != nil && seen%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		for i := 0; i < n; i++ {
 			v := row.Value(i)
 			if v.IsNull() {

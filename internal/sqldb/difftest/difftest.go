@@ -13,11 +13,18 @@
 // making exact comparison a legitimate oracle.
 //
 // The generator deliberately produces queries on both sides of the fast
-// path's eligibility line (int group keys, DISTINCT aggregates, string
-// MIN, expression arguments all fall back to the interpreter), plus the
+// path's eligibility line (DISTINCT aggregates, string MIN, expression
+// group keys and arguments all fall back to the interpreter; int/float
+// group keys exercise the runtime value dictionaries), plus the
 // NULL-handling and empty-group edge cases: NULL dimension values, NULL
 // measures inside groups, all-NULL groups, predicates selecting zero
-// rows, and empty row ranges.
+// rows, and empty row ranges. WHERE clauses span every column type and
+// every selection-kernel shape — comparisons with literals on either
+// side, IN/BETWEEN/IS NULL, NULL-literal comparisons, negated
+// conjunctions/disjunctions — alongside closure-only residual shapes
+// (column-vs-column, arithmetic, function calls), so the hybrid
+// kernel+residual filter is differentially checked against the
+// interpreter on every run.
 package difftest
 
 import (
@@ -127,10 +134,11 @@ type Query struct {
 func (h *Harness) Gen() Query {
 	rng := h.rng
 
-	// GROUP BY: 0-3 distinct grouping expressions. Plain string/bool
-	// columns vectorize; k0 (int) and scalar expressions exercise the
-	// interpreter fallback under Workers>1.
-	groupPool := []string{"d0", "d1", "d2", "b0", "d0", "d1", "b0", "k0", "LOWER(d0)"}
+	// GROUP BY: 0-3 distinct grouping expressions. Plain columns of every
+	// type vectorize — k0 (int) and m0/m2 (float/int measures, with
+	// NULLs) through runtime value dictionaries — while scalar
+	// expressions exercise the interpreter fallback under Workers>1.
+	groupPool := []string{"d0", "d1", "d2", "b0", "d0", "d1", "b0", "k0", "m0", "m2", "LOWER(d0)"}
 	nGroups := rng.Intn(4)
 	var groups []string
 	seen := map[string]bool{}
@@ -216,7 +224,12 @@ func (h *Harness) Gen() Query {
 	return q
 }
 
-// genPredicate builds a random WHERE-style predicate of n clauses.
+// genPredicate builds a random WHERE-style predicate of n clauses. The
+// pool covers every selection-kernel shape over every column type —
+// string ordering (dictionary match tables), literal-on-the-left
+// comparisons, NULL-literal comparisons, IN with NULL elements, negated
+// composites — plus residual-only shapes (column-vs-column, arithmetic,
+// function calls) so hybrid kernel+residual filters occur naturally.
 func (h *Harness) genPredicate(n int) string {
 	rng := h.rng
 	clauses := []string{
@@ -226,6 +239,19 @@ func (h *Harness) genPredicate(n int) string {
 		"m2 BETWEEN -20 AND 35", "m2 NOT BETWEEN 0 AND 10",
 		"NOT (d1 = 'd1_00')", "d0 IN ('d0_00', 'd0_02')",
 		"m0 > m1", "m2 % 3 = 0",
+		// String ordering and membership over dictionary codes.
+		"s0 >= 's15'", "d2 < 'd2_20'", "s0 BETWEEN 's05' AND 's20'",
+		"s0 NOT IN ('s01', 's07', 's29')",
+		// Literal-on-the-left and cross-kind numeric comparisons.
+		"14.5 < m2", "0 = k0", "m2 >= -20.5",
+		// NULL-comparison edges: never TRUE, under either polarity.
+		"d1 = NULL", "m0 != NULL", "NOT (m1 < NULL)",
+		"k0 IN (1, NULL, 3)",
+		// Bare-column truthiness and negated composites.
+		"b0", "NOT b0", "NOT (m1 >= 0.25 AND d1 = 'd1_01')",
+		"NOT (b0 = FALSE OR m2 > 50)",
+		// Residual-only shapes (closure path inside the workers).
+		"ABS(m2) < 50", "m0 <= m1 + 10",
 	}
 	parts := make([]string, 0, n)
 	for i := 0; i < n; i++ {
@@ -243,6 +269,8 @@ type Stats struct {
 	Queries    int
 	Vectorized int // queries the Workers=N run executed on the fast path
 	Fallback   int // queries that fell back to the interpreter
+	Kernels    int // selection kernels bound across all vectorized runs
+	Residuals  int // predicate conjuncts left on the closure path
 }
 
 // Run generates and checks n queries, executing each under Workers=1 and
@@ -263,6 +291,8 @@ func (h *Harness) Run(n, workers int) (Stats, error) {
 		}
 		if par.Stats.Vectorized {
 			st.Vectorized++
+			st.Kernels += par.Stats.SelectionKernels
+			st.Residuals += par.Stats.ResidualPredicates
 		} else {
 			st.Fallback++
 		}

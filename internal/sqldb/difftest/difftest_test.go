@@ -38,8 +38,17 @@ func TestDifferential(t *testing.T) {
 		if st.Fallback < queriesPerSeed/20 {
 			t.Errorf("seed %d: only %d/%d queries hit the interpreter fallback", seed, st.Fallback, st.Queries)
 		}
-		t.Logf("seed %d workers %d: %d queries, %d vectorized, %d fallback",
-			seed, workers, st.Queries, st.Vectorized, st.Fallback)
+		// Predicate compilation must actually engage: vectorized runs
+		// should bind selection kernels, and the hybrid residual path
+		// (closure conjuncts inside kernel-filtered scans) must occur too.
+		if st.Kernels == 0 {
+			t.Errorf("seed %d: no selection kernels bound across %d vectorized queries", seed, st.Vectorized)
+		}
+		if st.Residuals == 0 {
+			t.Errorf("seed %d: no residual predicate conjuncts exercised", seed)
+		}
+		t.Logf("seed %d workers %d: %d queries, %d vectorized (%d kernels, %d residuals), %d fallback",
+			seed, workers, st.Queries, st.Vectorized, st.Kernels, st.Residuals, st.Fallback)
 	}
 }
 

@@ -29,6 +29,12 @@ type ExecOptions struct {
 	// aggregates may differ from the serial result in final ulps on data
 	// whose partial sums are inexact.
 	Workers int
+	// NoSelectionKernels disables the compiled predicate selection
+	// kernels inside the vectorized fast path: WHERE and CASE-flag
+	// predicates then evaluate through their per-row closures, as they
+	// did before predicate compilation existed. A cost-only debugging and
+	// benchmarking knob — results are identical either way.
+	NoSelectionKernels bool
 }
 
 // ExecStats reports per-query execution measurements.
@@ -43,9 +49,20 @@ type ExecStats struct {
 	// executed the aggregation (false for the serial interpreter and for
 	// non-grouped queries).
 	Vectorized bool
+	// FallbackReason says why Vectorized is false ("serial execution",
+	// "non-column group key", "distinct agg", "id-space overflow", ...).
+	// Empty when the fast path ran.
+	FallbackReason string
 	// Workers is the number of scan workers actually used (1 for the
 	// serial interpreter; never more than the scanned row count).
 	Workers int
+	// SelectionKernels counts the compiled predicate kernels this
+	// execution bound (WHERE conjuncts plus CASE-flag conjuncts);
+	// ResidualPredicates counts the conjuncts that stayed on the per-row
+	// closure path (the hybrid residual filter). Both are zero for the
+	// serial interpreter and when NoSelectionKernels is set.
+	SelectionKernels   int
+	ResidualPredicates int
 }
 
 // Result is a fully materialized query result.
@@ -77,8 +94,10 @@ type plan struct {
 	offset   int
 
 	// vec is the vectorized fast-path analysis of a grouped plan, or nil
-	// when the query shape is not eligible (see vexec.go).
-	vec *vecInfo
+	// when the query shape is not eligible (see vexec.go); vecReason
+	// names the disqualifying shape when vec is nil.
+	vec       *vecInfo
+	vecReason string
 }
 
 // orderKey is a compiled ORDER BY entry. If outCol >= 0 the key is an
@@ -263,7 +282,7 @@ func compileGroupedPlan(p *plan, stmt *SelectStmt, items []SelectItem, schema *S
 		}
 		p.orderBy = append(p.orderBy, key)
 	}
-	p.vec = vectorizeGrouped(stmt, p, schema)
+	p.vec, p.vecReason = vectorizeGrouped(stmt, p, schema)
 	return p, nil
 }
 
@@ -479,6 +498,7 @@ func (p *plan) execute(opts ExecOptions) (*Result, error) {
 			return nil, err
 		}
 	} else {
+		res.Stats.FallbackReason = fallbackNonGrouped
 		if err := p.executeSimple(opts, lo, hi, res); err != nil {
 			return nil, err
 		}
@@ -590,22 +610,35 @@ func (p *plan) executeGrouped(opts ExecOptions, lo, hi int, res *Result) error {
 // aggregateRange produces the group entries for [lo, hi) in deterministic
 // first-seen order, dispatching to the parallel vectorized fast path when
 // the caller asked for intra-query parallelism and the plan and table
-// support it, and to the serial row interpreter otherwise.
+// support it, and to the serial row interpreter otherwise. When the
+// interpreter runs, stats.FallbackReason records why.
 func (p *plan) aggregateRange(opts ExecOptions, lo, hi int, stats *ExecStats) ([]*groupEntry, error) {
-	if opts.Workers > 1 && p.vec != nil {
-		if t, ok := p.table.(*ColStore); ok {
-			entries, scanned, workers, ran, err := p.vec.run(p, t, opts, lo, hi)
-			if err != nil {
-				return nil, err
-			}
-			if ran {
-				stats.RowsScanned = scanned
-				stats.Groups = len(entries)
-				stats.Vectorized = true
-				stats.Workers = workers
-				return entries, nil
-			}
+	switch {
+	case opts.Workers <= 1:
+		stats.FallbackReason = fallbackSerialExec
+	case p.vec == nil:
+		stats.FallbackReason = p.vecReason
+	default:
+		t, ok := p.table.(*ColStore)
+		if !ok {
+			stats.FallbackReason = fallbackRowStore
+			break
 		}
+		run, ran, err := p.vec.run(p, t, opts, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		if !ran {
+			stats.FallbackReason = fallbackIDSpace
+			break
+		}
+		stats.RowsScanned = run.scanned
+		stats.Groups = len(run.entries)
+		stats.Vectorized = true
+		stats.Workers = run.workers
+		stats.SelectionKernels = run.kernels
+		stats.ResidualPredicates = run.residuals
+		return run.entries, nil
 	}
 	return p.aggregateSerial(opts, lo, hi, stats)
 }

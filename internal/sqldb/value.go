@@ -19,7 +19,14 @@
 // ([lo, hi)) of the fact table, which is how SeeDB's phased execution
 // framework processes the i-th of n partitions, and with intra-query
 // scan parallelism (ExecOptions.Workers), which engages the parallel
-// vectorized fast path in vexec.go for eligible column-store queries.
+// vectorized fast path in vexec.go for eligible column-store queries:
+// dictionary/bool/int/float group keys become small integer ids
+// (int/float via runtime value dictionaries), and WHERE / CASE-flag
+// predicates of common shape compile into selection-vector kernels
+// (predsel.go) with per-row closures only for residual conjuncts.
+// Executions report why the fast path declined
+// (ExecStats.FallbackReason) and how predicates ran
+// (ExecStats.SelectionKernels / ResidualPredicates).
 //
 // The recommendation engine does not import this package directly: it
 // reaches it through the backend seam (internal/backend's Embedded

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"testing"
 	"time"
 )
@@ -89,6 +90,20 @@ func TestVectorizedMatchesSerial(t *testing.T) {
 		"SELECT COUNT(*) FROM t WHERE m1 < -1",                 // empty global group
 		"SELECT d1, COUNT(*) FROM t WHERE m1 < -1 GROUP BY d1", // zero groups
 		"SELECT d1, AVG(m1) FROM t GROUP BY d1 ORDER BY 2 DESC LIMIT 3",
+		// Numeric group keys (runtime value dictionaries), incl. NULLs.
+		"SELECT k1, COUNT(*), SUM(m1) FROM t GROUP BY k1",
+		"SELECT m1, COUNT(*) FROM t GROUP BY m1",
+		"SELECT k1, d1, AVG(m1), MIN(m2) FROM t WHERE b1 = TRUE GROUP BY k1, d1",
+		"SELECT m2, k1, COUNT(m1) FROM t GROUP BY m2, k1",
+		// Compilable predicate shapes (selection kernels) over every
+		// column type, incl. NULL-comparison and disjunction edges.
+		"SELECT d1, COUNT(*) FROM t WHERE d2 >= 'h1' AND k1 IN (1, 3) GROUP BY d1",
+		"SELECT d1, SUM(m1) FROM t WHERE m1 BETWEEN 10.25 AND 200 OR m2 IS NULL GROUP BY d1",
+		"SELECT d2, COUNT(*) FROM t WHERE NOT (d1 = 'g2' OR m2 <= 0) GROUP BY d2",
+		"SELECT d1, COUNT(*) FROM t WHERE m1 = NULL GROUP BY d1",
+		"SELECT d1, COUNT(*) FROM t WHERE b1 AND d2 NOT IN ('h0') GROUP BY d1",
+		// Hybrid residual: one compilable conjunct + one closure conjunct.
+		"SELECT d1, COUNT(*) FROM t WHERE m2 > 0 AND m2 % 3 = 0 GROUP BY d1",
 	}
 	for _, sql := range queries {
 		for _, workers := range []int{2, 3, 7} {
@@ -159,15 +174,18 @@ func TestVectorizedSubRanges(t *testing.T) {
 // path declines, with identical results either way.
 func TestVectorizedFallbacks(t *testing.T) {
 	db := vexecTable(t, 2000)
-	fallbacks := []string{
-		"SELECT k1, COUNT(*) FROM t GROUP BY k1",                                                                 // int group key
-		"SELECT d1, COUNT(DISTINCT d2) FROM t GROUP BY d1",                                                       // DISTINCT aggregate
-		"SELECT d1, MIN(d2) FROM t GROUP BY d1",                                                                  // string MIN
-		"SELECT d1, SUM(m1 + m2) FROM t GROUP BY d1",                                                             // expression argument
-		"SELECT UPPER(d1), COUNT(*) FROM t GROUP BY UPPER(d1)",                                                   // expression group key
-		"SELECT CASE WHEN b1 THEN 'y' ELSE 'n' END, COUNT(*) FROM t GROUP BY CASE WHEN b1 THEN 'y' ELSE 'n' END", // non-int CASE arms
+	fallbacks := []struct {
+		sql    string
+		reason string
+	}{
+		{"SELECT d1, COUNT(DISTINCT d2) FROM t GROUP BY d1", fallbackDistinctAgg},
+		{"SELECT d1, MIN(d2) FROM t GROUP BY d1", fallbackNonNumericAgg},
+		{"SELECT d1, SUM(m1 + m2) FROM t GROUP BY d1", fallbackExprAgg},
+		{"SELECT UPPER(d1), COUNT(*) FROM t GROUP BY UPPER(d1)", fallbackNonColumnKey},
+		{"SELECT CASE WHEN b1 THEN 'y' ELSE 'n' END, COUNT(*) FROM t GROUP BY CASE WHEN b1 THEN 'y' ELSE 'n' END", fallbackCaseShape}, // non-int CASE arms
 	}
-	for _, sql := range fallbacks {
+	for _, tc := range fallbacks {
+		sql := tc.sql
 		par, err := db.QueryOpts(sql, ExecOptions{Workers: 4})
 		if err != nil {
 			t.Fatalf("%s: %v", sql, err)
@@ -178,9 +196,15 @@ func TestVectorizedFallbacks(t *testing.T) {
 		if par.Stats.Workers != 1 {
 			t.Fatalf("%s: fallback should report 1 worker, got %d", sql, par.Stats.Workers)
 		}
+		if par.Stats.FallbackReason != tc.reason {
+			t.Fatalf("%s: fallback reason %q, want %q", sql, par.Stats.FallbackReason, tc.reason)
+		}
 		serial, err := db.QueryOpts(sql, ExecOptions{Workers: 1})
 		if err != nil {
 			t.Fatal(err)
+		}
+		if serial.Stats.FallbackReason != fallbackSerialExec {
+			t.Fatalf("%s: serial reason %q, want %q", sql, serial.Stats.FallbackReason, fallbackSerialExec)
 		}
 		mustEqualResults(t, sql, serial, par)
 	}
@@ -204,6 +228,148 @@ func TestVectorizedFallbacks(t *testing.T) {
 	}
 	if res.Stats.Vectorized {
 		t.Fatal("row store must not vectorize")
+	}
+	if res.Stats.FallbackReason != fallbackRowStore {
+		t.Fatalf("row store reason %q, want %q", res.Stats.FallbackReason, fallbackRowStore)
+	}
+}
+
+// TestSelectionKernelStats asserts the executor reports how the
+// predicate ran: compilable conjuncts as kernels, exotic conjuncts as
+// residuals, and nothing at all when kernels are disabled — with
+// identical results on every path.
+func TestSelectionKernelStats(t *testing.T) {
+	db := vexecTable(t, 4000)
+	sql := "SELECT d1, COUNT(*), SUM(m1) FROM t WHERE m2 > 0 AND d2 != 'h2' AND m2 % 3 = 0 GROUP BY d1"
+
+	kern, err := db.QueryOpts(sql, ExecOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kern.Stats.Vectorized || kern.Stats.FallbackReason != "" {
+		t.Fatalf("expected vectorized run, stats: %+v", kern.Stats)
+	}
+	if kern.Stats.SelectionKernels != 2 || kern.Stats.ResidualPredicates != 1 {
+		t.Fatalf("kernels=%d residuals=%d, want 2 kernels + 1 residual (m2 %% 3 = 0)",
+			kern.Stats.SelectionKernels, kern.Stats.ResidualPredicates)
+	}
+
+	off, err := db.QueryOpts(sql, ExecOptions{Workers: 4, NoSelectionKernels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !off.Stats.Vectorized {
+		t.Fatal("NoSelectionKernels must not disable the vectorized path itself")
+	}
+	if off.Stats.SelectionKernels != 0 || off.Stats.ResidualPredicates != 0 {
+		t.Fatalf("kernel counters must be zero with kernels disabled: %+v", off.Stats)
+	}
+	serial, err := db.QueryOpts(sql, ExecOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Stats.SelectionKernels != 0 {
+		t.Fatalf("serial interpreter must not report kernels: %+v", serial.Stats)
+	}
+	mustEqualResults(t, sql, serial, kern)
+	mustEqualResults(t, sql, serial, off)
+
+	// The CASE-flag predicate of the combined target/reference rewrite
+	// also compiles to kernels.
+	flagSQL := "SELECT d1, CASE WHEN m1 > 50 AND b1 = TRUE THEN 1 ELSE 0 END, COUNT(*) FROM t" +
+		" GROUP BY d1, CASE WHEN m1 > 50 AND b1 = TRUE THEN 1 ELSE 0 END"
+	flag, err := db.QueryOpts(flagSQL, ExecOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flag.Stats.Vectorized || flag.Stats.SelectionKernels != 2 {
+		t.Fatalf("flag predicate should compile to 2 kernels: %+v", flag.Stats)
+	}
+	flagSerial, err := db.QueryOpts(flagSQL, ExecOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualResults(t, flagSQL, flagSerial, flag)
+}
+
+// TestTypedMinMaxMatchesInterpreterBeyond2p53 pins the typed MIN/MAX
+// accumulators to the interpreter's float64-coerced comparison:
+// Value.Compare coerces ints with AsFloat, so 2^53 and 2^53+1 compare
+// equal (keep-first) — an exact int64 comparison in the fast path would
+// return a different winner than the serial scan.
+func TestTypedMinMaxMatchesInterpreterBeyond2p53(t *testing.T) {
+	db := NewDB()
+	tab, err := db.CreateTable("t", MustSchema(
+		Column{Name: "d", Type: TypeString},
+		Column{Name: "m", Type: TypeInt},
+	), LayoutCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := int64(1) << 53
+	for i := 0; i < 400; i++ {
+		v := big
+		if i%2 == 1 {
+			v = big + 1 // same float64 as big: Compare sees them equal
+		}
+		if err := tab.AppendRow([]Value{Str(fmt.Sprintf("g%d", i%3)), Int(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sql := "SELECT d, MIN(m), MAX(m) FROM t GROUP BY d"
+	serial, err := db.QueryOpts(sql, ExecOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par, err := db.QueryOpts(sql, ExecOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !par.Stats.Vectorized {
+			t.Fatalf("workers=%d: expected vectorized run (reason %q)", workers, par.Stats.FallbackReason)
+		}
+		mustEqualResults(t, sql, serial, par)
+	}
+}
+
+// TestNumericGroupKeyEdges pins the runtime-dictionary group keys to the
+// interpreter's identity semantics: -0.0 and +0.0 are distinct groups
+// (the serial path keys on float bits), NULL is its own group, and
+// worker-local codes remap correctly across chunk boundaries.
+func TestNumericGroupKeyEdges(t *testing.T) {
+	db := NewDB()
+	tab, err := db.CreateTable("t", MustSchema(
+		Column{Name: "f", Type: TypeFloat},
+		Column{Name: "m", Type: TypeInt},
+	), LayoutCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []Value{Float(0.0), Float(math.Copysign(0, -1)), Float(1.5), Null(), Float(-1.5)}
+	for i := 0; i < 500; i++ {
+		if err := tab.AppendRow([]Value{vals[i%len(vals)], Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sql := "SELECT f, COUNT(*), SUM(m) FROM t GROUP BY f"
+	serial, err := db.QueryOpts(sql, ExecOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Rows) != 5 {
+		t.Fatalf("serial found %d groups, want 5 (NULL, ±0.0, ±1.5)", len(serial.Rows))
+	}
+	for _, workers := range []int{2, 3, 7} {
+		par, err := db.QueryOpts(sql, ExecOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !par.Stats.Vectorized {
+			t.Fatalf("workers=%d: float group key should vectorize, reason %q",
+				workers, par.Stats.FallbackReason)
+		}
+		mustEqualResults(t, sql, serial, par)
 	}
 }
 
