@@ -53,6 +53,7 @@ func run() error {
 		cacheJSON    = flag.String("cachejson", "", "run the cache experiment and write its datapoint to this JSON file")
 		parallelJSON = flag.String("paralleljson", "", "run the parallel-executor experiment and write its datapoint to this JSON file")
 		filterJSON   = flag.String("filterjson", "", "run the selection-kernel filter experiment and write its report to this JSON file")
+		shardJSON    = flag.String("shardjson", "", "run the shard-router scaling experiment and write its report to this JSON file")
 		timeout      = flag.Duration("timeout", 4*time.Hour, "overall timeout")
 	)
 	flag.Parse()
@@ -100,6 +101,22 @@ func run() error {
 		best := rep.Points[0]
 		fmt.Printf("filter datapoint (%.0f%% selectivity): closure %.2fms, kernels %.2fms (%.1fx; %.1fx vs serial), wrote %s\n",
 			best.Selectivity*100, best.BaselineMS, best.KernelMS, best.Speedup, best.SpeedupVsSerial, *filterJSON)
+		return nil
+	}
+
+	if *shardJSON != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		rep, err := bench.MeasureShard(ctx, bench.Config{Quick: *quick, PaperScale: *paperScale, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(*shardJSON, rep); err != nil {
+			return err
+		}
+		last := rep.Points[len(rep.Points)-1]
+		fmt.Printf("shard curve (GOMAXPROCS=%d): 1 shard %.2fms → %d shards %.2fms (%.2fx), wrote %s\n",
+			rep.GOMAXPROCS, rep.Points[0].ColdMS, last.Shards, last.ColdMS, last.Speedup, *shardJSON)
 		return nil
 	}
 

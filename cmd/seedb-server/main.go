@@ -3,6 +3,7 @@
 // Any HTTP client plays the role of the SeeDB frontend.
 //
 //	seedb-server -listen :8080 -dataset census
+//	seedb-server -dataset census -shards 4   # partitioned fan-out execution
 //
 //	curl localhost:8080/api/datasets
 //	curl -X POST localhost:8080/api/recommend -d '{
@@ -41,7 +42,10 @@ func run() error {
 		layoutStr   = flag.String("layout", "col", "physical layout for preloaded datasets")
 		rows        = flag.Int("rows", 0, "row override for preloaded datasets (0 = defaults)")
 		cacheBudget = flag.Int64("cachebudget", 0, "result cache byte budget (0 = 64MiB default)")
-		sqlBackend  = flag.Bool("sql-backend", false,
+		shards      = flag.Int("shards", 0,
+			"also register a \"shard\" backend: a shard router over N embedded children\n"+
+				"holding partitions of every loaded table (select per request with {\"backend\": \"shard\"})")
+		sqlBackend = flag.Bool("sql-backend", false,
 			"also register a \"sql\" backend that reaches the store through database/sql\n"+
 				"(the external-backend path; select per request with {\"backend\": \"sql\"})")
 	)
@@ -73,6 +77,16 @@ func run() error {
 	}
 
 	srv := server.NewWithCacheBudget(db, *cacheBudget)
+	if *shards > 0 {
+		// Partition every loaded table across N embedded children behind
+		// the shard router; view queries then fan out per shard and merge
+		// decomposed partial aggregation states. Preloaded datasets are
+		// scattered immediately, later /api/datasets/load calls re-scatter.
+		if err := srv.EnableSharding(*shards); err != nil {
+			return err
+		}
+		fmt.Printf("registered shard router %q over %d embedded children\n", server.ShardBackendName, *shards)
+	}
 	if *sqlBackend {
 		// Wire the same data through database/sql (the sqldriver shim), so
 		// the full external-store execution path — SQL text, driver-value

@@ -54,6 +54,7 @@ func run() error {
 		dims      = flag.String("dimensions", "", "comma-separated dimension attributes (default: derive from metadata)")
 		measures  = flag.String("measures", "", "comma-separated measure attributes (default: derive from metadata)")
 		sqlQuery  = flag.String("sql", "", "run a manual SQL query instead of recommending")
+		shards    = flag.Int("shards", 0, "partition the table across N embedded shards and execute with fan-out + merge (0 = unsharded)")
 		showStats = flag.Bool("stats", false, "print execution metrics")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "recommendation timeout")
 	)
@@ -70,6 +71,9 @@ func run() error {
 	}
 
 	client := seedb.New()
+	if *shards > 1 {
+		client = seedb.NewSharded(*shards)
+	}
 	table := ""
 	switch {
 	case *dsName != "":
@@ -85,7 +89,11 @@ func run() error {
 			return err
 		}
 		table = spec.Name
-		fmt.Printf("loaded dataset %s: %d rows, layout %s\n", spec.Name, n, layout)
+		if s := client.Shards(); s > 0 {
+			fmt.Printf("loaded dataset %s: %d rows, layout %s, partitioned over %d shards\n", spec.Name, n, layout, s)
+		} else {
+			fmt.Printf("loaded dataset %s: %d rows, layout %s\n", spec.Name, n, layout)
+		}
 		if *target == "" && *sqlQuery == "" {
 			*target = spec.TargetPredicate()
 			fmt.Printf("using the dataset's canonical target predicate: %s\n", *target)
@@ -112,8 +120,17 @@ func run() error {
 			return err
 		}
 		table = name
-		tab, _ := client.DB().Table(name)
-		fmt.Printf("loaded %s: %d rows, layout %s\n", name, tab.NumRows(), layout)
+		// Row counts come through the backend seam so this works for
+		// sharded clients (which have no single embedded database) too.
+		ti, err := client.Backend().TableInfo(context.Background(), name)
+		if err != nil {
+			return err
+		}
+		if s := client.Shards(); s > 0 {
+			fmt.Printf("loaded %s: %d rows, layout %s, partitioned over %d shards\n", name, ti.Rows, layout, s)
+		} else {
+			fmt.Printf("loaded %s: %d rows, layout %s\n", name, ti.Rows, layout)
+		}
 	default:
 		flag.Usage()
 		return fmt.Errorf("need -dataset or -csv")
@@ -197,6 +214,10 @@ func run() error {
 		m := res.Metrics
 		fmt.Printf("metrics: %d views, %d queries, %d rows scanned, %d phases, %d pruned, early=%v, %v\n",
 			m.Views, m.QueriesExecuted, m.RowsScanned, m.PhasesRun, m.PrunedViews, m.EarlyStopped, m.Elapsed.Round(time.Millisecond))
+		if m.ShardQueries > 0 {
+			fmt.Printf("sharding: %d queries fanned out (%d child executions, straggler %v)\n",
+				m.ShardQueries, m.ShardFanout, m.ShardStragglerMax.Round(time.Microsecond))
+		}
 	}
 	return nil
 }

@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"time"
 
 	"seedb/internal/sqldb"
 )
@@ -171,6 +172,13 @@ type ExecStats struct {
 	// engine-side vectorized executor.
 	SelectionKernels   int
 	ResidualPredicates int
+	// ShardFanout counts the child-backend executions a routing backend
+	// (internal/backend/shardbe) fanned this query out to; leaf backends
+	// leave it zero. ShardStragglerMax is the slowest of those child
+	// executions — the fan-out's critical path, since the merge cannot
+	// start until the last shard answers.
+	ShardFanout       int
+	ShardStragglerMax time.Duration
 }
 
 // Rows is a fully materialized query result: named columns over rows of

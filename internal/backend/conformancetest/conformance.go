@@ -56,6 +56,13 @@ const SourceTable = "conf"
 // BuildSource creates the canonical conformance dataset: a column-store
 // table mixing string/bool/int dimensions with int/float measures,
 // including NULLs, so every merge and classification path is exercised.
+//
+// Float measures are multiples of 0.25 with bounded magnitude, so every
+// partial sum is exactly representable and any association order yields
+// identical bits (the same discipline as sqldb/difftest). That is what
+// lets the harness hold partition-merging backends — the shard router
+// combines per-shard SUM/AVG partials — to bit-identical results instead
+// of a tolerance.
 func BuildSource(tb testing.TB, rows int) *sqldb.DB {
 	tb.Helper()
 	db := sqldb.NewDB()
@@ -83,7 +90,8 @@ func appendSourceRows(tb testing.TB, tab sqldb.Table, rows int, seed int64) {
 	regions := []string{"east", "west", "north", "south"}
 	segments := []string{"retail", "wholesale", "online"}
 	for i := 0; i < rows; i++ {
-		price := sqldb.Float(float64(rng.Intn(10000))/100 + 1)
+		// Exactly-summable floats (multiples of 0.25): see BuildSource.
+		price := sqldb.Float(float64(rng.Intn(400))*0.25 + 1)
 		if rng.Intn(20) == 0 {
 			price = sqldb.Null()
 		}
@@ -94,7 +102,7 @@ func appendSourceRows(tb testing.TB, tab sqldb.Table, rows int, seed int64) {
 			sqldb.Int(int64(rng.Intn(8))),
 			sqldb.Int(int64(rng.Intn(100000))),
 			price,
-			sqldb.Float(rng.NormFloat64() * 10),
+			sqldb.Float(float64(rng.Intn(241)-120) * 0.25),
 		}
 		if err := tab.AppendRow(row); err != nil {
 			tb.Fatal(err)

@@ -1,0 +1,65 @@
+package conformancetest
+
+import (
+	"testing"
+
+	"seedb/internal/backend"
+	"seedb/internal/backend/shardbe"
+	"seedb/internal/sqldb"
+)
+
+// TestShardRouterConformance holds the shard router (2 and 4 embedded
+// children) bit-identical to the unsharded embedded reference across the
+// whole behavior matrix: strategies × pruning × reference modes ×
+// group-by strategies, plus cache reuse and versioned invalidation.
+//
+// Children are loaded with the contiguous block partitioner, so the
+// router's shard-major global row space equals the source insertion
+// order: phased execution then scans exactly the row subsets the
+// reference scans, and the merge's shard-order group appending
+// reproduces the reference's first-seen group order. The embedded
+// children keep every capability, so no strategy degrades — COMB and
+// COMB_EARLY run phased on both sides.
+func TestShardRouterConformance(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		t.Run(shardName(shards), func(t *testing.T) {
+			// The caching sub-suite appends to the SOURCE database and then
+			// calls Invalidate; re-scattering refreshes the children (and
+			// bumps their versions, which is what invalidates the router's
+			// version vector). Sub-suites run sequentially, so tracking the
+			// most recent mirror is sound.
+			var cur struct {
+				src *sqldb.DB
+				dbs []*sqldb.DB
+			}
+			mirror := func(tb testing.TB) {
+				tb.Helper()
+				tab, ok := cur.src.Table(SourceTable)
+				if !ok {
+					tb.Fatalf("source table %q missing", SourceTable)
+				}
+				if err := shardbe.ScatterTable(cur.src, SourceTable, cur.dbs, shardbe.Blocks{Total: tab.NumRows()}); err != nil {
+					tb.Fatal(err)
+				}
+			}
+			Harness{
+				New: func(tb testing.TB, db *sqldb.DB) backend.Backend {
+					dbs, bes := shardbe.EmbeddedChildren(shards)
+					cur.src, cur.dbs = db, dbs
+					mirror(tb)
+					r, err := shardbe.New(bes, shardbe.Options{})
+					if err != nil {
+						tb.Fatal(err)
+					}
+					return r
+				},
+				Invalidate: func(backend.Backend) { mirror(t) },
+			}.Run(t)
+		})
+	}
+}
+
+// shardName renders a sub-test name for a shard count.
+func shardName(n int) string {
+	return map[int]string{2: "2children", 4: "4children"}[n]
+}

@@ -1,0 +1,149 @@
+package shardbe
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"seedb/internal/backend"
+	"seedb/internal/sqldb"
+)
+
+// Partitioner routes one row to a shard. seq is the row's global
+// insertion sequence number (0-based across all shards of the table),
+// which keeps routing deterministic across restarts and batches.
+type Partitioner interface {
+	Shard(seq int, row []sqldb.Value, shards int) int
+}
+
+// RoundRobin spreads rows evenly by sequence number. Balanced and
+// streaming-friendly; it interleaves the global row order (see the
+// ordering contract in the package comment).
+type RoundRobin struct{}
+
+// Shard implements Partitioner.
+func (RoundRobin) Shard(seq int, _ []sqldb.Value, shards int) int { return seq % shards }
+
+// HashColumn routes by the hash of one column's value, so all rows
+// sharing a partition key land on one shard (the classic fact-table hash
+// partitioning). NULLs hash like any other value.
+type HashColumn struct {
+	// Col is the column index within the row.
+	Col int
+}
+
+// Shard implements Partitioner. An out-of-range Col returns -1, which
+// the routing helpers reject loudly — hashing a missing column would
+// silently send every row to one shard.
+func (h HashColumn) Shard(_ int, row []sqldb.Value, shards int) int {
+	if h.Col < 0 || h.Col >= len(row) {
+		return -1
+	}
+	f := fnv.New64a()
+	_, _ = f.Write(row[h.Col].AppendKey(nil))
+	return int(f.Sum64() % uint64(shards))
+}
+
+// Blocks assigns contiguous row blocks: shard i gets global rows
+// [i*Total/shards, (i+1)*Total/shards). This is the order-preserving
+// partitioner — the router's shard-major global row space then equals
+// the original insertion order, which is what makes sharded execution
+// bit-identical to an unsharded scan (first-seen group order, phased
+// row-range subsets). It needs the total row count up front, so it fits
+// bulk loads, not streaming appends.
+type Blocks struct {
+	Total int
+}
+
+// Shard implements Partitioner.
+func (b Blocks) Shard(seq int, _ []sqldb.Value, shards int) int {
+	if b.Total <= 0 {
+		return 0
+	}
+	s := seq * shards / b.Total
+	if s >= shards {
+		s = shards - 1
+	}
+	return s
+}
+
+// EmbeddedChildren creates n empty embedded stores and wraps each as a
+// Backend, the in-process child set the router runs over today.
+func EmbeddedChildren(n int) ([]*sqldb.DB, []backend.Backend) {
+	dbs := make([]*sqldb.DB, n)
+	bes := make([]backend.Backend, n)
+	for i := range dbs {
+		dbs[i] = sqldb.NewDB()
+		bes[i] = backend.NewEmbedded(dbs[i])
+	}
+	return dbs, bes
+}
+
+// ScatterTable copies one table from src into the child databases,
+// routing every row through part. Existing same-named child tables are
+// dropped first, so re-scattering after source writes refreshes every
+// shard — and bumps the child versions the router's version vector is
+// built from, which is what invalidates cached results.
+func ScatterTable(src *sqldb.DB, table string, children []*sqldb.DB, part Partitioner) error {
+	if len(children) == 0 {
+		return fmt.Errorf("shardbe: scatter needs at least one child")
+	}
+	t, ok := src.Table(table)
+	if !ok {
+		return fmt.Errorf("shardbe: table %q does not exist in the source store", table)
+	}
+	schema := t.Schema()
+	layout := t.Layout()
+	tabs := make([]sqldb.Table, len(children))
+	for i, db := range children {
+		if _, exists := db.Table(table); exists {
+			if err := db.DropTable(table); err != nil {
+				return err
+			}
+		}
+		ct, err := db.CreateTable(t.Name(), schema, layout)
+		if err != nil {
+			return err
+		}
+		tabs[i] = ct
+	}
+
+	cols := make([]int, schema.NumColumns())
+	for i := range cols {
+		cols[i] = i
+	}
+	seq := 0
+	row := make([]sqldb.Value, schema.NumColumns())
+	return t.ScanRange(0, t.NumRows(), cols, func(rv sqldb.RowView) error {
+		for i := range row {
+			row[i] = rv.Value(i)
+		}
+		shard := part.Shard(seq, row, len(children))
+		seq++
+		if shard < 0 || shard >= len(children) {
+			return fmt.Errorf("shardbe: partitioner routed row %d to shard %d of %d", seq-1, shard, len(children))
+		}
+		return tabs[shard].AppendRow(row)
+	})
+}
+
+// AppendRow routes one new row into the child databases, continuing the
+// table's global sequence from the current total row count (so repeated
+// appends stay deterministic). The table must already exist on every
+// child (CreateTable or ScatterTable first).
+func AppendRow(children []*sqldb.DB, table string, part Partitioner, row []sqldb.Value) error {
+	tabs := make([]sqldb.Table, len(children))
+	seq := 0
+	for i, db := range children {
+		t, ok := db.Table(table)
+		if !ok {
+			return fmt.Errorf("shardbe: table %q does not exist on shard %d", table, i)
+		}
+		tabs[i] = t
+		seq += t.NumRows()
+	}
+	shard := part.Shard(seq, row, len(children))
+	if shard < 0 || shard >= len(children) {
+		return fmt.Errorf("shardbe: partitioner routed row to shard %d of %d", shard, len(children))
+	}
+	return tabs[shard].AppendRow(row)
+}

@@ -1,0 +1,482 @@
+// Package shardbe implements the shard router: a backend.Backend that
+// holds a fact table partitioned row-wise across N child backends and
+// answers queries by fanning them out and merging decomposed partial
+// aggregation states (internal/sqldb's ShardPlan).
+//
+// The router is "just another Backend" on the seam PR 3 built — the
+// engine above it runs unchanged — which is exactly the middleware
+// scale-out story of the SeeDB paper's architecture: partition the work
+// across executors, share nothing, merge cheap partial states. Today the
+// children are embedded sqldb stores in one process; any conforming
+// Backend works, because the router only speaks SQL and the Backend
+// interface to them.
+//
+// Contract highlights:
+//
+//   - Global row space. The router presents the concatenation of its
+//     children's row spaces, in child order: child 0's rows first, then
+//     child 1's, and so on. A phased-execution range [lo, hi) maps onto
+//     at most one contiguous local range per child. When tables are
+//     loaded with the contiguous block partitioner (ScatterTable with
+//     Blocks), the global order equals the original insertion order and
+//     every result — group first-seen order included — is bit-identical
+//     to an unsharded embedded execution on exactly-summable data (see
+//     the float caveat in sqldb/shardexec.go). Hash and round-robin
+//     partitioning keep results deterministic and aggregates correct but
+//     permute the global order, so phased pruning may make different
+//     (equally valid) decisions than an unsharded run.
+//
+//   - Capabilities are the intersection of the children's: the router
+//     can only honor a row-range or a parallel-scan hint if every child
+//     can. Degradation then happens in the engine exactly as for any
+//     other backend (core.EffectiveStrategy) and is recorded in Metrics.
+//
+//   - TableVersion is a version vector: the concatenation of every
+//     child's token. Any child-level load, append or drop changes the
+//     vector, so the shared result cache invalidates without the router
+//     tracking writes itself.
+//
+//   - TableStats merges child statistics exactly: row counts add, and
+//     per-column distinct counts are the size of the union of per-child
+//     distinct value sets (collected with one GROUP BY query per column
+//     per child, memoized per version vector). Summing per-child
+//     distinct counts would overcount values present on several shards.
+package shardbe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"seedb/internal/backend"
+	"seedb/internal/sqldb"
+)
+
+// DefaultName is the backend name the router registers version tokens
+// under when Options.Name is empty.
+const DefaultName = "shard"
+
+// Options configures a Router.
+type Options struct {
+	// Name overrides the backend name (default "shard"). Two routers over
+	// different child sets may share a result cache even under one name:
+	// the child version tokens embed process-unique store ids.
+	Name string
+	// MaxParallel bounds how many children one Exec queries concurrently
+	// (default: all of them). Child-side scan parallelism multiplies on
+	// top, exactly as Options.Parallelism × ScanParallelism does in the
+	// engine.
+	MaxParallel int
+}
+
+// Router is the shard-routing backend. It is safe for concurrent use
+// when its children are.
+type Router struct {
+	name     string
+	children []backend.Backend
+	par      int
+
+	mu        sync.Mutex
+	statsMemo map[string]statsEntry // table (lowercased) → memoized stats
+}
+
+// statsEntry memoizes one table's merged statistics under the version
+// vector they were computed at.
+type statsEntry struct {
+	version string
+	stats   *backend.TableStats
+}
+
+// New creates a router over the given children (at least one).
+func New(children []backend.Backend, opts Options) (*Router, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("shardbe: need at least one child backend")
+	}
+	name := opts.Name
+	if name == "" {
+		name = DefaultName
+	}
+	par := opts.MaxParallel
+	if par <= 0 || par > len(children) {
+		par = len(children)
+	}
+	return &Router{
+		name:      name,
+		children:  append([]backend.Backend(nil), children...),
+		par:       par,
+		statsMemo: make(map[string]statsEntry),
+	}, nil
+}
+
+// NumChildren returns the fan-out width.
+func (r *Router) NumChildren() int { return len(r.children) }
+
+// Name identifies the router.
+func (r *Router) Name() string { return r.name }
+
+// Capabilities is the intersection of the children's capabilities: a
+// shared optimization the router cannot guarantee on every shard is not
+// offered at all, and the engine degrades exactly as documented for any
+// single backend.
+func (r *Router) Capabilities() backend.Capabilities {
+	caps := backend.Capabilities{SupportsVectorized: true, SupportsPhasedExecution: true}
+	for _, c := range r.children {
+		cc := c.Capabilities()
+		caps.SupportsVectorized = caps.SupportsVectorized && cc.SupportsVectorized
+		caps.SupportsPhasedExecution = caps.SupportsPhasedExecution && cc.SupportsPhasedExecution
+	}
+	return caps
+}
+
+// childInfos fetches every child's TableInfo and checks the shards agree
+// on the schema. A table absent from every child is ErrNoTable; a table
+// present on only some children is a partitioning inconsistency, which
+// is an error distinct from "no such table".
+func (r *Router) childInfos(ctx context.Context, table string) ([]backend.TableInfo, error) {
+	infos := make([]backend.TableInfo, len(r.children))
+	missing := 0
+	for i, c := range r.children {
+		ti, err := c.TableInfo(ctx, table)
+		if errors.Is(err, backend.ErrNoTable) {
+			missing++
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("shardbe: shard %d: %w", i, err)
+		}
+		infos[i] = ti
+	}
+	if missing == len(r.children) {
+		return nil, fmt.Errorf("%w: %q", backend.ErrNoTable, table)
+	}
+	if missing > 0 {
+		return nil, fmt.Errorf("shardbe: table %q exists on only %d of %d shards", table, len(r.children)-missing, len(r.children))
+	}
+	first := infos[0]
+	for i := 1; i < len(infos); i++ {
+		if err := sameColumns(first.Columns, infos[i].Columns); err != nil {
+			return nil, fmt.Errorf("shardbe: table %q: shard %d schema disagrees with shard 0: %w", table, i, err)
+		}
+	}
+	return infos, nil
+}
+
+// sameColumns checks two shards declare identical columns.
+func sameColumns(a, b []backend.Column) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d columns vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !strings.EqualFold(a[i].Name, b[i].Name) || a[i].Type != b[i].Type {
+			return fmt.Errorf("column %d is %s %v vs %s %v", i, a[i].Name, a[i].Type, b[i].Name, b[i].Type)
+		}
+	}
+	return nil
+}
+
+// TableInfo merges the children's descriptions: identical schema, summed
+// row counts, and the shared layout (the conservative row layout when
+// shards disagree).
+func (r *Router) TableInfo(ctx context.Context, table string) (backend.TableInfo, error) {
+	infos, err := r.childInfos(ctx, table)
+	if err != nil {
+		return backend.TableInfo{}, err
+	}
+	out := infos[0]
+	for _, ti := range infos[1:] {
+		out.Rows += ti.Rows
+		if ti.Layout != out.Layout {
+			out.Layout = backend.LayoutRow
+		}
+	}
+	return out, nil
+}
+
+// TableVersion returns the child version vector, joined in child order.
+// Any shard-level data change yields a fresh vector, which is what keys
+// result-cache invalidation. The table must exist on every child.
+func (r *Router) TableVersion(ctx context.Context, table string) (string, bool) {
+	parts := make([]string, 0, len(r.children)+1)
+	parts = append(parts, fmt.Sprintf("n%d", len(r.children)))
+	for _, c := range r.children {
+		v, ok := c.TableVersion(ctx, table)
+		if !ok {
+			return "", false
+		}
+		parts = append(parts, v)
+	}
+	return strings.Join(parts, "|"), true
+}
+
+// TableStats merges per-shard statistics: rows add, distinct counts come
+// from the union of per-child distinct value sets so values living on
+// several shards count once. The union is collected with one GROUP BY
+// query per column per child and memoized under the version vector.
+func (r *Router) TableStats(ctx context.Context, table string) (*backend.TableStats, error) {
+	infos, err := r.childInfos(ctx, table)
+	if err != nil {
+		return nil, err
+	}
+	version, versioned := r.TableVersion(ctx, table)
+	key := strings.ToLower(table)
+	if versioned {
+		r.mu.Lock()
+		if e, ok := r.statsMemo[key]; ok && e.version == version {
+			r.mu.Unlock()
+			return e.stats, nil
+		}
+		r.mu.Unlock()
+	}
+
+	rows := 0
+	for _, ti := range infos {
+		rows += ti.Rows
+	}
+	out := &backend.TableStats{Rows: rows, Columns: make([]backend.ColumnStats, len(infos[0].Columns))}
+	for ci, col := range infos[0].Columns {
+		distinct, err := r.distinctCount(ctx, table, col.Name)
+		if err != nil {
+			return nil, err
+		}
+		out.Columns[ci] = backend.ColumnStats{Name: col.Name, Type: col.Type, Distinct: distinct}
+	}
+
+	if versioned {
+		r.mu.Lock()
+		r.statsMemo[key] = statsEntry{version: version, stats: out}
+		r.mu.Unlock()
+	}
+	return out, nil
+}
+
+// distinctCount unions one column's distinct non-NULL values across
+// shards, keyed by the embedded engine's injective value encoding so the
+// count is exact (bit-level float identity included).
+func (r *Router) distinctCount(ctx context.Context, table, column string) (int, error) {
+	col := &sqldb.ColumnExpr{Name: column}
+	stmt := &sqldb.SelectStmt{
+		Items:   []sqldb.SelectItem{{Expr: col}},
+		Table:   table,
+		GroupBy: []sqldb.Expr{col},
+		Limit:   -1,
+	}
+	sql := stmt.String()
+	seen := make(map[string]struct{})
+	var keyBuf []byte
+	for i, c := range r.children {
+		rows, _, err := c.Exec(ctx, sql, backend.ExecOptions{})
+		if err != nil {
+			return 0, fmt.Errorf("shardbe: distinct scan on shard %d: %w", i, err)
+		}
+		for _, row := range rows.Rows {
+			if len(row) != 1 || row[0].IsNull() {
+				continue
+			}
+			keyBuf = row[0].AppendKey(keyBuf[:0])
+			seen[string(keyBuf)] = struct{}{}
+		}
+	}
+	return len(seen), nil
+}
+
+// childTask is one planned child execution.
+type childTask struct {
+	child  int
+	lo, hi int // local range; 0,0 means "full child table"
+}
+
+// Exec fans one query out to the children and merges the partial
+// results. The query is decomposed by sqldb.NewShardPlan: aggregates
+// travel as mergeable partial states (AVG as SUM+COUNT, COUNT(DISTINCT)
+// as value sets), and HAVING/ORDER BY/DISTINCT/LIMIT apply after the
+// merge. Fan-out is concurrent with bounded parallelism; the first child
+// error cancels the remaining executions.
+func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOptions) (*backend.Rows, backend.ExecStats, error) {
+	stmt, err := sqldb.Parse(query)
+	if err != nil {
+		return nil, backend.ExecStats{}, err
+	}
+	infos, err := r.childInfos(ctx, stmt.Table)
+	if err != nil {
+		return nil, backend.ExecStats{}, err
+	}
+	schema, err := schemaOf(infos[0])
+	if err != nil {
+		return nil, backend.ExecStats{}, err
+	}
+	sp, err := sqldb.NewShardPlan(stmt, schema)
+	if err != nil {
+		return nil, backend.ExecStats{}, err
+	}
+
+	// Map the global row range onto per-child contiguous local ranges:
+	// the global space is the concatenation of child row spaces in child
+	// order. A full-table request passes the "whole table" form through,
+	// so children without row-range support still serve unranged queries.
+	total := 0
+	for _, ti := range infos {
+		total += ti.Rows
+	}
+	lo, hi := opts.Lo, opts.Hi
+	if hi <= 0 {
+		hi = total
+	}
+	lo = clamp(lo, 0, total)
+	hi = clamp(hi, lo, total)
+	full := lo == 0 && hi == total
+
+	var tasks []childTask
+	off := 0
+	for i, ti := range infos {
+		cLo := clamp(lo-off, 0, ti.Rows)
+		cHi := clamp(hi-off, 0, ti.Rows)
+		off += ti.Rows
+		if cHi <= cLo {
+			continue // this shard holds no rows of the requested range
+		}
+		t := childTask{child: i, lo: cLo, hi: cHi}
+		if full {
+			t.lo, t.hi = 0, 0
+		}
+		tasks = append(tasks, t)
+	}
+
+	childSQL := sp.ChildSQL()
+	type childRun struct {
+		rows  *backend.Rows
+		stats backend.ExecStats
+		lat   time.Duration
+		err   error
+	}
+	runs := make([]childRun, len(tasks))
+
+	if len(tasks) > 0 {
+		fanCtx := ctx
+		cancel := context.CancelFunc(func() {})
+		if fanCtx == nil {
+			fanCtx = context.Background()
+		}
+		fanCtx, cancel = context.WithCancel(fanCtx)
+		defer cancel()
+
+		par := r.par
+		if par > len(tasks) {
+			par = len(tasks)
+		}
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ti := range work {
+					t := tasks[ti]
+					childOpts := backend.ExecOptions{
+						Lo: t.lo, Hi: t.hi,
+						Workers:            opts.Workers,
+						NoSelectionKernels: opts.NoSelectionKernels,
+					}
+					start := time.Now()
+					rows, stats, err := r.children[t.child].Exec(fanCtx, childSQL, childOpts)
+					runs[ti] = childRun{rows: rows, stats: stats, lat: time.Since(start), err: err}
+					if err != nil {
+						cancel() // first failure aborts the straggling shards
+					}
+				}
+			}()
+		}
+		for ti := range tasks {
+			work <- ti
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	// Report the root cause, not a casualty: after a first failure
+	// cancels the fan-out, innocent shards abort with ctx errors — prefer
+	// the error that is not a cancellation when one exists.
+	var firstErr error
+	firstChild := -1
+	for ti := range tasks {
+		if err := runs[ti].err; err != nil {
+			if firstErr == nil || (isCtxErr(firstErr) && !isCtxErr(err)) {
+				firstErr, firstChild = err, tasks[ti].child
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, backend.ExecStats{}, fmt.Errorf("shardbe: shard %d: %w", firstChild, firstErr)
+	}
+
+	stats := backend.ExecStats{ShardFanout: len(tasks)}
+	for ti := range tasks {
+		run := &runs[ti]
+		stats.RowsScanned += run.stats.RowsScanned
+		stats.SelectionKernels += run.stats.SelectionKernels
+		stats.ResidualPredicates += run.stats.ResidualPredicates
+		if run.stats.Workers > stats.Workers {
+			stats.Workers = run.stats.Workers
+		}
+		if run.lat > stats.ShardStragglerMax {
+			stats.ShardStragglerMax = run.lat
+		}
+	}
+
+	parts := make([]sqldb.ShardPart, len(tasks))
+	for ti := range tasks {
+		parts[ti] = sqldb.ShardPart{Rows: runs[ti].rows.Rows, Groups: runs[ti].stats.Groups}
+	}
+	merged, err := sp.Merge(parts)
+	if err != nil {
+		return nil, backend.ExecStats{}, err
+	}
+	stats.Groups = merged.Stats.Groups
+	if stats.Workers < 1 {
+		stats.Workers = 1
+	}
+
+	// The fan-out counts as vectorized only when every scanned shard ran
+	// the fast path; otherwise the first shard's reason stands in for the
+	// whole query (a per-shard breakdown would not fit one ExecStats).
+	stats.Vectorized = len(tasks) > 0
+	for ti := range tasks {
+		if !runs[ti].stats.Vectorized {
+			stats.Vectorized = false
+			stats.FallbackReason = runs[ti].stats.FallbackReason
+			break
+		}
+	}
+	if !stats.Vectorized && stats.FallbackReason == "" {
+		stats.FallbackReason = "empty shard fan-out"
+	}
+
+	return &backend.Rows{Columns: merged.Columns, Rows: merged.Rows}, stats, nil
+}
+
+// isCtxErr reports a context cancellation/deadline error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// schemaOf rebuilds a sqldb schema from a backend table description.
+func schemaOf(ti backend.TableInfo) (*sqldb.Schema, error) {
+	cols := make([]sqldb.Column, len(ti.Columns))
+	for i, c := range ti.Columns {
+		cols[i] = sqldb.Column{Name: c.Name, Type: c.Type}
+	}
+	return sqldb.NewSchema(cols...)
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -2,6 +2,9 @@ package sqlbe
 
 import (
 	"context"
+	"fmt"
+	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -301,5 +304,65 @@ func TestCustomVersionRefreshesIntrospection(t *testing.T) {
 		t.Fatal(err)
 	} else if c, _ := ts.Column("g"); c.Distinct != 2 {
 		t.Errorf("new-watermark g distinct = %d, want 2", c.Distinct)
+	}
+}
+
+// TestArbitraryDoubleRoundTrip pins the driver-value float path on
+// non-representable doubles. The conformance dataset restricts floats
+// to exactly-summable quarter multiples (so partition-merging backends
+// can be held bit-identical), which means conformance no longer pushes
+// long-mantissa doubles through the database/sql conversion layer —
+// this test keeps that coverage: the same serial query over the same
+// rows must produce bit-identical aggregates through sqlbe and through
+// the embedded adapter.
+func TestArbitraryDoubleRoundTrip(t *testing.T) {
+	db := sqldb.NewDB()
+	schema := sqldb.MustSchema(
+		sqldb.Column{Name: "g", Type: sqldb.TypeString},
+		sqldb.Column{Name: "x", Type: sqldb.TypeFloat},
+	)
+	tab, err := db.CreateTable("f", schema, sqldb.LayoutCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		x := sqldb.Float(rng.NormFloat64() * 1e3)
+		if i%17 == 0 {
+			x = sqldb.Null()
+		}
+		row := []sqldb.Value{sqldb.Str(fmt.Sprintf("g%d", i%7)), x}
+		if err := tab.AppendRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	query := "SELECT g, SUM(x), AVG(x), MIN(x), MAX(x), COUNT(x) FROM f GROUP BY g ORDER BY g"
+	ext := New(sqldriver.Open(db), Options{})
+	got, _, err := ext.Exec(ctx, query, backend.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := backend.NewEmbedded(db).Exec(ctx, query, backend.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(want.Rows) || len(got.Rows) == 0 {
+		t.Fatalf("rows = %d, want %d (nonzero)", len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			g, w := got.Rows[i][j], want.Rows[i][j]
+			if g.Kind != w.Kind {
+				t.Fatalf("row %d col %d kind %v, want %v", i, j, g.Kind, w.Kind)
+			}
+			if w.Kind == sqldb.KindFloat && math.Float64bits(g.F) != math.Float64bits(w.F) {
+				t.Errorf("row %d col %d float bits %x, want %x (%v vs %v)",
+					i, j, math.Float64bits(g.F), math.Float64bits(w.F), g.F, w.F)
+			} else if w.Kind != sqldb.KindFloat && g.String() != w.String() {
+				t.Errorf("row %d col %d = %s, want %s", i, j, g, w)
+			}
+		}
 	}
 }

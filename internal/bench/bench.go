@@ -161,6 +161,7 @@ func All() []Experiment {
 		{"cache", "Cross-request result cache (beyond the paper)", CacheExperiment},
 		{"parallel", "Intra-query parallel vectorized executor (beyond the paper)", ParallelExperiment},
 		{"filter", "Vectorized predicate selection kernels (beyond the paper)", FilterExperiment},
+		{"shard", "Shard-router partitioned fan-out scaling (beyond the paper)", ShardExperiment},
 	}
 }
 

@@ -50,8 +50,8 @@ func runExperiment(t *testing.T, id string) []*Table {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Errorf("registered %d experiments, want 16", len(all))
+	if len(all) != 17 {
+		t.Errorf("registered %d experiments, want 17", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -307,6 +307,49 @@ func TestFilterKernelsNoSlowerThanSerial(t *testing.T) {
 		t.Logf("selectivity %.0f%%: serial %.2fms, closure %.2fms, kernels %.2fms (%.1fx vs closure)",
 			dp.Selectivity*100, dp.SerialMS, dp.BaselineMS, dp.KernelMS, dp.Speedup)
 	}
+}
+
+// TestShardFanoutEngages is the CI smoke step for the shard router: the
+// scaling experiment must actually fan every measured configuration out
+// across its shards (MeasureShard errors when ShardQueries or
+// ShardFanout stay zero), and the curve itself is the regression guard —
+// 4-shard execution must not lose to the single-shard configuration
+// beyond a noise margin. Converting fan-out into wall-clock *speedup*
+// needs physical cores (each shard scans 1/N rows concurrently), so the
+// speedup expectation only applies on multi-core machines;
+// BENCH_shard.json records the measured curve with GOMAXPROCS alongside.
+func TestShardFanoutEngages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	rep, err := MeasureShard(context.Background(), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("points = %+v", rep.Points)
+	}
+	var p1, p4 ShardPoint
+	for _, p := range rep.Points {
+		if p.ShardQueries == 0 || p.ShardFanout < p.Shards {
+			t.Errorf("%d shards: fan-out did not engage: %+v", p.Shards, p)
+		}
+		switch p.Shards {
+		case 1:
+			p1 = p
+		case 4:
+			p4 = p
+		}
+	}
+	if p4.ColdMS > p1.ColdMS*1.35 {
+		t.Errorf("4-shard execution slower than single shard: %.2fms vs %.2fms (%.2fx)",
+			p4.ColdMS, p1.ColdMS, p4.Speedup)
+	}
+	if runtime.GOMAXPROCS(0) >= 4 && p4.Speedup < 1.2 {
+		t.Errorf("with %d cores, 4 shards should beat 1: %.2fx", runtime.GOMAXPROCS(0), p4.Speedup)
+	}
+	t.Logf("cold curve (GOMAXPROCS=%d): 1 shard %.2fms, 4 shards %.2fms (%.2fx, straggler %.2fms)",
+		rep.GOMAXPROCS, p1.ColdMS, p4.ColdMS, p4.Speedup, p4.StragglerMS)
 }
 
 func TestBuildShuffledPreservesContent(t *testing.T) {

@@ -1,0 +1,151 @@
+package bench
+
+// Shard-router scaling experiment (beyond the paper). The ROADMAP's
+// scale-out direction partitions the fact table across child stores and
+// merges per-shard aggregation states; this experiment measures the
+// cold-query scaling curve as the shard count grows, with every other
+// parallelism axis pinned to 1 so the fan-out is the only concurrency.
+// Wall-clock speedup needs physical cores — each shard scans 1/N of the
+// rows concurrently — so the report records GOMAXPROCS next to the
+// curve; on a single core the curve instead measures the router's
+// overhead (parse + partial rewrite + merge), which the regression guard
+// in bench_test.go bounds against the single-shard configuration.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"seedb/internal/backend/shardbe"
+	"seedb/internal/core"
+	"seedb/internal/dataset"
+	"seedb/internal/sqldb"
+)
+
+// ShardPoint is one shard-count measurement.
+type ShardPoint struct {
+	Shards int `json:"shards"`
+	// ColdMS is the best-of-3 cold Recommend latency (cache off).
+	ColdMS float64 `json:"cold_ms"`
+	// Speedup is ColdMS(1 shard) / ColdMS(this point).
+	Speedup float64 `json:"speedup"`
+	// ShardQueries/ShardFanout confirm the fan-out actually engaged.
+	ShardQueries int `json:"shard_queries"`
+	ShardFanout  int `json:"shard_fanout"`
+	// StragglerMS is the slowest single child execution observed.
+	StragglerMS float64 `json:"straggler_ms"`
+}
+
+// ShardReport is the BENCH_shard.json payload.
+type ShardReport struct {
+	Dataset    string       `json:"dataset"`
+	Rows       int          `json:"rows"`
+	Views      int          `json:"views"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Points     []ShardPoint `json:"points"`
+	// SpeedupAt4 repeats the 4-shard speedup for the regression guard.
+	// The fan-out parallelism only converts to wall-clock speedup when
+	// GOMAXPROCS cores exist to run the shards on.
+	SpeedupAt4 float64 `json:"speedup_at_4"`
+}
+
+// MeasureShard runs the cold scaling curve at 1, 2 and 4 shards over the
+// synthetic catalog dataset and returns the report.
+func MeasureShard(ctx context.Context, cfg Config) (*ShardReport, error) {
+	cfg = cfg.withDefaults()
+	spec, err := dataset.ByName("syn")
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.WithRows(cfg.rowsFor(spec))
+	src, err := build(spec, sqldb.LayoutCol)
+	if err != nil {
+		return nil, err
+	}
+	srcTab, ok := src.Table(spec.Name)
+	if !ok {
+		return nil, fmt.Errorf("bench: dataset table %q missing", spec.Name)
+	}
+	req := requestFor(spec)
+	// Cache off (cold path); inter-query and intra-query parallelism
+	// pinned to 1 so shard fan-out is the only concurrent axis.
+	opts := core.Options{
+		Strategy:        core.Sharing,
+		K:               10,
+		Parallelism:     1,
+		ScanParallelism: 1,
+	}
+
+	report := &ShardReport{Dataset: spec.Name, Rows: spec.Rows, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	var base time.Duration
+	for _, shards := range []int{1, 2, 4} {
+		dbs, bes := shardbe.EmbeddedChildren(shards)
+		if err := shardbe.ScatterTable(src, spec.Name, dbs, shardbe.Blocks{Total: srcTab.NumRows()}); err != nil {
+			return nil, err
+		}
+		router, err := shardbe.New(bes, shardbe.Options{})
+		if err != nil {
+			return nil, err
+		}
+		eng := core.NewEngine(router)
+
+		var bestD time.Duration
+		var bestRes *core.Result
+		for i := 0; i < 3; i++ {
+			d, res, err := timeRecommend(ctx, eng, req, opts)
+			if err != nil {
+				return nil, err
+			}
+			if bestRes == nil || d < bestD {
+				bestD, bestRes = d, res
+			}
+		}
+		if bestRes.Metrics.ShardQueries == 0 || bestRes.Metrics.ShardFanout < shards {
+			return nil, fmt.Errorf("bench: shard fan-out did not engage at %d shards: %+v", shards, bestRes.Metrics)
+		}
+		if shards == 1 {
+			base = bestD
+		}
+		pt := ShardPoint{
+			Shards:       shards,
+			ColdMS:       msF(bestD),
+			ShardQueries: bestRes.Metrics.ShardQueries,
+			ShardFanout:  bestRes.Metrics.ShardFanout,
+			StragglerMS:  float64(bestRes.Metrics.ShardStragglerMax.Microseconds()) / 1000,
+		}
+		if bestD > 0 {
+			pt.Speedup = float64(base) / float64(bestD)
+		}
+		report.Points = append(report.Points, pt)
+		report.Views = bestRes.Metrics.Views
+		if shards == 4 {
+			report.SpeedupAt4 = pt.Speedup
+		}
+	}
+	return report, nil
+}
+
+// ShardExperiment renders MeasureShard as an experiment table.
+func ShardExperiment(ctx context.Context, cfg Config) ([]*Table, error) {
+	rep, err := MeasureShard(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "shard",
+		Title: fmt.Sprintf("Shard-router cold scaling, %s %d rows, %d views, GOMAXPROCS=%d (beyond the paper)",
+			rep.Dataset, rep.Rows, rep.Views, rep.GOMAXPROCS),
+		Header: []string{"shards", "cold latency", "fanned-out queries", "child execs", "straggler", "vs 1 shard"},
+	}
+	for _, p := range rep.Points {
+		t.AddRow(fmt.Sprintf("%d", p.Shards), fmt.Sprintf("%.2fms", p.ColdMS),
+			fmt.Sprintf("%d", p.ShardQueries), fmt.Sprintf("%d", p.ShardFanout),
+			fmt.Sprintf("%.2fms", p.StragglerMS), fmt.Sprintf("%.2fx", p.Speedup))
+	}
+	t.Notes = append(t.Notes,
+		"cold path: cache off, inter-query and intra-query parallelism pinned to 1",
+		"each shard scans 1/N of the rows; speedup needs physical cores to run shards on",
+		"results are bit-identical to unsharded execution (see backend/conformancetest and sqldb/difftest)")
+	return []*Table{t}, nil
+}

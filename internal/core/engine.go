@@ -92,6 +92,15 @@ type Metrics struct {
 	ResidualPredicates int
 	// ScanWorkers is the peak per-query scan worker count used.
 	ScanWorkers int
+	// ShardQueries counts executed queries that a shard-routing backend
+	// fanned out to child backends; ShardFanout sums the child executions
+	// across them (fanout/queries is the average fan-out width). Both are
+	// zero on leaf backends.
+	ShardQueries int
+	ShardFanout  int
+	// ShardStragglerMax is the slowest child execution observed across
+	// all fanned-out queries — the shard merge's critical path.
+	ShardStragglerMax time.Duration
 	// RowsScanned sums base-table rows visited across all queries.
 	RowsScanned int64
 	// MaxGroups is the peak distinct-group count of any single query
@@ -117,6 +126,16 @@ type Metrics struct {
 	// result cache (a whole-request hit, or a concurrent duplicate that
 	// shared another request's execution).
 	ServedFromCache bool
+	// StrategyDegraded reports that the requested strategy could not run
+	// on this backend and was rewritten by EffectiveStrategy (COMB and
+	// COMB_EARLY degrade to SHARING on backends without row-range scans
+	// — including a shard router whose capability intersection lost
+	// SupportsPhasedExecution). DegradedFrom names the strategy the
+	// caller asked for; the executed one is what Options carried after
+	// the rewrite. Recorded on warm (cached) responses too: degradation
+	// describes the request-backend pair, not one execution.
+	StrategyDegraded bool
+	DegradedFrom     string
 	// Elapsed is wall-clock execution time.
 	Elapsed time.Duration
 }
@@ -203,7 +222,9 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 		return nil, err
 	}
 	caps := e.be.Capabilities()
+	requested := opts.Strategy
 	opts.Strategy = EffectiveStrategy(opts.Strategy, caps)
+	degraded := opts.Strategy != requested
 	if opts.Strategy == NoOpt || opts.Strategy == Sharing {
 		// Pruning options are inert on single-pass plans (the pruner
 		// never runs); canonicalize them before defaulting and cache-key
@@ -243,11 +264,26 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 	if opts.EnableCache {
 		version, versioned = e.be.TableVersion(ctx, req.Table)
 	}
+	// recordDegradation stamps the strategy rewrite onto a result. The
+	// rewrite happens before cache-key construction (a degraded COMB
+	// request shares the equivalent SHARING request's entry), so warm
+	// responses are re-stamped per caller rather than trusting whatever
+	// request computed the cached value.
+	recordDegradation := func(res *Result) {
+		res.Metrics.StrategyDegraded = degraded
+		if degraded {
+			res.Metrics.DegradedFrom = requested.String()
+		} else {
+			res.Metrics.DegradedFrom = ""
+		}
+	}
+
 	if !versioned {
 		res, err := e.runRecommend(ctx, req, opts, views, ti, nil, "")
 		if err != nil {
 			return nil, err
 		}
+		recordDegradation(res)
 		res.Metrics.Elapsed = time.Since(start)
 		return res, nil
 	}
@@ -278,10 +314,12 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 		m.VectorizedQueries, m.FallbackQueries, m.ScanWorkers = 0, 0, 0
 		m.FallbackReasons = nil
 		m.SelectionKernels, m.ResidualPredicates = 0, 0
+		m.ShardQueries, m.ShardFanout, m.ShardStragglerMax = 0, 0, 0
 		m.CacheMisses, m.RefViewsReused = 0, 0
 		m.CacheHits = 1
 		m.ServedFromCache = true
 	}
+	recordDegradation(res)
 	res.Metrics.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -504,6 +504,13 @@ func (m *Metrics) recordExec(stats backend.ExecStats) {
 	}
 	m.SelectionKernels += stats.SelectionKernels
 	m.ResidualPredicates += stats.ResidualPredicates
+	if stats.ShardFanout > 0 {
+		m.ShardQueries++
+		m.ShardFanout += stats.ShardFanout
+		if stats.ShardStragglerMax > m.ShardStragglerMax {
+			m.ShardStragglerMax = stats.ShardStragglerMax
+		}
+	}
 	if stats.Workers > m.ScanWorkers {
 		m.ScanWorkers = stats.Workers
 	}

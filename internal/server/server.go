@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"seedb/internal/backend"
+	"seedb/internal/backend/shardbe"
 	"seedb/internal/cache"
 	"seedb/internal/chart"
 	"seedb/internal/core"
@@ -49,6 +50,10 @@ import (
 
 // DefaultBackendName is the name the embedded store registers under.
 const DefaultBackendName = "sqldb"
+
+// ShardBackendName is the name EnableSharding registers the shard
+// router under.
+const ShardBackendName = "shard"
 
 // Server is the SeeDB middleware server. It can front several backends
 // at once — the embedded store is always registered under
@@ -66,6 +71,9 @@ type Server struct {
 
 	mu       sync.RWMutex
 	backends map[string]*registeredBackend
+	// shardDBs holds the shard children when EnableSharding registered a
+	// router; dataset loads then re-scatter into them.
+	shardDBs []*sqldb.DB
 }
 
 // registeredBackend is one named backend with its engine.
@@ -86,6 +94,17 @@ type executorStats struct {
 	maxScanWorkers     atomic.Int64
 	selectionKernels   atomic.Int64
 	residualPredicates atomic.Int64
+	// Shard fan-out counters: how many executed queries a shard router
+	// fanned out, the total child executions behind them, and the
+	// slowest single child execution seen (the merge's critical path).
+	shardQueries     atomic.Int64
+	shardFanout      atomic.Int64
+	shardStragglerNS atomic.Int64
+	// degradedRequests counts recommendation requests whose strategy was
+	// rewritten by capability degradation (COMB/COMB_EARLY → SHARING).
+	// Before this counter the rewrite happened silently, which would
+	// mislead operators once shard capability intersection triggers it.
+	degradedRequests atomic.Int64
 
 	reasonsMu       sync.Mutex
 	fallbackReasons map[string]int64
@@ -97,6 +116,11 @@ func (e *executorStats) record(m core.Metrics) {
 	e.fallbackQueries.Add(int64(m.FallbackQueries))
 	e.selectionKernels.Add(int64(m.SelectionKernels))
 	e.residualPredicates.Add(int64(m.ResidualPredicates))
+	e.shardQueries.Add(int64(m.ShardQueries))
+	e.shardFanout.Add(int64(m.ShardFanout))
+	if m.StrategyDegraded {
+		e.degradedRequests.Add(1)
+	}
 	if len(m.FallbackReasons) > 0 {
 		e.reasonsMu.Lock()
 		if e.fallbackReasons == nil {
@@ -107,9 +131,15 @@ func (e *executorStats) record(m core.Metrics) {
 		}
 		e.reasonsMu.Unlock()
 	}
+	atomicMax(&e.shardStragglerNS, int64(m.ShardStragglerMax))
+	atomicMax(&e.maxScanWorkers, int64(m.ScanWorkers))
+}
+
+// atomicMax raises a to v if v is larger.
+func atomicMax(a *atomic.Int64, v int64) {
 	for {
-		cur := e.maxScanWorkers.Load()
-		if int64(m.ScanWorkers) <= cur || e.maxScanWorkers.CompareAndSwap(cur, int64(m.ScanWorkers)) {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
 			return
 		}
 	}
@@ -124,12 +154,16 @@ func (e *executorStats) snapshot() map[string]any {
 	}
 	e.reasonsMu.Unlock()
 	return map[string]any{
-		"vectorized_queries":  e.vectorizedQueries.Load(),
-		"fallback_queries":    e.fallbackQueries.Load(),
-		"fallback_reasons":    reasons,
-		"max_scan_workers":    e.maxScanWorkers.Load(),
-		"selection_kernels":   e.selectionKernels.Load(),
-		"residual_predicates": e.residualPredicates.Load(),
+		"vectorized_queries":         e.vectorizedQueries.Load(),
+		"fallback_queries":           e.fallbackQueries.Load(),
+		"fallback_reasons":           reasons,
+		"max_scan_workers":           e.maxScanWorkers.Load(),
+		"selection_kernels":          e.selectionKernels.Load(),
+		"residual_predicates":        e.residualPredicates.Load(),
+		"shard_queries":              e.shardQueries.Load(),
+		"shard_fanout":               e.shardFanout.Load(),
+		"shard_straggler_max_ms":     float64(e.shardStragglerNS.Load()) / 1e6,
+		"strategy_degraded_requests": e.degradedRequests.Load(),
 	}
 }
 
@@ -181,6 +215,53 @@ func (s *Server) RegisterBackend(name string, be backend.Backend) error {
 	eng.SetCache(s.cache)
 	s.backends[name] = &registeredBackend{name: name, be: be, engine: eng}
 	return nil
+}
+
+// EnableSharding registers a shard router (under ShardBackendName) over
+// n embedded children that mirror the server's embedded store: every
+// table already loaded is scattered across the children immediately with
+// the order-preserving block partitioner, and later dataset loads
+// re-scatter automatically. Requests opt in per call with
+// {"backend": "shard"}; see docs/ARCHITECTURE.md, "Sharded execution".
+// n = 1 is a valid degenerate router (the single-shard baseline of the
+// shard bench experiment).
+func (s *Server) EnableSharding(n int) error {
+	if n < 1 {
+		return fmt.Errorf("server: sharding needs at least 1 shard, got %d", n)
+	}
+	dbs, bes := shardbe.EmbeddedChildren(n)
+	router, err := shardbe.New(bes, shardbe.Options{})
+	if err != nil {
+		return err
+	}
+	if err := s.RegisterBackend(ShardBackendName, router); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.shardDBs = dbs
+	s.mu.Unlock()
+	for _, name := range s.db.TableNames() {
+		if err := s.scatterShards(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scatterShards mirrors one embedded table across the shard children
+// (a no-op when sharding is off).
+func (s *Server) scatterShards(table string) error {
+	s.mu.RLock()
+	dbs := s.shardDBs
+	s.mu.RUnlock()
+	if len(dbs) == 0 {
+		return nil
+	}
+	t, ok := s.db.Table(table)
+	if !ok {
+		return nil
+	}
+	return shardbe.ScatterTable(s.db, table, dbs, shardbe.Blocks{Total: t.NumRows()})
 }
 
 // backendFor resolves a request's backend name ("" = the default).
@@ -339,6 +420,12 @@ func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, err)
 		return
 	}
+	// Keep the shard children in sync so {"backend": "shard"} requests
+	// see every loaded table.
+	if err := s.scatterShards(spec.Name); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"table": spec.Name, "rows": spec.Rows})
 }
 
@@ -469,12 +556,20 @@ type RecommendResponse struct {
 	SelectionKernel int               `json:"selection_kernels"`
 	ResidualPreds   int               `json:"residual_predicates"`
 	ScanWorkers     int               `json:"scan_workers"`
+	// Shard fan-out cost of this request (zero on leaf backends): queries
+	// fanned out, total child executions, and the slowest child.
+	ShardQueries     int     `json:"shard_queries"`
+	ShardFanout      int     `json:"shard_fanout"`
+	ShardStragglerMS float64 `json:"shard_straggler_ms"`
 	// Backend names the backend that served the request; Strategy is the
 	// strategy actually executed there (capability degradation may turn
-	// a phased request into single-pass SHARING).
-	Backend   string  `json:"backend"`
-	Strategy  string  `json:"strategy"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	// a phased request into single-pass SHARING). StrategyDegraded flags
+	// that rewrite explicitly, with DegradedFrom naming what was asked.
+	Backend          string  `json:"backend"`
+	Strategy         string  `json:"strategy"`
+	StrategyDegraded bool    `json:"strategy_degraded"`
+	DegradedFrom     string  `json:"degraded_from,omitempty"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
 }
 
 // handleRecommend implements POST /api/recommend.
@@ -564,25 +659,30 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	s.exec.record(res.Metrics)
 
 	resp := RecommendResponse{
-		Backend:         rb.name,
-		Strategy:        core.EffectiveStrategy(opts.Strategy, rb.be.Capabilities()).String(),
-		Recommendations: []RecommendedView{},
-		Views:           res.Metrics.Views,
-		QueriesExecuted: res.Metrics.QueriesExecuted,
-		RowsScanned:     res.Metrics.RowsScanned,
-		PrunedViews:     res.Metrics.PrunedViews,
-		EarlyStopped:    res.Metrics.EarlyStopped,
-		CacheHits:       res.Metrics.CacheHits,
-		CacheMisses:     res.Metrics.CacheMisses,
-		RefViewsReused:  res.Metrics.RefViewsReused,
-		ServedFromCache: res.Metrics.ServedFromCache,
-		Vectorized:      res.Metrics.VectorizedQueries,
-		Fallback:        res.Metrics.FallbackQueries,
-		FallbackReasons: res.Metrics.FallbackReasons,
-		SelectionKernel: res.Metrics.SelectionKernels,
-		ResidualPreds:   res.Metrics.ResidualPredicates,
-		ScanWorkers:     res.Metrics.ScanWorkers,
-		ElapsedMS:       float64(res.Metrics.Elapsed.Microseconds()) / 1000,
+		Backend:          rb.name,
+		Strategy:         core.EffectiveStrategy(opts.Strategy, rb.be.Capabilities()).String(),
+		Recommendations:  []RecommendedView{},
+		Views:            res.Metrics.Views,
+		QueriesExecuted:  res.Metrics.QueriesExecuted,
+		RowsScanned:      res.Metrics.RowsScanned,
+		PrunedViews:      res.Metrics.PrunedViews,
+		EarlyStopped:     res.Metrics.EarlyStopped,
+		CacheHits:        res.Metrics.CacheHits,
+		CacheMisses:      res.Metrics.CacheMisses,
+		RefViewsReused:   res.Metrics.RefViewsReused,
+		ServedFromCache:  res.Metrics.ServedFromCache,
+		Vectorized:       res.Metrics.VectorizedQueries,
+		Fallback:         res.Metrics.FallbackQueries,
+		FallbackReasons:  res.Metrics.FallbackReasons,
+		SelectionKernel:  res.Metrics.SelectionKernels,
+		ResidualPreds:    res.Metrics.ResidualPredicates,
+		ScanWorkers:      res.Metrics.ScanWorkers,
+		ShardQueries:     res.Metrics.ShardQueries,
+		ShardFanout:      res.Metrics.ShardFanout,
+		ShardStragglerMS: float64(res.Metrics.ShardStragglerMax.Microseconds()) / 1000,
+		StrategyDegraded: res.Metrics.StrategyDegraded,
+		DegradedFrom:     res.Metrics.DegradedFrom,
+		ElapsedMS:        float64(res.Metrics.Elapsed.Microseconds()) / 1000,
 	}
 	for i, rec := range res.Recommendations {
 		title := fmt.Sprintf("%s    [utility %.4f]", rec.View.String(), rec.Utility)

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"seedb/internal/backend/sqlbe"
+	"seedb/internal/dataset"
+	"seedb/internal/sqldb"
+	"seedb/internal/sqldriver"
+)
+
+// newShardedServer loads census, enables a 3-way shard router, and also
+// registers a capability-poor database/sql backend for the degradation
+// path.
+func newShardedServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	db := sqldb.NewDB()
+	spec := dataset.Census().WithRows(2000)
+	if _, err := dataset.Build(db, spec, sqldb.LayoutCol); err != nil {
+		t.Fatal(err)
+	}
+	s := New(db)
+	if err := s.EnableSharding(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterBackend("sql", sqlbe.New(sqldriver.Open(db), sqlbe.Options{})); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func TestEnableShardingValidation(t *testing.T) {
+	s := New(sqldb.NewDB())
+	if err := s.EnableSharding(0); err == nil {
+		t.Error("0 shards should be rejected")
+	}
+	// A 1-child router is the valid single-shard baseline.
+	if err := s.EnableSharding(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableSharding(2); err == nil {
+		t.Error("double EnableSharding should be rejected (duplicate backend)")
+	}
+}
+
+// TestShardBackendServesRecommendations exercises the full HTTP path
+// against the shard router: recommend, raw SQL, and healthz counters.
+func TestShardBackendServesRecommendations(t *testing.T) {
+	_, srv := newShardedServer(t)
+
+	var rec RecommendResponse
+	code := postJSON(t, srv.URL+"/api/recommend", map[string]any{
+		"table":        "census",
+		"target_where": "marital = 'Unmarried'",
+		"k":            3,
+		"strategy":     "sharing",
+		"backend":      ShardBackendName,
+	}, &rec)
+	if code != 200 {
+		t.Fatalf("recommend via shard backend = %d", code)
+	}
+	if rec.Backend != ShardBackendName || len(rec.Recommendations) != 3 {
+		t.Fatalf("response = backend %q, %d recs", rec.Backend, len(rec.Recommendations))
+	}
+	if rec.ShardQueries == 0 || rec.ShardFanout < rec.ShardQueries {
+		t.Errorf("shard fan-out not reported: queries=%d fanout=%d", rec.ShardQueries, rec.ShardFanout)
+	}
+	if rec.StrategyDegraded {
+		t.Errorf("embedded-children router should not degrade, got %+v", rec)
+	}
+
+	// Raw SQL through the router.
+	var q queryResponse
+	code = postJSON(t, srv.URL+"/api/query", map[string]any{
+		"sql":     "SELECT marital, COUNT(*) FROM census GROUP BY marital",
+		"backend": ShardBackendName,
+	}, &q)
+	if code != 200 || q.Count == 0 {
+		t.Fatalf("shard query = %d, %+v", code, q)
+	}
+
+	// healthz surfaces the shard counters.
+	var health struct {
+		Executor map[string]any `json:"executor"`
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	for _, key := range []string{"shard_queries", "shard_fanout", "shard_straggler_max_ms", "strategy_degraded_requests"} {
+		if _, ok := health.Executor[key]; !ok {
+			t.Errorf("healthz executor missing %q: %+v", key, health.Executor)
+		}
+	}
+	if n, _ := health.Executor["shard_queries"].(float64); n == 0 {
+		t.Errorf("healthz shard_queries = %v, want > 0", health.Executor["shard_queries"])
+	}
+}
+
+// TestStrategyDegradationIsRecorded sends a phased request to the
+// capability-poor sql backend and checks the rewrite is reported on the
+// response and counted on /healthz — the former silent path.
+func TestStrategyDegradationIsRecorded(t *testing.T) {
+	_, srv := newShardedServer(t)
+
+	var rec RecommendResponse
+	code := postJSON(t, srv.URL+"/api/recommend", map[string]any{
+		"table":        "census",
+		"target_where": "marital = 'Unmarried'",
+		"k":            2,
+		"strategy":     "comb",
+		"backend":      "sql",
+	}, &rec)
+	if code != 200 {
+		t.Fatalf("recommend = %d", code)
+	}
+	if !rec.StrategyDegraded || rec.DegradedFrom != "COMB" || rec.Strategy != "SHARING" {
+		t.Errorf("degradation not reported: degraded=%v from=%q strategy=%q",
+			rec.StrategyDegraded, rec.DegradedFrom, rec.Strategy)
+	}
+
+	// The warm (cached) repeat must still report the degradation.
+	var warm RecommendResponse
+	if code := postJSON(t, srv.URL+"/api/recommend", map[string]any{
+		"table":        "census",
+		"target_where": "marital = 'Unmarried'",
+		"k":            2,
+		"strategy":     "comb",
+		"backend":      "sql",
+	}, &warm); code != 200 {
+		t.Fatalf("warm recommend = %d", code)
+	}
+	if !warm.ServedFromCache || !warm.StrategyDegraded {
+		t.Errorf("warm response: cached=%v degraded=%v", warm.ServedFromCache, warm.StrategyDegraded)
+	}
+
+	var health struct {
+		Executor map[string]any `json:"executor"`
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	if n, _ := health.Executor["strategy_degraded_requests"].(float64); n < 2 {
+		t.Errorf("strategy_degraded_requests = %v, want >= 2", health.Executor["strategy_degraded_requests"])
+	}
+}
+
+// TestLoadScattersToShards loads a dataset over HTTP after sharding is
+// enabled and confirms the shard backend can serve it.
+func TestLoadScattersToShards(t *testing.T) {
+	db := sqldb.NewDB()
+	s := New(db)
+	if err := s.EnableSharding(2); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	var loaded map[string]any
+	if code := postJSON(t, srv.URL+"/api/datasets/load", map[string]any{
+		"name": "census", "rows": 600,
+	}, &loaded); code != 200 {
+		t.Fatalf("load = %d (%+v)", code, loaded)
+	}
+	var q queryResponse
+	code := postJSON(t, srv.URL+"/api/query", map[string]any{
+		"sql":     "SELECT COUNT(*) FROM census",
+		"backend": ShardBackendName,
+	}, &q)
+	if code != 200 || len(q.Rows) != 1 || q.Rows[0][0] != "600" {
+		t.Fatalf("shard count after load = %d, %+v", code, q)
+	}
+}

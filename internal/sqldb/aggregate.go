@@ -25,11 +25,16 @@ type aggSpec struct {
 	// them to read the column vector directly instead of calling arg.
 	argCol  int
 	argType ColumnType
+	// src is the aggregate call this slot was planned from. Its argument
+	// expressions are base-schema ASTs (slots are planned before the
+	// post-aggregation rewrite), which is what lets the shard planner
+	// (shardexec.go) re-render a decomposed form of the call as child SQL.
+	src *FuncExpr
 }
 
 // newAggSpec plans one aggregate function call.
 func newAggSpec(f *FuncExpr, schema *Schema) (aggSpec, error) {
-	spec := aggSpec{argCol: -1}
+	spec := aggSpec{argCol: -1, src: f}
 	switch f.Name {
 	case "COUNT":
 		if f.Star {

@@ -163,10 +163,16 @@ func (db *DB) QueryStmt(stmt *SelectStmt, opts ExecOptions) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("sqldb: table %q does not exist", stmt.Table)
 	}
-	p, err := compilePlan(stmt, t)
+	// A serial execution (Workers <= 1) never consults the vectorized
+	// fast-path analysis — aggregateRange short-circuits to the
+	// interpreter first — so skip compiling it (selection kernels
+	// included). This matters on fan-out hot paths where many serial
+	// child queries compile per request.
+	p, err := compileForSchemaOpt(stmt, t.Schema(), opts.Workers > 1)
 	if err != nil {
 		return nil, err
 	}
+	p.table = t
 	return p.execute(opts)
 }
 
@@ -198,10 +204,11 @@ func (q *PreparedQuery) SQL() string { return q.stmt.String() }
 
 // Exec executes the prepared query with the given options.
 func (q *PreparedQuery) Exec(opts ExecOptions) (*Result, error) {
-	p, err := compilePlan(q.stmt, q.table)
+	p, err := compileForSchemaOpt(q.stmt, q.table.Schema(), opts.Workers > 1)
 	if err != nil {
 		return nil, err
 	}
+	p.table = q.table
 	return p.execute(opts)
 }
 

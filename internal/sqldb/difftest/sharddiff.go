@@ -1,0 +1,106 @@
+package difftest
+
+// Sharded differential sweep: every generated query executes once
+// against the unsharded harness table and once through a shard router
+// whose embedded children hold contiguous blocks of the same rows, and
+// the results must match bit for bit — row order, value kinds, float
+// payload bits, RowsScanned and Groups included. The harness's float
+// data is exactly summable (multiples of 0.25), so partial-sum
+// reassociation across shard boundaries cannot introduce ulp noise and
+// exact comparison remains a legitimate oracle, exactly as it is for the
+// parallel vectorized executor.
+//
+// The sweep inherits the generator's whole grammar — COUNT(DISTINCT),
+// string MIN, expression aggregates and group keys, HAVING, ORDER BY,
+// LIMIT/OFFSET, row sub-ranges (which exercise the router's global→local
+// range mapping), empty ranges and zero-row predicates — and adds the
+// shard-specific edges: one shard (degenerate), shard counts that leave
+// children empty, and single-row tables.
+
+import (
+	"context"
+	"fmt"
+
+	"seedb/internal/backend"
+	"seedb/internal/backend/shardbe"
+	"seedb/internal/sqldb"
+)
+
+// Sharded builds a shard router over n embedded children holding
+// contiguous blocks of the harness table, so the router's global row
+// order equals the generated insertion order.
+func (h *Harness) Sharded(shards int) (*shardbe.Router, error) {
+	dbs, bes := shardbe.EmbeddedChildren(shards)
+	if err := shardbe.ScatterTable(h.DB, "t", dbs, shardbe.Blocks{Total: h.rows}); err != nil {
+		return nil, err
+	}
+	return shardbe.New(bes, shardbe.Options{})
+}
+
+// RunSharded generates and checks n queries, executing each unsharded
+// (Workers=1, the byte-stable serial interpreter) and through a router
+// over the given shard count, with the given per-child scan worker
+// count. It returns an error describing the first divergence.
+func (h *Harness) RunSharded(n, shards, workers int) (Stats, error) {
+	var st Stats
+	router, err := h.Sharded(shards)
+	if err != nil {
+		return st, err
+	}
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		q := h.Gen()
+		st.Queries++
+		serial, err := h.DB.QueryOpts(q.SQL, sqldb.ExecOptions{Lo: q.Lo, Hi: q.Hi, Workers: 1})
+		if err != nil {
+			return st, fmt.Errorf("query %d unsharded failed: %v (sql: %s)", i, err, q.SQL)
+		}
+		rows, stats, err := router.Exec(ctx, q.SQL, backend.ExecOptions{Lo: q.Lo, Hi: q.Hi, Workers: workers})
+		if err != nil {
+			return st, fmt.Errorf("query %d sharded (%d shards) failed: %v (sql: %s)", i, shards, err, q.SQL)
+		}
+		if stats.Vectorized {
+			st.Vectorized++
+			st.Kernels += stats.SelectionKernels
+			st.Residuals += stats.ResidualPredicates
+		} else {
+			st.Fallback++
+		}
+		sharded := &sqldb.Result{
+			Columns: rows.Columns,
+			Rows:    rows.Rows,
+			Stats:   sqldb.ExecStats{RowsScanned: stats.RowsScanned, Groups: stats.Groups},
+		}
+		// Align the incidental stats equalResults does not cover; the
+		// comparison below then checks columns, every value bit, and the
+		// RowsScanned/Groups counters.
+		sharded.Stats.Vectorized = serial.Stats.Vectorized
+		sharded.Stats.Workers = serial.Stats.Workers
+		sharded.Stats.FallbackReason = serial.Stats.FallbackReason
+		sharded.Stats.SelectionKernels = serial.Stats.SelectionKernels
+		sharded.Stats.ResidualPredicates = serial.Stats.ResidualPredicates
+		if err := equalResults(serial, sharded); err != nil {
+			return st, fmt.Errorf("query %d diverged (shards=%d, workers=%d, range [%d,%d)): %v\nsql: %s\nchild sql: %s",
+				i, shards, workers, q.Lo, q.Hi, err, q.SQL, childSQLOf(q.SQL, h))
+		}
+	}
+	return st, nil
+}
+
+// childSQLOf renders the partial statement the router would send each
+// shard, for failure diagnostics.
+func childSQLOf(sql string, h *Harness) string {
+	stmt, err := sqldb.Parse(sql)
+	if err != nil {
+		return "<unparseable>"
+	}
+	t, ok := h.DB.Table(stmt.Table)
+	if !ok {
+		return "<no table>"
+	}
+	sp, err := sqldb.NewShardPlan(stmt, t.Schema())
+	if err != nil {
+		return "<no shard plan: " + err.Error() + ">"
+	}
+	return sp.ChildSQL()
+}

@@ -95,9 +95,11 @@ type plan struct {
 
 	// vec is the vectorized fast-path analysis of a grouped plan, or nil
 	// when the query shape is not eligible (see vexec.go); vecReason
-	// names the disqualifying shape when vec is nil.
+	// names the disqualifying shape when vec is nil. noVec marks a
+	// merge-only plan that skipped the analysis altogether.
 	vec       *vecInfo
 	vecReason string
+	noVec     bool
 }
 
 // orderKey is a compiled ORDER BY entry. If outCol >= 0 the key is an
@@ -123,10 +125,16 @@ func (g groupRow) Value(i int) Value {
 	return g.aggs[i-len(g.keys)]
 }
 
-// compilePlan plans stmt against table t.
-func compilePlan(stmt *SelectStmt, t Table) (*plan, error) {
-	p := &plan{table: t, limit: stmt.Limit, offset: stmt.Offset, distinct: stmt.Distinct}
-	schema := t.Schema()
+// compileForSchemaOpt plans stmt against a schema alone. The resulting
+// plan can finalize group entries and post-process rows (the shard-merge
+// path in shardexec.go), but needs plan.table assigned before execute
+// can scan (the query entry points in db.go do that). analyzeVec enables
+// the vectorized fast-path analysis (selection-kernel compilation
+// included); serial executions and merge-only plans skip it — the
+// analysis is never consulted there, and it is a measurable per-query
+// cost on a fan-out router's hot path.
+func compileForSchemaOpt(stmt *SelectStmt, schema *Schema, analyzeVec bool) (*plan, error) {
+	p := &plan{limit: stmt.Limit, offset: stmt.Offset, distinct: stmt.Distinct, noVec: !analyzeVec}
 
 	// Expand SELECT *.
 	items := make([]SelectItem, 0, len(stmt.Items))
@@ -282,7 +290,9 @@ func compileGroupedPlan(p *plan, stmt *SelectStmt, items []SelectItem, schema *S
 		}
 		p.orderBy = append(p.orderBy, key)
 	}
-	p.vec, p.vecReason = vectorizeGrouped(stmt, p, schema)
+	if !p.noVec {
+		p.vec, p.vecReason = vectorizeGrouped(stmt, p, schema)
+	}
 	return p, nil
 }
 
@@ -504,6 +514,14 @@ func (p *plan) execute(opts ExecOptions) (*Result, error) {
 		}
 	}
 
+	p.postProcess(res)
+	return res, nil
+}
+
+// postProcess applies the row-level tail of every execution — ORDER BY,
+// DISTINCT, OFFSET, LIMIT — shared by the single-store executors and the
+// shard merge (shardexec.go).
+func (p *plan) postProcess(res *Result) {
 	p.sortRows(res)
 	if p.distinct {
 		res.Rows = dedupeRows(res.Rows)
@@ -518,7 +536,6 @@ func (p *plan) execute(opts ExecOptions) (*Result, error) {
 	if p.limit >= 0 && len(res.Rows) > p.limit {
 		res.Rows = res.Rows[:p.limit]
 	}
-	return res, nil
 }
 
 // dedupeRows removes duplicate rows, keeping first occurrences (SELECT
@@ -579,7 +596,16 @@ func (p *plan) executeGrouped(opts ExecOptions, lo, hi int, res *Result) error {
 	if err != nil {
 		return err
 	}
+	p.finalizeGroups(entries, res)
+	return nil
+}
 
+// finalizeGroups runs the executor-independent finalize stage over
+// accumulated group entries: HAVING, output expressions and inline order
+// keys. It is shared by the scan executors (serial interpreter, parallel
+// vectorized fast path) and the shard merge, so finalize semantics cannot
+// drift between single-store and fanned-out execution.
+func (p *plan) finalizeGroups(entries []*groupEntry, res *Result) {
 	// Global aggregation with no groups still emits one row.
 	if len(p.groupKeys) == 0 && len(entries) == 0 {
 		entries = append(entries, &groupEntry{states: make([]aggState, len(p.aggs))})
@@ -604,7 +630,6 @@ func (p *plan) executeGrouped(opts ExecOptions, lo, hi int, res *Result) error {
 		}
 		res.Rows = append(res.Rows, out)
 	}
-	return nil
 }
 
 // aggregateRange produces the group entries for [lo, hi) in deterministic

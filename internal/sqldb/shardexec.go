@@ -1,0 +1,344 @@
+package sqldb
+
+// Distributed execution support for shard-routing backends.
+//
+// A shard router (internal/backend/shardbe) holds a fact table
+// partitioned row-wise across N child stores and must answer any query
+// the single-store engine would — bit for bit. This file supplies the
+// two halves of that contract:
+//
+//   - NewShardPlan analyzes one SELECT and rewrites it into a *partial*
+//     statement every shard executes locally. Aggregates are decomposed
+//     into mergeable pieces: COUNT stays a count, SUM and AVG become
+//     SUM+COUNT pairs (AVG's division is deferred to finalization),
+//     MIN/MAX stay MIN/MAX, and COUNT(DISTINCT x) adds x to the child's
+//     GROUP BY so the merge can union value sets instead of adding
+//     overlapping counts. HAVING, ORDER BY, DISTINCT, LIMIT and OFFSET
+//     are stripped from the child statement — they are meaningless on a
+//     partial view of the data — and re-applied after the merge.
+//
+//   - Merge folds the child results back together with the same
+//     discipline the parallel vectorized executor uses for its worker
+//     chunks (vexec.go): partials combine through aggState.merge-style
+//     updates in shard order, and each shard's unseen groups append in
+//     that shard's first-seen order. When shards hold contiguous blocks
+//     of the original row order, this reproduces exactly the first-seen
+//     group order of an unsharded sequential scan; the finalize stage
+//     (HAVING, outputs, ORDER BY, DISTINCT, LIMIT/OFFSET) is the
+//     single-store plan's own code, so nothing downstream can diverge.
+//
+// Floating-point caveat, shared with vexec.go: SUM/AVG reassociate
+// addition across shard boundaries, so float aggregates can differ from
+// a single-store scan in final ulps when partial sums are inexact. On
+// data whose partial sums are exactly representable (the differential
+// and conformance harnesses generate such data on purpose) results are
+// bit-identical. Two residual caveats are new here: a SUM/AVG argument
+// expression mixing float-convertible and string values inside one group
+// merges by the child's non-NULL count rather than the float-convertible
+// count, and MIN/MAX ties between bit-distinct equal-comparing values
+// (NaN payloads, -0.0 vs 0.0) resolve in sub-group rather than row order
+// when a COUNT(DISTINCT) forced sub-grouping. Neither shape occurs in
+// SeeDB-generated queries.
+
+import "fmt"
+
+// shardSlot describes how one aggregate slot of the original plan is
+// carried through a child's partial result row.
+type shardSlot struct {
+	kind     aggKind
+	distinct bool
+	// keyPos (distinct only) is the child column holding the argument
+	// value whose distinct count is being taken.
+	keyPos int
+	// cntCol is the partial COUNT column (count kinds and SUM/AVG);
+	// sumCol the partial SUM column (SUM/AVG); valCol the partial MIN or
+	// MAX column. Unused positions are -1.
+	cntCol, sumCol, valCol int
+}
+
+// ShardPlan is one SELECT decomposed for partitioned execution: the
+// partial statement each shard runs, plus the merge that reassembles the
+// original query's result from the shards' partial rows.
+type ShardPlan struct {
+	p          *plan
+	childSQL   string
+	numKeys    int // leading child columns that are original group keys
+	childWidth int // expected child result row width
+	slots      []shardSlot
+}
+
+// NewShardPlan compiles stmt against the partitioned table's schema and
+// returns the decomposed plan. Every statement the single-store engine
+// accepts is supported; compile errors are the same errors the embedded
+// store would report.
+func NewShardPlan(stmt *SelectStmt, schema *Schema) (*ShardPlan, error) {
+	p, err := compileForSchemaOpt(stmt, schema, false)
+	if err != nil {
+		return nil, err
+	}
+	sp := &ShardPlan{p: p}
+	if p.grouped {
+		sp.buildGroupedChild(stmt)
+	} else {
+		sp.buildSimpleChild(stmt)
+	}
+	return sp, nil
+}
+
+// ChildSQL returns the partial statement each shard executes, rendered
+// as canonical SQL.
+func (sp *ShardPlan) ChildSQL() string { return sp.childSQL }
+
+// Grouped reports whether the plan aggregates (merge combines partial
+// aggregation states) or projects (merge concatenates rows).
+func (sp *ShardPlan) Grouped() bool { return sp.p.grouped }
+
+// buildGroupedChild rewrites an aggregation statement into its partial
+// form: the original group keys (plus any COUNT(DISTINCT) argument
+// columns) followed by decomposed partial-aggregate columns.
+func (sp *ShardPlan) buildGroupedChild(stmt *SelectStmt) {
+	groupStrs := make([]string, len(stmt.GroupBy))
+	items := make([]SelectItem, 0, len(stmt.GroupBy)+len(sp.p.aggs))
+	for i, g := range stmt.GroupBy {
+		groupStrs[i] = g.String()
+		items = append(items, SelectItem{Expr: g})
+	}
+	sp.numKeys = len(stmt.GroupBy)
+
+	// keyPosFor resolves a COUNT(DISTINCT) argument to a child key
+	// column: an original group key when the texts match, else an extra
+	// key appended to the child GROUP BY (deduplicated by text).
+	extraIdx := make(map[string]int)
+	keyPosFor := func(e Expr) int {
+		s := e.String()
+		for i, gs := range groupStrs {
+			if s == gs {
+				return i
+			}
+		}
+		if pos, ok := extraIdx[s]; ok {
+			return pos
+		}
+		pos := len(items)
+		extraIdx[s] = pos
+		items = append(items, SelectItem{Expr: e})
+		return pos
+	}
+	// First pass: distinct-argument keys, so every key column precedes
+	// every partial-aggregate column and the child GROUP BY is a prefix.
+	for i := range sp.p.aggs {
+		if sp.p.aggs[i].distinct {
+			keyPosFor(sp.p.aggs[i].src.Args[0])
+		}
+	}
+	groupByLen := len(items)
+
+	// Partial aggregate columns, deduplicated by rendered text so a
+	// repeated aggregate (legal SQL, shared slot upstream) is computed
+	// once per shard too.
+	partialIdx := make(map[string]int)
+	partialFor := func(e Expr) int {
+		s := e.String()
+		if pos, ok := partialIdx[s]; ok {
+			return pos
+		}
+		pos := len(items)
+		partialIdx[s] = pos
+		items = append(items, SelectItem{Expr: e})
+		return pos
+	}
+
+	sp.slots = make([]shardSlot, len(sp.p.aggs))
+	for i := range sp.p.aggs {
+		a := &sp.p.aggs[i]
+		slot := shardSlot{kind: a.kind, distinct: a.distinct, keyPos: -1, cntCol: -1, sumCol: -1, valCol: -1}
+		switch {
+		case a.distinct:
+			slot.keyPos = keyPosFor(a.src.Args[0])
+		case a.kind == aggCountStar:
+			slot.cntCol = partialFor(&FuncExpr{Name: "COUNT", Star: true})
+		case a.kind == aggCount:
+			slot.cntCol = partialFor(&FuncExpr{Name: "COUNT", Args: []Expr{a.src.Args[0]}})
+		case a.kind == aggSum || a.kind == aggAvg:
+			slot.sumCol = partialFor(&FuncExpr{Name: "SUM", Args: []Expr{a.src.Args[0]}})
+			slot.cntCol = partialFor(&FuncExpr{Name: "COUNT", Args: []Expr{a.src.Args[0]}})
+		case a.kind == aggMin:
+			slot.valCol = partialFor(&FuncExpr{Name: "MIN", Args: []Expr{a.src.Args[0]}})
+		case a.kind == aggMax:
+			slot.valCol = partialFor(&FuncExpr{Name: "MAX", Args: []Expr{a.src.Args[0]}})
+		}
+		sp.slots[i] = slot
+	}
+
+	// A HAVING-only statement can plan no keys and no aggregates; keep
+	// the child select list non-empty (the placeholder feeds no slot).
+	if len(items) == 0 {
+		items = append(items, SelectItem{Expr: &FuncExpr{Name: "COUNT", Star: true}})
+	}
+
+	child := &SelectStmt{
+		Items: items,
+		Table: stmt.Table,
+		Where: stmt.Where,
+		Limit: -1,
+	}
+	child.GroupBy = make([]Expr, groupByLen)
+	for i := 0; i < groupByLen; i++ {
+		child.GroupBy[i] = items[i].Expr
+	}
+	sp.childWidth = len(items)
+	sp.childSQL = child.String()
+}
+
+// buildSimpleChild rewrites a projection-only statement: the original
+// select list plus one extra column per ORDER BY key that does not
+// resolve to an output column, so the merge can sort without re-scanning
+// base rows. DISTINCT/ORDER BY/LIMIT/OFFSET move to the merge.
+func (sp *ShardPlan) buildSimpleChild(stmt *SelectStmt) {
+	items := append([]SelectItem(nil), stmt.Items...)
+	extras := 0
+	for i := range sp.p.orderBy {
+		if sp.p.orderBy[i].eval != nil {
+			items = append(items, SelectItem{Expr: stmt.OrderBy[i].Expr})
+			extras++
+		}
+	}
+	child := &SelectStmt{
+		Items: items,
+		Table: stmt.Table,
+		Where: stmt.Where,
+		Limit: -1,
+	}
+	// p.outputs reflects SELECT * expansion; the child expands the same
+	// way, so its rows are outputs ++ inline order keys.
+	sp.childWidth = len(sp.p.outputs) + extras
+	sp.childSQL = child.String()
+}
+
+// ShardPart is one shard's contribution to a merge: the partial result
+// rows plus the child execution's materialized-group count (which the
+// global-aggregation Groups accounting below needs — rows alone cannot
+// distinguish a shard whose scan matched nothing from a shard that was
+// never scanned, because grouped-with-no-keys children emit a synthetic
+// all-NULL row either way).
+type ShardPart struct {
+	Rows   [][]Value
+	Groups int
+}
+
+// Merge reassembles the original query's result from per-shard partial
+// results, in shard order. Result.Stats reports only Groups (the merged
+// pre-HAVING group count, matching what a single-store execution would
+// materialize); scan counters are the caller's to aggregate from the
+// child executions.
+func (sp *ShardPlan) Merge(parts []ShardPart) (*Result, error) {
+	p := sp.p
+	res := &Result{Columns: p.colNames}
+	res.Stats.Workers = 1
+
+	if !p.grouped {
+		for _, part := range parts {
+			for _, row := range part.Rows {
+				if len(row) != sp.childWidth {
+					return nil, fmt.Errorf("sqldb: shard merge: child row has %d columns, want %d", len(row), sp.childWidth)
+				}
+			}
+			res.Rows = append(res.Rows, part.Rows...)
+		}
+		p.postProcess(res)
+		return res, nil
+	}
+
+	groups := make(map[string]*groupEntry)
+	var entries []*groupEntry
+	var keyBuf []byte
+	anyChildGroups := false
+	for _, part := range parts {
+		if part.Groups > 0 {
+			anyChildGroups = true
+		}
+		for _, row := range part.Rows {
+			if len(row) != sp.childWidth {
+				return nil, fmt.Errorf("sqldb: shard merge: child row has %d columns, want %d", len(row), sp.childWidth)
+			}
+			keyBuf = keyBuf[:0]
+			for i := 0; i < sp.numKeys; i++ {
+				keyBuf = row[i].appendKey(keyBuf)
+			}
+			g, ok := groups[string(keyBuf)]
+			if !ok {
+				keys := make([]Value, sp.numKeys)
+				copy(keys, row[:sp.numKeys])
+				g = &groupEntry{keys: keys, states: make([]aggState, len(p.aggs))}
+				groups[string(keyBuf)] = g
+				entries = append(entries, g)
+			}
+			for si := range sp.slots {
+				sp.slots[si].fold(&g.states[si], row)
+			}
+		}
+	}
+
+	res.Stats.Groups = len(entries)
+	if sp.numKeys == 0 {
+		// Global aggregation: a single-store scan materializes one group
+		// exactly when some row survived the filter. Children that matched
+		// nothing still contributed their synthetic row to the merge (a
+		// value-neutral zero state), so the group count comes from the
+		// children's own accounting instead.
+		res.Stats.Groups = 0
+		if anyChildGroups {
+			res.Stats.Groups = 1
+		}
+	}
+	p.finalizeGroups(entries, res)
+	p.postProcess(res)
+	return res, nil
+}
+
+// fold combines one child partial row into an aggregate state, mirroring
+// aggState.merge for the decomposed column layout.
+func (s *shardSlot) fold(st *aggState, row []Value) {
+	switch {
+	case s.distinct:
+		v := row[s.keyPos]
+		if v.IsNull() {
+			return // SQL aggregates skip NULLs
+		}
+		if st.distinct == nil {
+			st.distinct = make(map[string]struct{})
+		}
+		st.distinct[string(v.appendKey(nil))] = struct{}{}
+	case s.kind == aggCountStar || s.kind == aggCount:
+		if n, ok := row[s.cntCol].AsInt(); ok {
+			st.count += n
+		}
+	case s.kind == aggSum || s.kind == aggAvg:
+		// A NULL partial sum means the shard saw no summable value in the
+		// group; skipping it (count included) reproduces the single-store
+		// accumulator, which only counts rows it actually summed.
+		sum := row[s.sumCol]
+		if sum.IsNull() {
+			return
+		}
+		f, ok := sum.AsFloat()
+		if !ok {
+			return
+		}
+		n, _ := row[s.cntCol].AsInt()
+		st.count += n
+		st.sum += f
+	case s.kind == aggMin:
+		v := row[s.valCol]
+		if !v.IsNull() && (!st.seen || v.Compare(st.min) < 0) {
+			st.min = v
+			st.seen = true
+		}
+	case s.kind == aggMax:
+		v := row[s.valCol]
+		if !v.IsNull() && (!st.seen || v.Compare(st.max) > 0) {
+			st.max = v
+			st.seen = true
+		}
+	}
+}

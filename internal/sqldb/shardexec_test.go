@@ -1,0 +1,143 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+// planFor compiles a shard plan against a canonical test schema.
+func planFor(t *testing.T, sql string) *ShardPlan {
+	t.Helper()
+	schema := MustSchema(
+		Column{Name: "d", Type: TypeString},
+		Column{Name: "k", Type: TypeInt},
+		Column{Name: "m", Type: TypeFloat},
+	)
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewShardPlan(stmt, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestShardPlanChildSQL(t *testing.T) {
+	cases := []struct {
+		sql     string
+		want    []string // substrings the child SQL must contain
+		wantNot []string
+	}{
+		{
+			// AVG decomposes into SUM+COUNT; HAVING/ORDER BY/LIMIT stay
+			// out of the child statement.
+			sql:     "SELECT d, AVG(m) FROM t GROUP BY d HAVING COUNT(*) > 1 ORDER BY 2 LIMIT 5",
+			want:    []string{"SUM(m)", "COUNT(m)", "COUNT(*)", "GROUP BY d"},
+			wantNot: []string{"AVG", "HAVING", "ORDER BY", "LIMIT"},
+		},
+		{
+			// COUNT(DISTINCT k) adds k to the child GROUP BY instead of a
+			// partial count.
+			sql:  "SELECT d, COUNT(DISTINCT k) FROM t GROUP BY d",
+			want: []string{"GROUP BY d, k"},
+		},
+		{
+			// A repeated aggregate is computed once per shard.
+			sql:  "SELECT d, SUM(m), SUM(m) FROM t GROUP BY d",
+			want: []string{"SELECT d, SUM(m), COUNT(m) FROM t"},
+		},
+		{
+			// Simple projections keep the filter and ship an extra column
+			// per non-output ORDER BY key.
+			sql:     "SELECT d FROM t WHERE k > 1 ORDER BY LOWER(d) DESC LIMIT 2",
+			want:    []string{"SELECT d, LOWER(d) FROM t WHERE", "(k > 1)"},
+			wantNot: []string{"ORDER BY", "LIMIT"},
+		},
+	}
+	for _, tc := range cases {
+		sp := planFor(t, tc.sql)
+		child := sp.ChildSQL()
+		for _, w := range tc.want {
+			if !strings.Contains(child, w) {
+				t.Errorf("%s:\n child %q\n missing %q", tc.sql, child, w)
+			}
+		}
+		for _, w := range tc.wantNot {
+			if strings.Contains(child, w) {
+				t.Errorf("%s:\n child %q\n must not contain %q", tc.sql, child, w)
+			}
+		}
+	}
+}
+
+func TestShardPlanMergeDecomposition(t *testing.T) {
+	// SELECT d, AVG(m), COUNT(DISTINCT k) GROUP BY d — child rows carry
+	// [d, k, SUM(m), COUNT(m)], sub-grouped by (d, k).
+	sp := planFor(t, "SELECT d, AVG(m), COUNT(DISTINCT k) FROM t GROUP BY d")
+	parts := []ShardPart{
+		{Groups: 3, Rows: [][]Value{
+			{Str("a"), Int(1), Float(2), Int(2)},
+			{Str("a"), Int(2), Float(4), Int(1)},
+			{Str("b"), Int(1), Null(), Int(0)}, // all-NULL measure sub-group
+		}},
+		{Groups: 2, Rows: [][]Value{
+			{Str("a"), Int(1), Float(6), Int(1)}, // k=1 repeats across shards: distinct must not double-count
+			{Str("b"), Int(3), Float(10), Int(2)},
+		}},
+	}
+	res, err := sp.Merge(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("merged rows = %+v", res.Rows)
+	}
+	// a: AVG = (2+4+6)/(2+1+1) = 3; distinct k = {1,2} = 2.
+	if got := res.Rows[0]; got[0].S != "a" || got[1].F != 3 || got[2].I != 2 {
+		t.Errorf("group a = %v", got)
+	}
+	// b: AVG = 10/2 = 5 (the NULL partial sum contributes nothing);
+	// distinct k = {1,3} = 2.
+	if got := res.Rows[1]; got[0].S != "b" || got[1].F != 5 || got[2].I != 2 {
+		t.Errorf("group b = %v", got)
+	}
+	if res.Stats.Groups != 2 {
+		t.Errorf("Groups = %d, want 2", res.Stats.Groups)
+	}
+}
+
+func TestShardPlanMergeGlobalGroups(t *testing.T) {
+	// Global aggregation: the merged Groups counter must distinguish "no
+	// shard matched a row" (0) from "some shard did" (1), even though
+	// children emit a synthetic row either way.
+	sp := planFor(t, "SELECT COUNT(*) FROM t WHERE k > 100")
+	res, err := sp.Merge([]ShardPart{
+		{Groups: 0, Rows: [][]Value{{Int(0)}}},
+		{Groups: 0, Rows: [][]Value{{Int(0)}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Groups != 0 || len(res.Rows) != 1 || res.Rows[0][0].I != 0 {
+		t.Errorf("all-filtered merge: groups=%d rows=%v", res.Stats.Groups, res.Rows)
+	}
+	res, err = sp.Merge([]ShardPart{
+		{Groups: 1, Rows: [][]Value{{Int(7)}}},
+		{Groups: 0, Rows: [][]Value{{Int(0)}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Groups != 1 || res.Rows[0][0].I != 7 {
+		t.Errorf("partial-match merge: groups=%d rows=%v", res.Stats.Groups, res.Rows)
+	}
+}
+
+func TestShardPlanMergeRejectsBadWidth(t *testing.T) {
+	sp := planFor(t, "SELECT d, COUNT(*) FROM t GROUP BY d")
+	if _, err := sp.Merge([]ShardPart{{Rows: [][]Value{{Str("a")}}}}); err == nil {
+		t.Error("narrow child row should be rejected")
+	}
+}

@@ -114,3 +114,88 @@ func TestConcurrentRecommendParallelScansAndLoads(t *testing.T) {
 		t.Fatal("post-append request served a stale cached result")
 	}
 }
+
+// TestConcurrentShardedRecommends drives the shard router under -race:
+// many concurrent Recommend calls over one sharded client, each fanning
+// every view query out across the children (which layers fan-out
+// goroutines under the engine's own query worker pool), against the
+// shared cache and the router's stats memo. Appends happen after the
+// concurrent phase — sqldb tables, sharded or not, require per-table
+// loading to finish before queries start (see the test above) — and
+// must invalidate the router's version vector.
+func TestConcurrentShardedRecommends(t *testing.T) {
+	client := NewSharded(3)
+	if err := client.LoadDatasetRows("census", ColumnLayout, 1500); err != nil {
+		t.Fatal(err)
+	}
+	client.EnableCache(0)
+	ctx := context.Background()
+	req := Request{Table: "census", TargetWhere: "marital = 'Unmarried'"}
+
+	const workers = 4
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				opts := Options{
+					Strategy:        Comb,
+					Pruning:         CIPruning,
+					K:               2 + (g+i)%3,
+					ScanParallelism: 2,
+					EnableCache:     true,
+				}
+				if (g+i)%2 == 0 {
+					opts.Strategy = Sharing
+					opts.Pruning = NoPruning
+				}
+				res, err := client.Recommend(ctx, req, opts)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				// Every query this invocation actually paid for must have
+				// fanned out (a run may also be answered entirely by
+				// query-level cache hits, executing nothing).
+				if res.Metrics.QueriesExecuted > 0 && res.Metrics.ShardQueries == 0 {
+					errs[g] = fmt.Errorf("executed sharded queries did not fan out: %+v", res.Metrics)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+
+	// A partitioner-routed append bumps some child's version, so the
+	// router's version vector changes and the next request recomputes.
+	ti, err := client.Backend().TableInfo(ctx, "census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]Value, len(ti.Columns))
+	for c := range row {
+		if ti.Columns[c].Type == TypeString {
+			row[c] = Str("Unmarried")
+		} else {
+			row[c] = Float(0.25)
+		}
+	}
+	if err := client.AppendRows("census", [][]Value{row}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Recommend(ctx, req, Options{Strategy: Sharing, K: 2, ScanParallelism: 2, EnableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.ServedFromCache {
+		t.Fatal("post-append sharded request served a stale cached result")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"io"
 
 	"seedb/internal/backend"
+	"seedb/internal/backend/shardbe"
 	"seedb/internal/backend/sqlbe"
 	"seedb/internal/cache"
 	"seedb/internal/chart"
@@ -165,8 +166,10 @@ var (
 // in-memory database) plus the recommendation engine. It is safe for
 // concurrent use once loading has finished.
 type Client struct {
-	db     *sqldb.DB // nil for clients over an external backend
-	engine *core.Engine
+	db        *sqldb.DB   // nil for sharded clients and external backends
+	shardDBs  []*sqldb.DB // sharded clients: the embedded child stores
+	shardPart shardbe.Partitioner
+	engine    *core.Engine
 }
 
 // New creates a client with an empty embedded in-memory database.
@@ -174,6 +177,35 @@ func New() *Client {
 	db := sqldb.NewDB()
 	return &Client{db: db, engine: core.NewEngine(backend.NewEmbedded(db))}
 }
+
+// NewSharded creates a client whose engine runs against a shard router
+// over n embedded child stores (n <= 1 falls back to New). Dataset
+// loads scatter rows across the children with the contiguous block
+// partitioner — the order-preserving choice, so sharded execution
+// reproduces an unsharded scan exactly — and AppendRows routes new rows
+// round-robin. Recommend fans every view query out across the shards
+// and merges decomposed partial aggregation states; see
+// internal/backend/shardbe and the "Sharded execution" section of
+// docs/ARCHITECTURE.md.
+func NewSharded(n int) *Client {
+	if n <= 1 {
+		return New()
+	}
+	dbs, bes := shardbe.EmbeddedChildren(n)
+	router, err := shardbe.New(bes, shardbe.Options{})
+	if err != nil {
+		panic(err) // unreachable: n >= 2 children
+	}
+	return &Client{
+		shardDBs:  dbs,
+		shardPart: shardbe.RoundRobin{},
+		engine:    core.NewEngine(router),
+	}
+}
+
+// Shards reports the client's shard fan-out width (0 for unsharded
+// clients).
+func (c *Client) Shards() int { return len(c.shardDBs) }
 
 // NewWithBackend creates a client whose engine runs against the given
 // backend (e.g. a NewSQLBackend over an external store). Such a client
@@ -209,52 +241,116 @@ func errNoEmbeddedDB(op string) error {
 // Datasets lists the built-in Table 1 dataset generators.
 func (c *Client) Datasets() []string { return dataset.Names() }
 
-// LoadDataset generates one of the built-in paper datasets (Table 1) into
-// the database under its canonical name, using the given layout.
-func (c *Client) LoadDataset(name string, layout Layout) error {
-	if c.db == nil {
-		return errNoEmbeddedDB("LoadDataset")
+// buildAndPlace materializes one table: straight into the embedded
+// database for unsharded clients; for sharded clients into a staging
+// store whose rows then scatter across the shard children through the
+// order-preserving block partitioner.
+func (c *Client) buildAndPlace(op, table string, build func(db *sqldb.DB) error) error {
+	switch {
+	case c.db != nil:
+		return build(c.db)
+	case c.shardDBs != nil:
+		if _, exists := c.shardDBs[0].Table(table); exists {
+			return fmt.Errorf("seedb: table %q already exists", table)
+		}
+		staging := sqldb.NewDB()
+		if err := build(staging); err != nil {
+			return err
+		}
+		t, ok := staging.Table(table)
+		if !ok {
+			return fmt.Errorf("seedb: %s did not produce table %q", op, table)
+		}
+		return shardbe.ScatterTable(staging, table, c.shardDBs, shardbe.Blocks{Total: t.NumRows()})
+	default:
+		return errNoEmbeddedDB(op)
 	}
+}
+
+// LoadDataset generates one of the built-in paper datasets (Table 1) into
+// the database under its canonical name, using the given layout. On
+// sharded clients the rows are partitioned across the shard children.
+func (c *Client) LoadDataset(name string, layout Layout) error {
 	spec, err := dataset.ByName(name)
 	if err != nil {
 		return err
 	}
-	_, err = dataset.Build(c.db, spec, layout)
-	return err
+	return c.buildAndPlace("LoadDataset", spec.Name, func(db *sqldb.DB) error {
+		_, err := dataset.Build(db, spec, layout)
+		return err
+	})
 }
 
 // LoadDatasetRows is LoadDataset with an explicit row count (the built-in
 // specs default to laptop-friendly scales; pass the Table 1 sizes to
 // reproduce the paper's configuration).
 func (c *Client) LoadDatasetRows(name string, layout Layout, rows int) error {
-	if c.db == nil {
-		return errNoEmbeddedDB("LoadDatasetRows")
-	}
 	spec, err := dataset.ByName(name)
 	if err != nil {
 		return err
 	}
-	_, err = dataset.Build(c.db, spec.WithRows(rows), layout)
-	return err
+	return c.buildAndPlace("LoadDatasetRows", spec.Name, func(db *sqldb.DB) error {
+		_, err := dataset.Build(db, spec.WithRows(rows), layout)
+		return err
+	})
 }
 
 // LoadCSV loads CSV data (header row required, matching the schema) into
-// a new table.
+// a new table, partitioned across the shard children on sharded clients.
 func (c *Client) LoadCSV(table string, schema *Schema, layout Layout, r io.Reader) error {
-	if c.db == nil {
-		return errNoEmbeddedDB("LoadCSV")
-	}
-	_, err := dataset.LoadCSV(c.db, table, schema, layout, r)
-	return err
+	return c.buildAndPlace("LoadCSV", table, func(db *sqldb.DB) error {
+		_, err := dataset.LoadCSV(db, table, schema, layout, r)
+		return err
+	})
 }
 
-// CreateTable creates an empty table; append rows via DB().Table(name).
+// CreateTable creates an empty table (on every shard child for sharded
+// clients); append rows via DB().Table(name) or AppendRows.
 func (c *Client) CreateTable(name string, schema *Schema, layout Layout) error {
-	if c.db == nil {
+	switch {
+	case c.db != nil:
+		_, err := c.db.CreateTable(name, schema, layout)
+		return err
+	case c.shardDBs != nil:
+		for _, db := range c.shardDBs {
+			if _, err := db.CreateTable(name, schema, layout); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
 		return errNoEmbeddedDB("CreateTable")
 	}
-	_, err := c.db.CreateTable(name, schema, layout)
-	return err
+}
+
+// AppendRows appends rows to an existing table. On sharded clients each
+// row routes through the client's partitioner (round-robin by global
+// sequence, so repeated appends stay balanced and deterministic); either
+// way the table's version changes and cached results for it become
+// unreachable.
+func (c *Client) AppendRows(table string, rows [][]Value) error {
+	switch {
+	case c.db != nil:
+		t, ok := c.db.Table(table)
+		if !ok {
+			return fmt.Errorf("seedb: table %q does not exist", table)
+		}
+		for _, row := range rows {
+			if err := t.AppendRow(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	case c.shardDBs != nil:
+		for _, row := range rows {
+			if err := shardbe.AppendRow(c.shardDBs, table, c.shardPart, row); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return errNoEmbeddedDB("AppendRows")
+	}
 }
 
 // Query runs a raw SQL query — the manual chart-building path of the

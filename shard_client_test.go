@@ -1,0 +1,154 @@
+package seedb_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"seedb"
+)
+
+// loadExactTable populates a client with a small table whose float
+// measures are exactly summable (multiples of 0.25), so sharded and
+// unsharded execution must agree bit for bit.
+func loadExactTable(t *testing.T, c *seedb.Client) {
+	t.Helper()
+	schema, err := seedb.NewSchema(
+		seedb.Column{Name: "region", Type: seedb.TypeString},
+		seedb.Column{Name: "segment", Type: seedb.TypeString},
+		seedb.Column{Name: "qty", Type: seedb.TypeInt},
+		seedb.Column{Name: "price", Type: seedb.TypeFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("sales", schema, seedb.ColumnLayout); err != nil {
+		t.Fatal(err)
+	}
+	regions := []string{"east", "west", "north", "south"}
+	segments := []string{"retail", "online"}
+	var rows [][]seedb.Value
+	for i := 0; i < 400; i++ {
+		price := seedb.Float(float64((i*7)%200) * 0.25)
+		if i%13 == 0 {
+			price = seedb.Null()
+		}
+		rows = append(rows, []seedb.Value{
+			seedb.Str(regions[i%len(regions)]),
+			seedb.Str(segments[(i/3)%len(segments)]),
+			seedb.Int(int64(i % 9)),
+			price,
+		})
+	}
+	if err := c.AppendRows("sales", rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedClientMatchesUnsharded checks a sharded client's
+// recommendations equal the unsharded embedded client's exactly.
+func TestShardedClientMatchesUnsharded(t *testing.T) {
+	ctx := context.Background()
+	req := seedb.Request{Table: "sales", TargetWhere: "segment = 'online'"}
+	opts := seedb.Options{Strategy: seedb.Sharing, K: 4, ScanParallelism: 1, KeepAllViews: true}
+
+	plain := seedb.New()
+	loadExactTable(t, plain)
+	want, err := plain.Recommend(ctx, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sharded := seedb.NewSharded(3)
+	if sharded.Shards() != 3 || sharded.DB() != nil {
+		t.Fatalf("sharded client shape: shards=%d db=%v", sharded.Shards(), sharded.DB())
+	}
+	loadExactTable(t, sharded)
+	got, err := sharded.Recommend(ctx, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got.Recommendations, want.Recommendations) {
+		t.Errorf("sharded recommendations diverge:\n got %+v\nwant %+v", got.Recommendations, want.Recommendations)
+	}
+	if !reflect.DeepEqual(got.AllViews, want.AllViews) {
+		t.Error("sharded full ranking diverges")
+	}
+	if got.Metrics.ShardQueries == 0 || got.Metrics.ShardFanout < got.Metrics.ShardQueries {
+		t.Errorf("shard fan-out not recorded: %+v", got.Metrics)
+	}
+	if want.Metrics.ShardQueries != 0 {
+		t.Errorf("unsharded run recorded shard queries: %+v", want.Metrics)
+	}
+}
+
+// TestShardedClientQueryAndCache checks raw SQL routing and versioned
+// cache invalidation through appends on a sharded client.
+func TestShardedClientQueryAndCache(t *testing.T) {
+	ctx := context.Background()
+	c := seedb.NewSharded(2)
+	loadExactTable(t, c)
+
+	res, err := c.Query("SELECT region, COUNT(*) FROM sales GROUP BY region ORDER BY 2 DESC, region LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1].I != 100 {
+		t.Errorf("raw query rows = %+v", res.Rows)
+	}
+
+	req := seedb.Request{Table: "sales", TargetWhere: "segment = 'online'"}
+	opts := seedb.Options{Strategy: seedb.Sharing, K: 3, EnableCache: true, ScanParallelism: 1}
+	cold, err := c.Recommend(ctx, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Metrics.ServedFromCache {
+		t.Fatal("cold run served from cache")
+	}
+	warm, err := c.Recommend(ctx, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Metrics.ServedFromCache {
+		t.Errorf("repeat request not cached: %+v", warm.Metrics)
+	}
+
+	// Appending through the partitioner must change the version vector
+	// and invalidate the cached result.
+	if err := c.AppendRows("sales", [][]seedb.Value{
+		{seedb.Str("east"), seedb.Str("online"), seedb.Int(1), seedb.Float(2.5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := c.Recommend(ctx, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Metrics.ServedFromCache || fresh.Metrics.QueriesExecuted == 0 {
+		t.Errorf("post-append request served stale: %+v", fresh.Metrics)
+	}
+}
+
+// TestShardedClientLoadDataset checks built-in dataset loads scatter
+// across shards and recommendations come back sane.
+func TestShardedClientLoadDataset(t *testing.T) {
+	c := seedb.NewSharded(4)
+	if err := c.LoadDatasetRows("census", seedb.ColumnLayout, 800); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadDatasetRows("census", seedb.ColumnLayout, 800); err == nil {
+		t.Error("duplicate load should error")
+	}
+	res, err := c.Recommend(context.Background(), seedb.Request{
+		Table:       "census",
+		TargetWhere: "marital = 'Unmarried'",
+	}, seedb.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recommendations) != 3 || res.Metrics.ShardQueries == 0 {
+		t.Errorf("sharded dataset recommend: %d recs, metrics %+v", len(res.Recommendations), res.Metrics)
+	}
+}
