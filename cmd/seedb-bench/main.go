@@ -68,8 +68,9 @@ func run() error {
 		if err := writeJSON(*cacheJSON, dp); err != nil {
 			return err
 		}
-		fmt.Printf("cache datapoint: cold %.2fms, warm %.2fms (%.1fx), wrote %s\n",
-			dp.ColdMS, dp.WarmMS, dp.Speedup, *cacheJSON)
+		fmt.Printf("cache datapoint: cold %.2fms, warm %.2fms (%.1fx), query latency p50/p95/p99 %.2f/%.2f/%.2fms over %d queries, wrote %s\n",
+			dp.ColdMS, dp.WarmMS, dp.Speedup,
+			dp.QueryLatency.P50MS, dp.QueryLatency.P95MS, dp.QueryLatency.P99MS, dp.QueryLatency.Count, *cacheJSON)
 		return nil
 	}
 
@@ -83,8 +84,9 @@ func run() error {
 		if err := writeJSON(*parallelJSON, dp); err != nil {
 			return err
 		}
-		fmt.Printf("parallel datapoint: serial %.2fms, vectorized %.2fms (%.1fx at %d workers), wrote %s\n",
-			dp.SerialMS, dp.ParallelMS, dp.Speedup, dp.ScanWorkers, *parallelJSON)
+		fmt.Printf("parallel datapoint: serial %.2fms, vectorized %.2fms (%.1fx at %d workers), query latency p50/p95/p99 %.2f/%.2f/%.2fms, wrote %s\n",
+			dp.SerialMS, dp.ParallelMS, dp.Speedup, dp.ScanWorkers,
+			dp.QueryLatency.P50MS, dp.QueryLatency.P95MS, dp.QueryLatency.P99MS, *parallelJSON)
 		return nil
 	}
 
@@ -99,8 +101,9 @@ func run() error {
 			return err
 		}
 		best := rep.Points[0]
-		fmt.Printf("filter datapoint (%.0f%% selectivity): closure %.2fms, kernels %.2fms (%.1fx; %.1fx vs serial), wrote %s\n",
-			best.Selectivity*100, best.BaselineMS, best.KernelMS, best.Speedup, best.SpeedupVsSerial, *filterJSON)
+		fmt.Printf("filter datapoint (%.0f%% selectivity): closure %.2fms, kernels %.2fms (%.1fx; %.1fx vs serial), kernel latency p50/p95/p99 %.2f/%.2f/%.2fms, wrote %s\n",
+			best.Selectivity*100, best.BaselineMS, best.KernelMS, best.Speedup, best.SpeedupVsSerial,
+			rep.KernelLatency.P50MS, rep.KernelLatency.P95MS, rep.KernelLatency.P99MS, *filterJSON)
 		return nil
 	}
 
@@ -115,8 +118,10 @@ func run() error {
 			return err
 		}
 		last := rep.Points[len(rep.Points)-1]
-		fmt.Printf("shard curve (GOMAXPROCS=%d): 1 shard %.2fms → %d shards %.2fms (%.2fx), wrote %s\n",
-			rep.GOMAXPROCS, rep.Points[0].ColdMS, last.Shards, last.ColdMS, last.Speedup, *shardJSON)
+		fmt.Printf("shard curve (GOMAXPROCS=%d): 1 shard %.2fms → %d shards %.2fms (%.2fx), child latency p50/p95/p99 %.2f/%.2f/%.2fms over %d partials, wrote %s\n",
+			rep.GOMAXPROCS, rep.Points[0].ColdMS, last.Shards, last.ColdMS, last.Speedup,
+			rep.ShardPartialLatency.P50MS, rep.ShardPartialLatency.P95MS, rep.ShardPartialLatency.P99MS,
+			rep.ShardPartialLatency.Count, *shardJSON)
 		return nil
 	}
 

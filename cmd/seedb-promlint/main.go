@@ -1,0 +1,106 @@
+// Command seedb-promlint validates a Prometheus text-exposition payload
+// (format 0.0.4) using the repo's self-contained checker — no external
+// linter needed. CI points it at a live seedb-server /metrics endpoint;
+// it also reads stdin so payloads can be piped in.
+//
+//	seedb-promlint http://localhost:8080/metrics
+//	curl -s localhost:8080/metrics | seedb-promlint
+//
+// It exits non-zero on the first syntax violation (bad metric or label
+// names, misplaced HELP/TYPE, duplicate series, malformed histograms)
+// and, with -require, when a named metric family is absent — so a
+// refactor that silently drops a family fails the scrape check too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+
+	"seedb/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "seedb-promlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	flag.Parse()
+
+	var (
+		data []byte
+		err  error
+		src  = "stdin"
+	)
+	if flag.NArg() > 0 {
+		src = flag.Arg(0)
+		data, err = fetch(src)
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		return err
+	}
+
+	if err := telemetry.ValidatePrometheusText(data); err != nil {
+		return fmt.Errorf("%s: %w", src, err)
+	}
+	if *require != "" {
+		families := familyNames(data)
+		for _, want := range strings.Split(*require, ",") {
+			if want = strings.TrimSpace(want); want != "" && !families[want] {
+				return fmt.Errorf("%s: required metric family %q absent", src, want)
+			}
+		}
+	}
+	fmt.Printf("%s: OK (%d metric families, %d bytes)\n", src, len(familyNames(data)), len(data))
+	return nil
+}
+
+// fetch loads the payload from a URL or a local file path.
+func fetch(src string) ([]byte, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %s", src, resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	}
+	return os.ReadFile(src)
+}
+
+// sampleName extracts the metric name leading a sample line.
+var sampleName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*`)
+
+// familyNames collects the base family names present in the payload
+// (histogram _bucket/_sum/_count samples fold into their family).
+func familyNames(data []byte) map[string]bool {
+	out := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := sampleName.FindString(line)
+		if name == "" {
+			continue
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			name = strings.TrimSuffix(name, suffix)
+		}
+		out[name] = true
+	}
+	return out
+}

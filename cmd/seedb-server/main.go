@@ -4,6 +4,12 @@
 //
 //	seedb-server -listen :8080 -dataset census
 //	seedb-server -dataset census -shards 4   # partitioned fan-out execution
+//	seedb-server -dataset census -pprof -slowlog - -slow-query 250ms
+//
+// Observability: GET /metrics serves Prometheus text-format counters and
+// latency histograms; -slowlog writes JSON-lines slow-query entries (to
+// a file, or stderr with "-"); -pprof mounts net/http/pprof under
+// /debug/pprof/. See docs/OBSERVABILITY.md.
 //
 //	curl localhost:8080/api/datasets
 //	curl -X POST localhost:8080/api/recommend -d '{
@@ -17,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -48,6 +55,9 @@ func run() error {
 		sqlBackend = flag.Bool("sql-backend", false,
 			"also register a \"sql\" backend that reaches the store through database/sql\n"+
 				"(the external-backend path; select per request with {\"backend\": \"sql\"})")
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: exposes heap contents)")
+		slowLog = flag.String("slowlog", "", "write JSON-lines slow-query log entries to this file (\"-\" = stderr)")
+		slowThr = flag.Duration("slow-query", 0, "slow-query log threshold (0 = 100ms default; needs -slowlog)")
 	)
 	flag.Parse()
 
@@ -77,6 +87,23 @@ func run() error {
 	}
 
 	srv := server.NewWithCacheBudget(db, *cacheBudget)
+	if *pprofOn {
+		srv.EnablePprof()
+		fmt.Println("pprof profiling endpoints mounted under /debug/pprof/")
+	}
+	if *slowLog != "" {
+		w := io.Writer(os.Stderr)
+		if *slowLog != "-" {
+			f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		srv.SetSlowQueryLog(w, *slowThr)
+		fmt.Printf("slow-query log -> %s (threshold %v)\n", *slowLog, srv.Telemetry().SlowLog.Threshold())
+	}
 	if *shards > 0 {
 		// Partition every loaded table across N embedded children behind
 		// the shard router; view queries then fan out per shard and merge

@@ -29,6 +29,7 @@ import (
 	"seedb/internal/dataset"
 	"seedb/internal/distance"
 	"seedb/internal/sqldb"
+	"seedb/internal/telemetry"
 )
 
 func main() {
@@ -56,6 +57,7 @@ func run() error {
 		sqlQuery  = flag.String("sql", "", "run a manual SQL query instead of recommending")
 		shards    = flag.Int("shards", 0, "partition the table across N embedded shards and execute with fan-out + merge (0 = unsharded)")
 		showStats = flag.Bool("stats", false, "print execution metrics")
+		showTrace = flag.Bool("trace", false, "print the request's span trace tree (where the time went)")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "recommendation timeout")
 	)
 	flag.Parse()
@@ -198,6 +200,10 @@ func run() error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+	var tr *telemetry.Trace
+	if *showTrace {
+		ctx, tr = telemetry.WithTrace(ctx, "request")
+	}
 	res, err := client.Recommend(ctx, req, opts)
 	if err != nil {
 		return err
@@ -218,6 +224,9 @@ func run() error {
 			fmt.Printf("sharding: %d queries fanned out (%d child executions, straggler %v)\n",
 				m.ShardQueries, m.ShardFanout, m.ShardStragglerMax.Round(time.Microsecond))
 		}
+	}
+	if tr != nil {
+		fmt.Printf("\ntrace:\n%s", tr.Finish().Render())
 	}
 	return nil
 }

@@ -47,12 +47,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"seedb/internal/backend"
 	"seedb/internal/sqldb"
+	"seedb/internal/telemetry"
 )
 
 // DefaultName is the backend name the router registers version tokens
@@ -70,6 +72,10 @@ type Options struct {
 	// top, exactly as Options.Parallelism × ScanParallelism does in the
 	// engine.
 	MaxParallel int
+	// Telemetry, when non-nil, observes every child execution's latency
+	// in the collector's shard-latency histogram — per-child partials,
+	// which is what turns "the straggler max" into a distribution.
+	Telemetry *telemetry.Collector
 }
 
 // Router is the shard-routing backend. It is safe for concurrent use
@@ -78,6 +84,7 @@ type Router struct {
 	name     string
 	children []backend.Backend
 	par      int
+	tel      *telemetry.Collector
 
 	mu        sync.Mutex
 	statsMemo map[string]statsEntry // table (lowercased) → memoized stats
@@ -107,6 +114,7 @@ func New(children []backend.Backend, opts Options) (*Router, error) {
 		name:      name,
 		children:  append([]backend.Backend(nil), children...),
 		par:       par,
+		tel:       opts.Telemetry,
 		statsMemo: make(map[string]statsEntry),
 	}, nil
 }
@@ -295,19 +303,24 @@ type childTask struct {
 // merge. Fan-out is concurrent with bounded parallelism; the first child
 // error cancels the remaining executions.
 func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOptions) (*backend.Rows, backend.ExecStats, error) {
+	_, psp := telemetry.StartSpan(ctx, "shard.plan")
 	stmt, err := sqldb.Parse(query)
 	if err != nil {
+		psp.End()
 		return nil, backend.ExecStats{}, err
 	}
 	infos, err := r.childInfos(ctx, stmt.Table)
 	if err != nil {
+		psp.End()
 		return nil, backend.ExecStats{}, err
 	}
 	schema, err := schemaOf(infos[0])
 	if err != nil {
+		psp.End()
 		return nil, backend.ExecStats{}, err
 	}
 	sp, err := sqldb.NewShardPlan(stmt, schema)
+	psp.End()
 	if err != nil {
 		return nil, backend.ExecStats{}, err
 	}
@@ -354,7 +367,8 @@ func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOption
 	runs := make([]childRun, len(tasks))
 
 	if len(tasks) > 0 {
-		fanCtx := ctx
+		fanCtx, fsp := telemetry.StartSpan(ctx, "shard.fanout")
+		fsp.SetAttr("children", strconv.Itoa(len(tasks)))
 		cancel := context.CancelFunc(func() {})
 		if fanCtx == nil {
 			fanCtx = context.Background()
@@ -379,11 +393,17 @@ func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOption
 						Workers:            opts.Workers,
 						NoSelectionKernels: opts.NoSelectionKernels,
 					}
+					cctx, csp := telemetry.StartSpan(fanCtx, "shard.exec")
+					csp.SetAttr("shard", strconv.Itoa(t.child))
 					start := time.Now()
-					rows, stats, err := r.children[t.child].Exec(fanCtx, childSQL, childOpts)
-					runs[ti] = childRun{rows: rows, stats: stats, lat: time.Since(start), err: err}
+					rows, stats, err := r.children[t.child].Exec(cctx, childSQL, childOpts)
+					lat := time.Since(start)
+					csp.End()
+					runs[ti] = childRun{rows: rows, stats: stats, lat: lat, err: err}
 					if err != nil {
 						cancel() // first failure aborts the straggling shards
+					} else {
+						r.tel.ObserveShard(lat)
 					}
 				}
 			}()
@@ -393,6 +413,7 @@ func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOption
 		}
 		close(work)
 		wg.Wait()
+		fsp.End()
 	}
 
 	// Report the root cause, not a casualty: after a first failure
@@ -429,7 +450,9 @@ func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOption
 	for ti := range tasks {
 		parts[ti] = sqldb.ShardPart{Rows: runs[ti].rows.Rows, Groups: runs[ti].stats.Groups}
 	}
+	_, msp := telemetry.StartSpan(ctx, "shard.merge")
 	merged, err := sp.Merge(parts)
+	msp.End()
 	if err != nil {
 		return nil, backend.ExecStats{}, err
 	}

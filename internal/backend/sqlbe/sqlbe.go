@@ -34,6 +34,7 @@ import (
 
 	"seedb/internal/backend"
 	"seedb/internal/sqldb"
+	"seedb/internal/telemetry"
 )
 
 // Options configures a Backend.
@@ -325,6 +326,8 @@ func (b *Backend) Exec(ctx context.Context, query string, opts backend.ExecOptio
 	if err := checkReadOnly(query); err != nil {
 		return nil, backend.ExecStats{}, err
 	}
+	ctx, sp := telemetry.StartSpan(ctx, "sqlbe.exec")
+	defer sp.End()
 	rows, err := b.db.QueryContext(ctx, query)
 	if err != nil {
 		return nil, backend.ExecStats{}, err

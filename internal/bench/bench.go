@@ -23,6 +23,7 @@ import (
 	"seedb/internal/dataset"
 	"seedb/internal/distance"
 	"seedb/internal/sqldb"
+	"seedb/internal/telemetry"
 )
 
 // newEngine wires an engine over the embedded store through the backend
@@ -225,6 +226,27 @@ func requestFor(spec dataset.Spec) core.Request {
 		Measures:    spec.MeasureNames(),
 		Aggs:        []core.AggFunc{core.AggAvg},
 	}
+}
+
+// LatencySummary condenses a telemetry latency histogram into the
+// percentile fields the BENCH_*.json payloads report.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// summarizeLatency snapshots h, guarding the observation count against
+// the number of events the experiment itself counted: percentiles from
+// a histogram that silently missed (or double-counted) observations
+// would lie, so any drift is an error rather than a degraded report.
+func summarizeLatency(h *telemetry.Histogram, wantCount int) (LatencySummary, error) {
+	s := h.Snapshot()
+	if s.Count != uint64(wantCount) {
+		return LatencySummary{}, fmt.Errorf("bench: latency histogram holds %d observations, experiment counted %d", s.Count, wantCount)
+	}
+	return LatencySummary{Count: s.Count, P50MS: s.P50MS, P95MS: s.P95MS, P99MS: s.P99MS}, nil
 }
 
 // timeRecommend runs one Recommend call and returns elapsed time plus the

@@ -18,6 +18,7 @@ import (
 	"seedb/internal/core"
 	"seedb/internal/dataset"
 	"seedb/internal/sqldb"
+	"seedb/internal/telemetry"
 )
 
 // CacheDatapoint is one recorded cold-vs-warm measurement (the
@@ -35,6 +36,11 @@ type CacheDatapoint struct {
 	RefViewsReused  int     `json:"ref_views_reused"`
 	ConcurrentCalls int     `json:"concurrent_calls"`
 	ConcurrentExecs int     `json:"concurrent_queries_executed"`
+	// QueryLatency summarizes the per-query backend latency histogram
+	// across every scenario; its count is guarded against the number of
+	// paid query executions (cache hits and singleflight followers never
+	// observe).
+	QueryLatency LatencySummary `json:"query_latency"`
 }
 
 // msF converts a duration to float milliseconds.
@@ -53,7 +59,9 @@ func MeasureCache(ctx context.Context, cfg Config) (*CacheDatapoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	tel := telemetry.NewCollector()
 	eng := newEngine(db)
+	eng.SetTelemetry(tel)
 	req := requestFor(spec)
 	req.Reference = core.RefAll // reference views are shareable across predicates
 	opts := core.Options{Strategy: core.Sharing, K: 10, EnableCache: true, Parallelism: cfg.Parallelism}
@@ -70,6 +78,7 @@ func MeasureCache(ctx context.Context, cfg Config) (*CacheDatapoint, error) {
 	// Concurrent identical requests against a fresh engine: singleflight
 	// must collapse them into one execution.
 	engC := newEngine(db)
+	engC.SetTelemetry(tel)
 	const concurrent = 8
 	var wg sync.WaitGroup
 	execs := make([]int, concurrent)
@@ -108,6 +117,12 @@ func MeasureCache(ctx context.Context, cfg Config) (*CacheDatapoint, error) {
 	if dWarm > 0 {
 		speedup = float64(dCold) / float64(dWarm)
 	}
+	totalQueries := cold.Metrics.QueriesExecuted + warm.Metrics.QueriesExecuted +
+		resNew.Metrics.QueriesExecuted + totalExecs
+	lat, err := summarizeLatency(&tel.QueryLatency, totalQueries)
+	if err != nil {
+		return nil, err
+	}
 	return &CacheDatapoint{
 		Dataset:         spec.Name,
 		Rows:            spec.Rows,
@@ -121,6 +136,7 @@ func MeasureCache(ctx context.Context, cfg Config) (*CacheDatapoint, error) {
 		RefViewsReused:  resNew.Metrics.RefViewsReused,
 		ConcurrentCalls: concurrent,
 		ConcurrentExecs: totalExecs,
+		QueryLatency:    lat,
 	}, nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"seedb/internal/sqldb"
+	"seedb/internal/telemetry"
 )
 
 // FilterDatapoint is one selectivity measurement.
@@ -56,6 +57,10 @@ type FilterReport struct {
 	IntGroupVectorized   bool              `json:"int_group_vectorized"`
 	FloatGroupVectorized bool              `json:"float_group_vectorized"`
 	Points               []FilterDatapoint `json:"points"`
+	// KernelLatency summarizes every individual kernel-configuration run
+	// (all repetitions at every selectivity, not just the best-of-3
+	// floors), count-guarded against the runs actually timed.
+	KernelLatency LatencySummary `json:"kernel_latency"`
 }
 
 // filterSelectivities is the swept WHERE selectivity grid.
@@ -125,8 +130,11 @@ func MeasureFilter(ctx context.Context, cfg Config) (*FilterReport, error) {
 		Workers:    workers,
 	}
 
-	// best-of-3 timing floor for one configuration.
-	run := func(sql string, opts sqldb.ExecOptions) (time.Duration, *sqldb.Result, error) {
+	// best-of-3 timing floor for one configuration; every repetition also
+	// lands in hist when one is supplied.
+	var kernelHist telemetry.Histogram
+	kernelRuns := 0
+	run := func(sql string, opts sqldb.ExecOptions, hist *telemetry.Histogram) (time.Duration, *sqldb.Result, error) {
 		if err := ctx.Err(); err != nil {
 			return 0, nil, err
 		}
@@ -138,7 +146,12 @@ func MeasureFilter(ctx context.Context, cfg Config) (*FilterReport, error) {
 			if err != nil {
 				return 0, nil, err
 			}
-			if d := time.Since(start); bestRes == nil || d < bestD {
+			d := time.Since(start)
+			if hist != nil {
+				hist.Observe(d)
+				kernelRuns++
+			}
+			if bestRes == nil || d < bestD {
 				bestD, bestRes = d, res
 			}
 		}
@@ -148,21 +161,21 @@ func MeasureFilter(ctx context.Context, cfg Config) (*FilterReport, error) {
 	for _, s := range filterSelectivities {
 		sql := fmt.Sprintf(
 			"SELECT bucket, COUNT(*), SUM(m), MIN(m), MAX(m) FROM filt WHERE sel < %g AND dim != 'd00' GROUP BY bucket", s)
-		dSerial, serial, err := run(sql, sqldb.ExecOptions{Ctx: ctx, Workers: 1})
+		dSerial, serial, err := run(sql, sqldb.ExecOptions{Ctx: ctx, Workers: 1}, nil)
 		if err != nil {
 			return nil, err
 		}
 		if serial.Stats.Vectorized {
 			return nil, fmt.Errorf("bench: Workers=1 run used the vectorized path")
 		}
-		dBase, base, err := run(sql, sqldb.ExecOptions{Ctx: ctx, Workers: workers, NoSelectionKernels: true})
+		dBase, base, err := run(sql, sqldb.ExecOptions{Ctx: ctx, Workers: workers, NoSelectionKernels: true}, nil)
 		if err != nil {
 			return nil, err
 		}
 		if !base.Stats.Vectorized {
 			return nil, fmt.Errorf("bench: baseline run fell back (%s)", base.Stats.FallbackReason)
 		}
-		dKern, kern, err := run(sql, sqldb.ExecOptions{Ctx: ctx, Workers: workers})
+		dKern, kern, err := run(sql, sqldb.ExecOptions{Ctx: ctx, Workers: workers}, &kernelHist)
 		if err != nil {
 			return nil, err
 		}
@@ -220,6 +233,11 @@ func MeasureFilter(ctx context.Context, cfg Config) (*FilterReport, error) {
 			rep.IntGroupVectorized = true
 		}
 	}
+	lat, err := summarizeLatency(&kernelHist, kernelRuns)
+	if err != nil {
+		return nil, err
+	}
+	rep.KernelLatency = lat
 	return rep, nil
 }
 

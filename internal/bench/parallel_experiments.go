@@ -20,6 +20,7 @@ import (
 	"seedb/internal/core"
 	"seedb/internal/dataset"
 	"seedb/internal/sqldb"
+	"seedb/internal/telemetry"
 )
 
 // ParallelDatapoint is one recorded serial-vs-parallel measurement (the
@@ -36,6 +37,9 @@ type ParallelDatapoint struct {
 	QueriesExecuted   int     `json:"queries_executed"`
 	VectorizedQueries int     `json:"vectorized_queries"`
 	FallbackQueries   int     `json:"fallback_queries"`
+	// QueryLatency summarizes per-query backend latency across every run
+	// of both configurations (count-guarded against paid executions).
+	QueryLatency LatencySummary `json:"query_latency"`
 }
 
 // MeasureParallel runs the cold serial-vs-parallel scenario on the
@@ -52,7 +56,9 @@ func MeasureParallel(ctx context.Context, cfg Config) (*ParallelDatapoint, error
 	if err != nil {
 		return nil, err
 	}
+	tel := telemetry.NewCollector()
 	eng := newEngine(db)
+	eng.SetTelemetry(tel)
 	req := requestFor(spec)
 	// At least two workers so the vectorized path always runs: on a
 	// single core the measurement then isolates what vectorization alone
@@ -72,6 +78,7 @@ func MeasureParallel(ctx context.Context, cfg Config) (*ParallelDatapoint, error
 		Parallelism: 1,
 	}
 
+	totalQueries := 0
 	best := func(scanPar int) (time.Duration, *core.Result, error) {
 		opts := baseOpts
 		opts.ScanParallelism = scanPar
@@ -82,6 +89,7 @@ func MeasureParallel(ctx context.Context, cfg Config) (*ParallelDatapoint, error
 			if err != nil {
 				return 0, nil, err
 			}
+			totalQueries += res.Metrics.QueriesExecuted
 			if bestRes == nil || d < bestD {
 				bestD, bestRes = d, res
 			}
@@ -105,6 +113,10 @@ func MeasureParallel(ctx context.Context, cfg Config) (*ParallelDatapoint, error
 	if dPar > 0 {
 		speedup = float64(dSerial) / float64(dPar)
 	}
+	lat, err := summarizeLatency(&tel.QueryLatency, totalQueries)
+	if err != nil {
+		return nil, err
+	}
 	return &ParallelDatapoint{
 		Dataset:           spec.Name,
 		Rows:              spec.Rows,
@@ -117,6 +129,7 @@ func MeasureParallel(ctx context.Context, cfg Config) (*ParallelDatapoint, error
 		QueriesExecuted:   par.Metrics.QueriesExecuted,
 		VectorizedQueries: par.Metrics.VectorizedQueries,
 		FallbackQueries:   par.Metrics.FallbackQueries,
+		QueryLatency:      lat,
 	}, nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"seedb/internal/core"
 	"seedb/internal/dataset"
 	"seedb/internal/sqldb"
+	"seedb/internal/telemetry"
 )
 
 // ShardPoint is one shard-count measurement.
@@ -48,6 +49,12 @@ type ShardReport struct {
 	// The fan-out parallelism only converts to wall-clock speedup when
 	// GOMAXPROCS cores exist to run the shards on.
 	SpeedupAt4 float64 `json:"speedup_at_4"`
+	// QueryLatency summarizes router-level per-query latency across every
+	// run at every shard count; ShardPartialLatency the individual child
+	// executions behind them. Both counts are guarded against the
+	// experiment's own metrics accounting.
+	QueryLatency        LatencySummary `json:"query_latency"`
+	ShardPartialLatency LatencySummary `json:"shard_partial_latency"`
 }
 
 // MeasureShard runs the cold scaling curve at 1, 2 and 4 shards over the
@@ -78,17 +85,20 @@ func MeasureShard(ctx context.Context, cfg Config) (*ShardReport, error) {
 	}
 
 	report := &ShardReport{Dataset: spec.Name, Rows: spec.Rows, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	tel := telemetry.NewCollector()
+	totalQueries, totalFanout := 0, 0
 	var base time.Duration
 	for _, shards := range []int{1, 2, 4} {
 		dbs, bes := shardbe.EmbeddedChildren(shards)
 		if err := shardbe.ScatterTable(src, spec.Name, dbs, shardbe.Blocks{Total: srcTab.NumRows()}); err != nil {
 			return nil, err
 		}
-		router, err := shardbe.New(bes, shardbe.Options{})
+		router, err := shardbe.New(bes, shardbe.Options{Telemetry: tel})
 		if err != nil {
 			return nil, err
 		}
 		eng := core.NewEngine(router)
+		eng.SetTelemetry(tel)
 
 		var bestD time.Duration
 		var bestRes *core.Result
@@ -97,6 +107,8 @@ func MeasureShard(ctx context.Context, cfg Config) (*ShardReport, error) {
 			if err != nil {
 				return nil, err
 			}
+			totalQueries += res.Metrics.QueriesExecuted
+			totalFanout += res.Metrics.ShardFanout
 			if bestRes == nil || d < bestD {
 				bestD, bestRes = d, res
 			}
@@ -123,6 +135,15 @@ func MeasureShard(ctx context.Context, cfg Config) (*ShardReport, error) {
 			report.SpeedupAt4 = pt.Speedup
 		}
 	}
+	qLat, err := summarizeLatency(&tel.QueryLatency, totalQueries)
+	if err != nil {
+		return nil, err
+	}
+	sLat, err := summarizeLatency(&tel.ShardLatency, totalFanout)
+	if err != nil {
+		return nil, err
+	}
+	report.QueryLatency, report.ShardPartialLatency = qLat, sLat
 	return report, nil
 }
 

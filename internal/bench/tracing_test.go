@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"seedb/internal/sqldb"
+	"seedb/internal/telemetry"
+)
+
+// TestTracingDisabledOverheadBound guards the telemetry acceptance bar:
+// with no trace attached to the context, the always-compiled tracing
+// hooks must cost under 2% of a filter-bench query. Untraced,
+// StartSpan is one context lookup returning a nil span whose methods
+// are no-ops — the test measures that per-hook cost directly and bounds
+// a generous per-query hook budget against the query's own runtime.
+func TestTracingDisabledOverheadBound(t *testing.T) {
+	db, err := buildFilterTable(60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sql := "SELECT bucket, COUNT(*), SUM(m), MIN(m), MAX(m) FROM filt WHERE sel < 0.5 AND dim != 'd00' GROUP BY bucket"
+	var queryDur time.Duration
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := db.QueryOpts(sql, sqldb.ExecOptions{Ctx: ctx, Workers: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); queryDur == 0 || d < queryDur {
+			queryDur = d
+		}
+	}
+
+	// Per-hook cost of the disabled path: StartSpan + End on a context
+	// carrying no trace.
+	const hooks = 1_000_000
+	start := time.Now()
+	for i := 0; i < hooks; i++ {
+		hctx, sp := telemetry.StartSpan(ctx, "bench")
+		sp.End()
+		ctx = hctx // keep the loop's result live
+	}
+	perHook := time.Since(start) / hooks
+
+	// One executed query passes a handful of hooks (query, cache.do,
+	// sqldb.plan, sqldb.scan, sqldb.finalize, plus backend wrappers);
+	// budget 32 per query, several times the real count.
+	overhead := 32 * perHook
+	if limit := queryDur / 50; overhead > limit {
+		t.Errorf("disabled tracing overhead %v (32 hooks at %v) exceeds 2%% of the %v filter query",
+			overhead, perHook, queryDur)
+	}
+}

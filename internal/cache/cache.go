@@ -29,6 +29,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"seedb/internal/telemetry"
 )
 
 // DefaultBudgetBytes is the cache byte budget when none is configured.
@@ -206,20 +208,30 @@ func (c *Cache) admissible(size int64, cost time.Duration) bool {
 // leader's client hung up, not the follower's) retries with its own
 // compute function rather than failing an innocent caller. A nil ctx is
 // treated as context.Background().
-func (c *Cache) Do(ctx context.Context, key string, size func(v any) int64, compute func() (any, error)) (any, Outcome, error) {
+//
+// compute receives a context derived from ctx that carries the lookup's
+// "cache.do" telemetry span, so work performed under the cache attaches
+// its own spans beneath the lookup rather than floating beside it. When
+// ctx carries no trace the derived context is ctx itself.
+func (c *Cache) Do(ctx context.Context, key string, size func(v any) int64, compute func(ctx context.Context) (any, error)) (any, Outcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	sctx, sp := telemetry.StartSpan(ctx, "cache.do")
+	defer sp.End()
 	if v, ok := c.Get(key); ok {
+		sp.SetAttr("outcome", Hit.String())
 		return v, Hit, nil
 	}
 	v, sharedFlight, err := c.flights.do(ctx, key, func() (any, error) {
 		start := time.Now()
-		v, err := compute()
+		v, err := compute(sctx)
 		if err != nil {
 			return nil, err
 		}
-		c.Put(key, v, size(v), time.Since(start))
+		if !c.Put(key, v, size(v), time.Since(start)) {
+			sp.SetAttr("filled", "rejected")
+		}
 		return v, nil
 	})
 	if sharedFlight {
@@ -240,13 +252,18 @@ func (c *Cache) Do(ctx context.Context, key string, size func(v any) int64, comp
 			// caller whose own computation is cancelled gets a
 			// non-shared error (and a cancelled waiter fails the
 			// ctx.Err() == nil guard).
+			sp.SetAttr("outcome", "retry")
+			sp.End()
 			return c.Do(ctx, key, size, compute)
 		}
+		sp.SetAttr("outcome", "error")
 		return nil, Computed, err
 	}
 	if sharedFlight {
+		sp.SetAttr("outcome", Shared.String())
 		return v, Shared, nil
 	}
+	sp.SetAttr("outcome", Computed.String())
 	return v, Computed, nil
 }
 

@@ -101,17 +101,17 @@ func TestDoCachesAndRetriesErrors(t *testing.T) {
 	sz := func(any) int64 { return 10 }
 	boom := errors.New("boom")
 
-	_, _, err := c.Do(context.Background(), "k", sz, func() (any, error) { calls++; return nil, boom })
+	_, _, err := c.Do(context.Background(), "k", sz, func(context.Context) (any, error) { calls++; return nil, boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	// Errors are not cached: the next Do computes again.
-	v, out, err := c.Do(context.Background(), "k", sz, func() (any, error) { calls++; return 7, nil })
+	v, out, err := c.Do(context.Background(), "k", sz, func(context.Context) (any, error) { calls++; return 7, nil })
 	if err != nil || v.(int) != 7 || out != Computed {
 		t.Fatalf("Do = %v, %v, %v", v, out, err)
 	}
 	// Now cached.
-	v, out, err = c.Do(context.Background(), "k", sz, func() (any, error) { calls++; return 8, nil })
+	v, out, err = c.Do(context.Background(), "k", sz, func(context.Context) (any, error) { calls++; return 8, nil })
 	if err != nil || v.(int) != 7 || out != Hit {
 		t.Fatalf("Do after fill = %v, %v, %v", v, out, err)
 	}
@@ -134,7 +134,7 @@ func TestDoSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, out, err := c.Do(context.Background(), "k", func(any) int64 { return 8 }, func() (any, error) {
+			v, out, err := c.Do(context.Background(), "k", func(any) int64 { return 8 }, func(context.Context) (any, error) {
 				computes.Add(1)
 				close(started)
 				<-release
@@ -190,7 +190,7 @@ func TestDoFollowerRetriesOnLeaderCancellation(t *testing.T) {
 		defer wg.Done()
 		// Leader: its context is cancelled mid-flight, so its compute
 		// fails with context.Canceled.
-		_, _, err := c.Do(context.Background(), "k", sz, func() (any, error) {
+		_, _, err := c.Do(context.Background(), "k", sz, func(context.Context) (any, error) {
 			close(leaderStarted)
 			<-release
 			return nil, ctx.Err()
@@ -209,7 +209,7 @@ func TestDoFollowerRetriesOnLeaderCancellation(t *testing.T) {
 		// Follower joins the in-flight computation. The leader's
 		// cancellation must not leak to it: it retries with its own
 		// (healthy) compute function.
-		followerVal, _, followerErr = c.Do(context.Background(), "k", sz, func() (any, error) { return 7, nil })
+		followerVal, _, followerErr = c.Do(context.Background(), "k", sz, func(context.Context) (any, error) { return 7, nil })
 	}()
 	time.Sleep(20 * time.Millisecond) // let the follower join the flight
 	cancel()
@@ -235,7 +235,7 @@ func TestDoFollowerHonorsOwnCancellation(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		// Leader: blocks until released, then succeeds.
-		v, _, err := c.Do(context.Background(), "k", sz, func() (any, error) {
+		v, _, err := c.Do(context.Background(), "k", sz, func(context.Context) (any, error) {
 			close(leaderStarted)
 			<-release
 			return 5, nil
@@ -252,7 +252,7 @@ func TestDoFollowerHonorsOwnCancellation(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, _, err := c.Do(ctx, "k", sz, func() (any, error) { return 6, nil })
+	_, _, err := c.Do(ctx, "k", sz, func(context.Context) (any, error) { return 6, nil })
 	waited := time.Since(start)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("follower err = %v, want DeadlineExceeded", err)
@@ -275,13 +275,13 @@ func TestDoSurvivesPanickingCompute(t *testing.T) {
 				t.Error("leader panic swallowed")
 			}
 		}()
-		_, _, _ = c.Do(context.Background(), "k", sz, func() (any, error) { panic("boom") })
+		_, _, _ = c.Do(context.Background(), "k", sz, func(context.Context) (any, error) { panic("boom") })
 	}()
 	// ...and must not wedge the key: the next caller computes normally.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		v, _, err := c.Do(context.Background(), "k", sz, func() (any, error) { return 9, nil })
+		v, _, err := c.Do(context.Background(), "k", sz, func(context.Context) (any, error) { return 9, nil })
 		if err != nil || v.(int) != 9 {
 			t.Errorf("Do after panic = %v, %v", v, err)
 		}

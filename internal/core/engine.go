@@ -5,12 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seedb/internal/backend"
 	"seedb/internal/cache"
 	"seedb/internal/distance"
+	"seedb/internal/telemetry"
 )
 
 // Engine is the SeeDB execution engine: it evaluates the candidate view
@@ -25,6 +28,11 @@ type Engine struct {
 
 	cacheMu sync.Mutex
 	cache   *cache.Cache
+
+	// tel is the optional telemetry collector: latency histograms and
+	// the slow-query log. Atomic so it can be installed while requests
+	// are in flight; a nil collector makes every observation a no-op.
+	tel atomic.Pointer[telemetry.Collector]
 }
 
 // NewEngine creates an engine over a backend. Wrap the embedded store
@@ -54,6 +62,17 @@ func (e *Engine) Cache() *cache.Cache {
 	defer e.cacheMu.Unlock()
 	return e.cache
 }
+
+// SetTelemetry installs a telemetry collector: Recommend then observes
+// request latency, every paid query execution observes exec latency,
+// and operations over the slow-log threshold are written to the
+// collector's slow-query log. One collector may back many engines (the
+// HTTP server shares one process-wide). A nil collector disables
+// observation again.
+func (e *Engine) SetTelemetry(tel *telemetry.Collector) { e.tel.Store(tel) }
+
+// Telemetry returns the installed collector, or nil.
+func (e *Engine) Telemetry() *telemetry.Collector { return e.tel.Load() }
 
 // ensureCache returns the installed cache, creating one with the given
 // budget on first cached request.
@@ -187,6 +206,10 @@ type execState struct {
 	cache     *cache.Cache
 	version   string // dataset version token the whole run is keyed under
 	refSeeded []bool // per-view: reference side came from the ref-view store
+
+	// tel observes per-query execution latency and feeds the slow-query
+	// log; nil when the engine has no collector.
+	tel *telemetry.Collector
 }
 
 // Recommend evaluates the view space for req and returns the top-k
@@ -204,20 +227,64 @@ type execState struct {
 // and materialized reference views where they overlap earlier work.
 func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Result, error) {
 	start := time.Now()
+	ctx, sp := telemetry.StartSpan(ctx, "recommend")
+	sp.SetAttr("table", req.Table)
+	res, err := e.recommend(ctx, req, opts)
+	sp.End()
+	elapsed := time.Since(start)
+	tel := e.tel.Load()
+	tel.ObserveRequest(elapsed)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		return nil, err
+	}
+	sp.SetAttr("queries", strconv.Itoa(res.Metrics.QueriesExecuted))
+	if res.Metrics.ServedFromCache {
+		sp.SetAttr("served_from_cache", "true")
+	}
+	if sl := tel.Slow(); sl != nil {
+		thr := opts.SlowQueryThreshold
+		if thr <= 0 {
+			thr = sl.Threshold()
+		}
+		if elapsed >= thr {
+			sl.Log(telemetry.SlowEntry{
+				Kind:        "request",
+				Table:       req.Table,
+				Strategy:    opts.Strategy.String(),
+				Queries:     res.Metrics.QueriesExecuted,
+				ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
+				ThresholdMS: float64(thr) / float64(time.Millisecond),
+				Trace:       sp.Node(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// recommend is the Recommend body; the exported wrapper owns the
+// request span, latency observation and slow-request logging.
+func (e *Engine) recommend(ctx context.Context, req Request, opts Options) (*Result, error) {
+	start := time.Now()
 	if req.TargetWhere == "" {
 		return nil, fmt.Errorf("core: request needs a target predicate (TargetWhere)")
 	}
 	if req.Reference == RefCustom && req.ReferenceWhere == "" {
 		return nil, fmt.Errorf("core: RefCustom requires ReferenceWhere")
 	}
+	_, tsp := telemetry.StartSpan(ctx, "table_info")
 	ti, err := e.be.TableInfo(ctx, req.Table)
+	tsp.End()
 	if errors.Is(err, backend.ErrNoTable) {
 		return nil, fmt.Errorf("core: table %q does not exist", req.Table)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: table metadata for %q: %w", req.Table, err)
 	}
+	_, vsp := telemetry.StartSpan(ctx, "view_enum")
 	views, err := e.gen.Views(ctx, req)
+	vsp.SetAttr("views", strconv.Itoa(len(views)))
+	vsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -245,6 +312,7 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 		opts.DisableSelectionKernels = false
 	}
 	opts = opts.withDefaults(ti.Layout, len(views))
+	telemetry.SpanFromContext(ctx).SetAttr("strategy", opts.Strategy.String())
 	if !caps.SupportsVectorized {
 		// Scan-parallelism knobs are inert on backends without an
 		// engine-side vectorized executor; canonicalize them too.
@@ -296,7 +364,9 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 	key := requestCacheKey(req, opts, version)
 	v, outcome, err := c.Do(ctx, key,
 		func(v any) int64 { return resultSizeBytes(v.(*Result)) },
-		func() (any, error) { return e.runRecommend(ctx, req, opts, views, ti, c, version) },
+		func(cctx context.Context) (any, error) {
+			return e.runRecommend(cctx, req, opts, views, ti, c, version)
+		},
 	)
 	if err != nil {
 		return nil, err
@@ -336,6 +406,7 @@ func (e *Engine) runRecommend(ctx context.Context, req Request, opts Options, vi
 		views:   views,
 		cache:   c,
 		version: version,
+		tel:     e.tel.Load(),
 	}
 	st.metrics.Views = len(views)
 	st.accums = make([]*viewAccum, len(views))
@@ -359,6 +430,7 @@ func (e *Engine) runRecommend(ctx context.Context, req Request, opts Options, vi
 	// depend on cache warmth. They still publish below.
 	var refs *cache.RefStore
 	if c != nil && req.Reference == RefAll {
+		_, rsp := telemetry.StartSpan(ctx, "ref_seed")
 		refs = cache.NewRefStore(c)
 		st.refSeeded = make([]bool, len(views))
 		if opts.Strategy == NoOpt || opts.Strategy == Sharing {
@@ -370,12 +442,16 @@ func (e *Engine) runRecommend(ctx context.Context, req Request, opts Options, vi
 				}
 			}
 		}
+		rsp.SetAttr("seeded", strconv.Itoa(st.metrics.RefViewsReused))
+		rsp.End()
 	}
 
 	qb := &queryBuilder{table: req.Table, req: req, opts: opts, refDone: st.refSeeded}
 	if opts.GroupBy == GroupByBinPack && opts.Strategy != NoOpt {
+		_, ssp := telemetry.StartSpan(ctx, "stats")
 		dims := dimensionSet(views)
 		cards, err := e.gen.DimensionCardinalities(ctx, req.Table, dims)
+		ssp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -385,15 +461,17 @@ func (e *Engine) runRecommend(ctx context.Context, req Request, opts Options, vi
 		}
 	}
 
+	ectx, esp := telemetry.StartSpan(ctx, "execute")
 	var err error
 	switch opts.Strategy {
 	case NoOpt, Sharing:
-		err = st.runSinglePass(ctx, qb)
+		err = st.runSinglePass(ectx, qb)
 	case Comb, CombEarly:
-		err = st.runPhased(ctx, qb, ti.Rows)
+		err = st.runPhased(ectx, qb, ti.Rows)
 	default:
 		err = fmt.Errorf("core: unknown strategy %v", opts.Strategy)
 	}
+	esp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -403,6 +481,7 @@ func (e *Engine) runRecommend(ctx context.Context, req Request, opts Options, vi
 	// bandit-accepted and early-returned views hold partial reference
 	// state).
 	if refs != nil {
+		_, psp := telemetry.StartSpan(ctx, "ref_publish")
 		cost := time.Since(start) / time.Duration(len(views))
 		for i, v := range views {
 			if st.refSeeded[i] || (st.partial != nil && st.partial[i]) {
@@ -411,9 +490,12 @@ func (e *Engine) runRecommend(ctx context.Context, req Request, opts Options, vi
 			refs.Put(req.Table, version, v.Dimension, v.Measure, string(v.Agg),
 				snapshotReference(st.accums[i].reference), cost)
 		}
+		psp.End()
 	}
 
+	_, csp := telemetry.StartSpan(ctx, "score")
 	res := st.buildResult()
+	csp.End()
 	res.Metrics.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -457,7 +539,12 @@ func (st *execState) runPhased(ctx context.Context, qb *queryBuilder, totalRows 
 		// Rebuild queries for the views still alive so pruned views
 		// stop consuming scan and aggregation work.
 		queries := qb.build(st.views, st.alive)
-		if err := st.runQueries(ctx, queries, lo, hi); err != nil {
+		pctx, psp := telemetry.StartSpan(ctx, "phase")
+		psp.SetAttr("phase", strconv.Itoa(phase))
+		psp.SetAttr("rows", fmt.Sprintf("%d..%d", lo, hi))
+		err := st.runQueries(pctx, queries, lo, hi)
+		psp.End()
+		if err != nil {
 			return err
 		}
 		st.metrics.PhasesRun++

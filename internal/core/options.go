@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"seedb/internal/backend"
 	"seedb/internal/cache"
@@ -226,6 +227,14 @@ type Options struct {
 	// create it lazily (an engine-level cache installed via SetCache
 	// wins). 0 means DefaultCacheBudgetBytes.
 	CacheBudgetBytes int64
+	// SlowQueryThreshold overrides the engine telemetry collector's
+	// slow-log threshold for this request: queries (and the request
+	// itself) taking at least this long are written to the collector's
+	// slow-query log. 0 uses the log's own threshold. Inert without a
+	// collector carrying a slow log (Engine.SetTelemetry). Like
+	// Parallelism it describes observation cost, never output, so it is
+	// excluded from cache keys.
+	SlowQueryThreshold time.Duration
 }
 
 // withDefaults fills unset options given the table layout.

@@ -6,10 +6,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"seedb/internal/backend"
 	"seedb/internal/binpack"
 	"seedb/internal/cache"
+	"seedb/internal/telemetry"
 )
 
 // accumRole identifies how one aggregate output column folds into a view
@@ -423,15 +425,25 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 					Lo: lo, Hi: hi, Workers: scanWorkers,
 					NoSelectionKernels: s.opts.DisableSelectionKernels,
 				}
-				exec := func() (any, error) {
-					rows, stats, err := s.be.Exec(ctx, sql, execOpts)
+				qctx, qsp := telemetry.StartSpan(ctx, "query")
+				qsp.SetAttr("sql", sql)
+				// exec is the paid execution path: singleflight runs it in
+				// exactly one caller per flight, so observing here keeps the
+				// query-latency histogram count equal to QueriesExecuted.
+				exec := func(cctx context.Context) (any, error) {
+					t0 := time.Now()
+					rows, stats, err := s.be.Exec(cctx, sql, execOpts)
+					d := time.Since(t0)
 					if err != nil {
 						return nil, err
 					}
+					s.tel.ObserveQuery(d)
+					s.logSlowQuery(sql, lo, hi, d, stats, qsp)
 					return &execResult{rows: rows, stats: stats}, nil
 				}
 				if s.cache == nil {
-					v, err := exec()
+					v, err := exec(qctx)
+					qsp.End()
 					if err != nil {
 						errs[qi] = err
 						continue
@@ -440,10 +452,11 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 					continue
 				}
 				key := cache.QueryKey(s.req.Table, s.version, sql, lo, hi)
-				v, outcome, err := s.cache.Do(ctx, key,
+				v, outcome, err := s.cache.Do(qctx, key,
 					func(v any) int64 { return execResultSizeBytes(v.(*execResult)) },
 					exec,
 				)
+				qsp.End()
 				if err != nil {
 					errs[qi] = err
 					continue
@@ -518,6 +531,39 @@ func (m *Metrics) recordExec(stats backend.ExecStats) {
 	if stats.Groups > m.MaxGroups {
 		m.MaxGroups = stats.Groups
 	}
+}
+
+// logSlowQuery writes one paid execution over the slow threshold to the
+// collector's slow-query log. The request's SlowQueryThreshold wins over
+// the log's own; sp contributes the query's span subtree when the
+// request is traced (the span is still open here, so its duration reads
+// as elapsed-so-far).
+func (s *execState) logSlowQuery(sql string, lo, hi int, d time.Duration, stats backend.ExecStats, sp *telemetry.Span) {
+	sl := s.tel.Slow()
+	if sl == nil {
+		return
+	}
+	thr := s.opts.SlowQueryThreshold
+	if thr <= 0 {
+		thr = sl.Threshold()
+	}
+	if d < thr {
+		return
+	}
+	sl.Log(telemetry.SlowEntry{
+		Kind:           "query",
+		Table:          s.req.Table,
+		SQL:            sql,
+		Lo:             lo,
+		Hi:             hi,
+		ElapsedMS:      float64(d) / float64(time.Millisecond),
+		ThresholdMS:    float64(thr) / float64(time.Millisecond),
+		RowsScanned:    int64(stats.RowsScanned),
+		Vectorized:     stats.Vectorized,
+		FallbackReason: stats.FallbackReason,
+		ShardFanout:    stats.ShardFanout,
+		Trace:          sp.Node(),
+	})
 }
 
 // mergeResult folds one query result into the accumulators.

@@ -82,7 +82,7 @@ func TestArchitectureDocsLinkedFromREADME(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/BACKENDS.md"} {
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/BACKENDS.md", "docs/OBSERVABILITY.md"} {
 		if !strings.Contains(string(readme), "("+doc+")") {
 			t.Errorf("README.md does not link %s", doc)
 		}
@@ -108,5 +108,44 @@ func TestArchitectureDocsLinkedFromREADME(t *testing.T) {
 		if !strings.Contains(string(be), want) {
 			t.Errorf("BACKENDS.md does not mention %s", want)
 		}
+	}
+}
+
+// TestObservabilityDocPinned pins the telemetry documentation contract:
+// the guide must describe the span taxonomy, every exported metric
+// family, the slow-log schema and the knobs that switch each piece on.
+func TestObservabilityDocPinned(t *testing.T) {
+	root := repoRoot(t)
+	obs, err := os.ReadFile(filepath.Join(root, "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		// span taxonomy
+		"recommend", "cache.do", "sqldb.scan", "shard.fanout", "shard.exec",
+		// metric families
+		"seedb_requests_total", "seedb_queries_executed_total",
+		"seedb_fallback_queries_by_reason_total",
+		"seedb_request_duration_seconds", "seedb_query_duration_seconds",
+		"seedb_shard_partial_duration_seconds", "seedb_cache_",
+		// slow-log schema + knobs
+		"elapsed_ms", "threshold_ms", "SlowQueryThreshold",
+		"-slowlog", "-pprof", "trace",
+		// tooling
+		"seedb-promlint", "ValidatePrometheusText",
+	} {
+		if !strings.Contains(string(obs), want) {
+			t.Errorf("OBSERVABILITY.md does not mention %s", want)
+		}
+	}
+	arch, err := os.ReadFile(filepath.Join(root, "docs", "ARCHITECTURE.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(arch), "## Telemetry") {
+		t.Error("ARCHITECTURE.md has no Telemetry section")
+	}
+	if !strings.Contains(string(arch), "OBSERVABILITY.md") {
+		t.Error("ARCHITECTURE.md does not link OBSERVABILITY.md")
 	}
 }

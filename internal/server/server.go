@@ -8,6 +8,7 @@
 // Endpoints (all JSON):
 //
 //	GET  /healthz               liveness probe + cache/executor counters + backends
+//	GET  /metrics               Prometheus text-format counters and histograms
 //	GET  /api/datasets          built-in dataset generators
 //	POST /api/datasets/load     {"name","layout","rows"} → load a builtin
 //	GET  /api/tables            tables with schemas and row counts
@@ -15,6 +16,10 @@
 //	POST /api/recommend         RecommendRequest → RecommendResponse
 //	GET  /api/cache             result-cache statistics
 //	POST /api/cache/clear       drop every cached entry
+//
+// EnablePprof additionally mounts net/http/pprof under /debug/pprof/
+// (off by default: profiling endpoints expose heap contents, so they
+// are opt-in via the -pprof flag on cmd/seedb-server).
 //
 // Requests with a wrong HTTP method receive 405 Method Not Allowed.
 //
@@ -31,11 +36,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"seedb/internal/backend"
@@ -46,6 +52,7 @@ import (
 	"seedb/internal/dataset"
 	"seedb/internal/distance"
 	"seedb/internal/sqldb"
+	"seedb/internal/telemetry"
 )
 
 // DefaultBackendName is the name the embedded store registers under.
@@ -66,6 +73,10 @@ type Server struct {
 	cache *cache.Cache
 	mux   *http.ServeMux
 	exec  executorStats
+	// tel is the process-wide telemetry collector: latency histograms
+	// (exported on /metrics) and the optional slow-query log. Every
+	// registered engine and the shard router share it.
+	tel *telemetry.Collector
 	// Timeout bounds each recommendation request (default 2 minutes).
 	Timeout time.Duration
 
@@ -85,85 +96,75 @@ type registeredBackend struct {
 
 // executorStats accumulates, across every recommendation served by this
 // process, how the sqldb executor ran its queries. Surfaced on /healthz
-// next to the cache counters so dashboards can see whether the parallel
-// vectorized fast path — and its predicate selection kernels — is
-// actually carrying the load, and why any queries fell back.
+// and /metrics next to the cache counters so dashboards can see whether
+// the parallel vectorized fast path — and its predicate selection
+// kernels — is actually carrying the load, and why any queries fell
+// back.
+//
+// All counters fold under one mutex through core.Metrics.Merge and are
+// snapshotted under the same mutex, so a scrape concurrent with
+// recommendations can never observe a torn aggregate: the recordExec
+// invariants (QueriesExecuted == VectorizedQueries + FallbackQueries,
+// per-reason counts summing to FallbackQueries) hold in every snapshot,
+// not just at rest. The previous per-field atomics could interleave with
+// a scrape mid-record and break exactly those identities.
 type executorStats struct {
-	vectorizedQueries  atomic.Int64
-	fallbackQueries    atomic.Int64
-	maxScanWorkers     atomic.Int64
-	selectionKernels   atomic.Int64
-	residualPredicates atomic.Int64
-	// Shard fan-out counters: how many executed queries a shard router
-	// fanned out, the total child executions behind them, and the
-	// slowest single child execution seen (the merge's critical path).
-	shardQueries     atomic.Int64
-	shardFanout      atomic.Int64
-	shardStragglerNS atomic.Int64
-	// degradedRequests counts recommendation requests whose strategy was
-	// rewritten by capability degradation (COMB/COMB_EARLY → SHARING).
-	// Before this counter the rewrite happened silently, which would
-	// mislead operators once shard capability intersection triggers it.
-	degradedRequests atomic.Int64
-
-	reasonsMu       sync.Mutex
-	fallbackReasons map[string]int64
+	mu sync.Mutex
+	// requests counts recommendations served; degraded counts the ones
+	// whose strategy was rewritten by capability degradation
+	// (core.Metrics.Merge only ORs the StrategyDegraded flag, so the
+	// count lives here).
+	requests int64
+	degraded int64
+	totals   core.Metrics
 }
 
 // record folds one request's metrics in.
 func (e *executorStats) record(m core.Metrics) {
-	e.vectorizedQueries.Add(int64(m.VectorizedQueries))
-	e.fallbackQueries.Add(int64(m.FallbackQueries))
-	e.selectionKernels.Add(int64(m.SelectionKernels))
-	e.residualPredicates.Add(int64(m.ResidualPredicates))
-	e.shardQueries.Add(int64(m.ShardQueries))
-	e.shardFanout.Add(int64(m.ShardFanout))
+	e.mu.Lock()
+	e.requests++
 	if m.StrategyDegraded {
-		e.degradedRequests.Add(1)
+		e.degraded++
 	}
-	if len(m.FallbackReasons) > 0 {
-		e.reasonsMu.Lock()
-		if e.fallbackReasons == nil {
-			e.fallbackReasons = make(map[string]int64)
-		}
-		for reason, n := range m.FallbackReasons {
-			e.fallbackReasons[reason] += int64(n)
-		}
-		e.reasonsMu.Unlock()
-	}
-	atomicMax(&e.shardStragglerNS, int64(m.ShardStragglerMax))
-	atomicMax(&e.maxScanWorkers, int64(m.ScanWorkers))
+	e.totals.Merge(m)
+	e.mu.Unlock()
 }
 
-// atomicMax raises a to v if v is larger.
-func atomicMax(a *atomic.Int64, v int64) {
-	for {
-		cur := a.Load()
-		if v <= cur || a.CompareAndSwap(cur, v) {
-			return
+// snapshot returns a consistent copy of the aggregate (reasons map
+// deep-copied) with the request counters.
+func (e *executorStats) snapshot() (requests, degraded int64, totals core.Metrics) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	totals = e.totals
+	if e.totals.FallbackReasons != nil {
+		totals.FallbackReasons = make(map[string]int, len(e.totals.FallbackReasons))
+		for r, n := range e.totals.FallbackReasons {
+			totals.FallbackReasons[r] = n
 		}
 	}
+	return e.requests, e.degraded, totals
 }
 
-// snapshot renders the counters for JSON payloads.
-func (e *executorStats) snapshot() map[string]any {
-	e.reasonsMu.Lock()
-	reasons := make(map[string]int64, len(e.fallbackReasons))
-	for r, n := range e.fallbackReasons {
+// healthSnapshot renders the counters for the /healthz JSON payload.
+func (e *executorStats) healthSnapshot() map[string]any {
+	requests, degraded, m := e.snapshot()
+	reasons := make(map[string]int, len(m.FallbackReasons))
+	for r, n := range m.FallbackReasons {
 		reasons[r] = n
 	}
-	e.reasonsMu.Unlock()
 	return map[string]any{
-		"vectorized_queries":         e.vectorizedQueries.Load(),
-		"fallback_queries":           e.fallbackQueries.Load(),
+		"requests":                   requests,
+		"queries_executed":           m.QueriesExecuted,
+		"vectorized_queries":         m.VectorizedQueries,
+		"fallback_queries":           m.FallbackQueries,
 		"fallback_reasons":           reasons,
-		"max_scan_workers":           e.maxScanWorkers.Load(),
-		"selection_kernels":          e.selectionKernels.Load(),
-		"residual_predicates":        e.residualPredicates.Load(),
-		"shard_queries":              e.shardQueries.Load(),
-		"shard_fanout":               e.shardFanout.Load(),
-		"shard_straggler_max_ms":     float64(e.shardStragglerNS.Load()) / 1e6,
-		"strategy_degraded_requests": e.degradedRequests.Load(),
+		"max_scan_workers":           m.ScanWorkers,
+		"selection_kernels":          m.SelectionKernels,
+		"residual_predicates":        m.ResidualPredicates,
+		"shard_queries":              m.ShardQueries,
+		"shard_fanout":               m.ShardFanout,
+		"shard_straggler_max_ms":     float64(m.ShardStragglerMax) / 1e6,
+		"strategy_degraded_requests": degraded,
 	}
 }
 
@@ -179,6 +180,7 @@ func NewWithCacheBudget(db *sqldb.DB, cacheBudgetBytes int64) *Server {
 		db:       db,
 		cache:    cache.New(cacheBudgetBytes),
 		mux:      http.NewServeMux(),
+		tel:      telemetry.NewCollector(),
 		Timeout:  2 * time.Minute,
 		backends: make(map[string]*registeredBackend),
 	}
@@ -186,6 +188,7 @@ func NewWithCacheBudget(db *sqldb.DB, cacheBudgetBytes int64) *Server {
 		panic(err) // unreachable: the map is empty
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /api/datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /api/datasets/load", s.handleLoadDataset)
 	s.mux.HandleFunc("GET /api/tables", s.handleTables)
@@ -198,6 +201,29 @@ func NewWithCacheBudget(db *sqldb.DB, cacheBudgetBytes int64) *Server {
 
 // Cache returns the server's process-wide result cache.
 func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// Telemetry returns the server's process-wide telemetry collector.
+func (s *Server) Telemetry() *telemetry.Collector { return s.tel }
+
+// SetSlowQueryLog routes slow-query and slow-request JSON lines to w,
+// flagging anything slower than threshold (<= 0 selects the default,
+// telemetry.DefaultSlowThreshold). Call before serving traffic; see
+// docs/OBSERVABILITY.md for the line schema.
+func (s *Server) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
+	s.tel.SlowLog = telemetry.NewSlowLog(w, threshold)
+}
+
+// EnablePprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/. Off by default — profiling endpoints expose heap and
+// goroutine contents, so operators opt in explicitly (the -pprof flag
+// on cmd/seedb-server).
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
 
 // RegisterBackend adds a named backend; recommendation requests select
 // it with {"backend": name}. The engine it gets shares the server's
@@ -213,6 +239,7 @@ func (s *Server) RegisterBackend(name string, be backend.Backend) error {
 	}
 	eng := core.NewEngine(be)
 	eng.SetCache(s.cache)
+	eng.SetTelemetry(s.tel)
 	s.backends[name] = &registeredBackend{name: name, be: be, engine: eng}
 	return nil
 }
@@ -230,7 +257,7 @@ func (s *Server) EnableSharding(n int) error {
 		return fmt.Errorf("server: sharding needs at least 1 shard, got %d", n)
 	}
 	dbs, bes := shardbe.EmbeddedChildren(n)
-	router, err := shardbe.New(bes, shardbe.Options{})
+	router, err := shardbe.New(bes, shardbe.Options{Telemetry: s.tel})
 	if err != nil {
 		return err
 	}
@@ -337,9 +364,53 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"cache":    s.cache.Stats(),
-		"executor": s.exec.snapshot(),
+		"executor": s.exec.healthSnapshot(),
 		"backends": s.backendSnapshot(),
 	})
+}
+
+// handleMetrics implements GET /metrics: the Prometheus text exposition
+// (format 0.0.4) of every executor counter, cache counter, and latency
+// histogram. Counters come from the same single-lock snapshot as
+// /healthz, so scrapes mid-request still satisfy the executor
+// invariants. The full name table lives in docs/OBSERVABILITY.md.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	requests, degraded, m := s.exec.snapshot()
+	cs := s.cache.Stats()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	pw := telemetry.NewPromWriter(w)
+
+	pw.Counter("seedb_requests_total", "Recommendation requests served.", float64(requests))
+	pw.Counter("seedb_queries_executed_total", "View queries executed across all requests.", float64(m.QueriesExecuted))
+	pw.Counter("seedb_vectorized_queries_total", "Queries served by the vectorized fast path.", float64(m.VectorizedQueries))
+	pw.Counter("seedb_fallback_queries_total", "Queries served by the row-at-a-time interpreter.", float64(m.FallbackQueries))
+	reasons := make(map[string]float64, len(m.FallbackReasons))
+	for r, n := range m.FallbackReasons {
+		reasons[r] = float64(n)
+	}
+	pw.CounterVec("seedb_fallback_queries_by_reason_total", "Interpreter fallbacks by cause.", "reason", reasons)
+	pw.Counter("seedb_selection_kernels_total", "Vectorized predicate selection kernel dispatches.", float64(m.SelectionKernels))
+	pw.Counter("seedb_residual_predicates_total", "Predicates evaluated row-at-a-time after kernel selection.", float64(m.ResidualPredicates))
+	pw.Counter("seedb_rows_scanned_total", "Base-table rows scanned by view queries.", float64(m.RowsScanned))
+	pw.Counter("seedb_strategy_degraded_requests_total", "Requests whose strategy was rewritten by capability degradation.", float64(degraded))
+	pw.Counter("seedb_shard_queries_total", "Queries fanned out by the shard router.", float64(m.ShardQueries))
+	pw.Counter("seedb_shard_fanout_total", "Child executions issued by the shard router.", float64(m.ShardFanout))
+	pw.Gauge("seedb_shard_straggler_seconds_max", "Slowest single shard child execution observed.", m.ShardStragglerMax.Seconds())
+	pw.Gauge("seedb_scan_workers_max", "Widest per-query scan worker pool observed.", float64(m.ScanWorkers))
+
+	pw.Counter("seedb_cache_hits_total", "Result-cache hits.", float64(cs.Hits))
+	pw.Counter("seedb_cache_misses_total", "Result-cache misses.", float64(cs.Misses))
+	pw.Counter("seedb_cache_shared_total", "Lookups collapsed onto an in-flight identical computation.", float64(cs.Shared))
+	pw.Counter("seedb_cache_evictions_total", "Entries evicted under LRU byte pressure.", float64(cs.Evictions))
+	pw.Counter("seedb_cache_rejected_total", "Entries refused by the admission policy.", float64(cs.Rejected))
+	pw.Gauge("seedb_cache_entries", "Entries currently cached.", float64(cs.Entries))
+	pw.Gauge("seedb_cache_bytes", "Bytes currently cached.", float64(cs.Bytes))
+	pw.Gauge("seedb_cache_budget_bytes", "Configured cache byte budget.", float64(cs.BudgetBytes))
+
+	pw.Histogram("seedb_request_duration_seconds", "End-to-end recommendation request latency.", s.tel.RequestLatency.Snapshot())
+	pw.Histogram("seedb_query_duration_seconds", "Per-view-query backend execution latency.", s.tel.QueryLatency.Snapshot())
+	pw.Histogram("seedb_shard_partial_duration_seconds", "Per-shard child execution latency under fan-out.", s.tel.ShardLatency.Snapshot())
 }
 
 // handleCacheStats implements GET /api/cache.
@@ -522,6 +593,14 @@ type RecommendRequest struct {
 	// Backend selects which registered backend executes the request
 	// (empty = the embedded default; see /healthz for the list).
 	Backend string `json:"backend"`
+	// Trace opts this request into span tracing: the response carries the
+	// full span tree under "trace". Off by default — building the tree
+	// allocates per span, so clients ask for it explicitly.
+	Trace bool `json:"trace"`
+	// SlowQueryMS overrides the server's slow-query log threshold for
+	// this request, in milliseconds (0 = server default; ignored when no
+	// slow log is configured).
+	SlowQueryMS float64 `json:"slow_query_ms"`
 }
 
 // RecommendedView is one ranked visualization.
@@ -570,6 +649,9 @@ type RecommendResponse struct {
 	StrategyDegraded bool    `json:"strategy_degraded"`
 	DegradedFrom     string  `json:"degraded_from,omitempty"`
 	ElapsedMS        float64 `json:"elapsed_ms"`
+	// Trace is the request's span tree, present only when the request set
+	// {"trace": true}. Rendered client-side by seedb -trace.
+	Trace *telemetry.SpanNode `json:"trace,omitempty"`
 }
 
 // handleRecommend implements POST /api/recommend.
@@ -602,9 +684,10 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 
 	opts := core.Options{
-		K:               req.K,
-		EnableCache:     req.Cache == nil || *req.Cache,
-		ScanParallelism: req.ScanParallelism,
+		K:                  req.K,
+		EnableCache:        req.Cache == nil || *req.Cache,
+		ScanParallelism:    req.ScanParallelism,
+		SlowQueryThreshold: time.Duration(req.SlowQueryMS * float64(time.Millisecond)),
 	}
 	switch strings.ToLower(req.Strategy) {
 	case "noopt":
@@ -651,6 +734,10 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.Timeout)
 		defer cancel()
 	}
+	var tr *telemetry.Trace
+	if req.Trace {
+		ctx, tr = telemetry.WithTrace(ctx, "request")
+	}
 	res, err := rb.engine.Recommend(ctx, coreReq, opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -683,6 +770,9 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		StrategyDegraded: res.Metrics.StrategyDegraded,
 		DegradedFrom:     res.Metrics.DegradedFrom,
 		ElapsedMS:        float64(res.Metrics.Elapsed.Microseconds()) / 1000,
+	}
+	if tr != nil {
+		resp.Trace = tr.Finish()
 	}
 	for i, rec := range res.Recommendations {
 		title := fmt.Sprintf("%s    [utility %.4f]", rec.View.String(), rec.Utility)

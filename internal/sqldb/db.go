@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"seedb/internal/telemetry"
 )
 
 // DB is an embedded in-memory database: a named collection of tables plus
@@ -168,7 +170,9 @@ func (db *DB) QueryStmt(stmt *SelectStmt, opts ExecOptions) (*Result, error) {
 	// interpreter first — so skip compiling it (selection kernels
 	// included). This matters on fan-out hot paths where many serial
 	// child queries compile per request.
+	_, sp := telemetry.StartSpan(opts.Ctx, "sqldb.plan")
 	p, err := compileForSchemaOpt(stmt, t.Schema(), opts.Workers > 1)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +208,9 @@ func (q *PreparedQuery) SQL() string { return q.stmt.String() }
 
 // Exec executes the prepared query with the given options.
 func (q *PreparedQuery) Exec(opts ExecOptions) (*Result, error) {
+	_, sp := telemetry.StartSpan(opts.Ctx, "sqldb.plan")
 	p, err := compileForSchemaOpt(q.stmt, q.table.Schema(), opts.Workers > 1)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -4,7 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+
+	"seedb/internal/telemetry"
 )
 
 // ExecOptions controls one query execution.
@@ -559,6 +562,8 @@ func dedupeRows(rows [][]Value) [][]Value {
 
 // executeSimple runs a projection-only scan.
 func (p *plan) executeSimple(opts ExecOptions, lo, hi int, res *Result) error {
+	_, sp := telemetry.StartSpan(opts.Ctx, "sqldb.scan")
+	defer sp.End()
 	n := 0
 	scan := func(row RowView) error {
 		n++
@@ -592,11 +597,17 @@ func (p *plan) executeSimple(opts ExecOptions, lo, hi int, res *Result) error {
 // interpreter or parallel vectorized fast path) followed by the shared
 // finalize stage (HAVING, outputs, order keys).
 func (p *plan) executeGrouped(opts ExecOptions, lo, hi int, res *Result) error {
+	_, ssp := telemetry.StartSpan(opts.Ctx, "sqldb.scan")
 	entries, err := p.aggregateRange(opts, lo, hi, &res.Stats)
+	ssp.SetAttr("rows", strconv.Itoa(res.Stats.RowsScanned))
+	ssp.SetAttr("workers", strconv.Itoa(res.Stats.Workers))
+	ssp.End()
 	if err != nil {
 		return err
 	}
+	_, fsp := telemetry.StartSpan(opts.Ctx, "sqldb.finalize")
 	p.finalizeGroups(entries, res)
+	fsp.End()
 	return nil
 }
 

@@ -1,0 +1,56 @@
+package telemetry
+
+import "time"
+
+// Collector is the process-wide metrics sink a deployment shares across
+// engines and backends: the three latency histograms the system
+// exports, plus the optional slow-query log. The HTTP server owns one
+// and renders it on /metrics; bench experiments own private ones to
+// report percentiles. All observe methods are nil-receiver safe, so an
+// unconfigured component costs one nil check.
+type Collector struct {
+	// RequestLatency observes whole Recommend invocations (cold and
+	// cached); QueryLatency observes individual paid query executions
+	// (cache hits are not executions); ShardLatency observes per-child
+	// partial executions inside shard fan-outs, which is what gives
+	// straggler percentiles instead of only a max.
+	RequestLatency Histogram
+	QueryLatency   Histogram
+	ShardLatency   Histogram
+
+	// SlowLog, when non-nil, receives entries for operations over
+	// threshold. Set it before serving; it is read without a lock.
+	SlowLog *SlowLog
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// ObserveRequest records one Recommend invocation's latency.
+func (c *Collector) ObserveRequest(d time.Duration) {
+	if c != nil {
+		c.RequestLatency.Observe(d)
+	}
+}
+
+// ObserveQuery records one paid query execution's latency.
+func (c *Collector) ObserveQuery(d time.Duration) {
+	if c != nil {
+		c.QueryLatency.Observe(d)
+	}
+}
+
+// ObserveShard records one shard child execution's latency.
+func (c *Collector) ObserveShard(d time.Duration) {
+	if c != nil {
+		c.ShardLatency.Observe(d)
+	}
+}
+
+// Slow returns the attached slow log (nil-safe).
+func (c *Collector) Slow() *SlowLog {
+	if c == nil {
+		return nil
+	}
+	return c.SlowLog
+}

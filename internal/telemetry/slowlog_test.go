@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowLogEmitsJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, 0)
+	if l.Threshold() != DefaultSlowThreshold {
+		t.Fatalf("default threshold = %v", l.Threshold())
+	}
+	l.Log(SlowEntry{Kind: "query", Table: "census", SQL: "SELECT 1", ElapsedMS: 12.5, ThresholdMS: 10})
+	l.Log(SlowEntry{Kind: "request", Table: "census", ElapsedMS: 40, ThresholdMS: 10,
+		Trace: &SpanNode{Name: "recommend", DurMS: 40}})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	var q SlowEntry
+	if err := json.Unmarshal([]byte(lines[0]), &q); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if q.Kind != "query" || q.SQL != "SELECT 1" || q.Time == "" {
+		t.Fatalf("entry = %+v", q)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, q.Time); err != nil {
+		t.Fatalf("timestamp %q: %v", q.Time, err)
+	}
+	var r SlowEntry
+	if err := json.Unmarshal([]byte(lines[1]), &r); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if r.Trace == nil || r.Trace.Name != "recommend" {
+		t.Fatalf("request entry trace = %+v", r.Trace)
+	}
+}
+
+func TestSlowLogNilSafe(t *testing.T) {
+	var l *SlowLog
+	if l.Threshold() != 0 {
+		t.Fatal("nil threshold must be 0")
+	}
+	l.Log(SlowEntry{Kind: "query"}) // must not panic
+
+	var c *Collector
+	c.ObserveRequest(time.Millisecond)
+	c.ObserveQuery(time.Millisecond)
+	c.ObserveShard(time.Millisecond)
+	if c.Slow() != nil {
+		t.Fatal("nil collector Slow() must be nil")
+	}
+}
+
+func TestSlowLogConcurrentLinesDoNotInterleave(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				l.Log(SlowEntry{Kind: "query", SQL: strings.Repeat("x", 100)})
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 320 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i, ln := range lines {
+		if !json.Valid([]byte(ln)) {
+			t.Fatalf("line %d is not valid JSON: %q", i, ln)
+		}
+	}
+}

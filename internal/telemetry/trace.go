@@ -1,0 +1,261 @@
+// Package telemetry is the zero-dependency observability substrate:
+// context-propagated span tracing, log-bucketed latency histograms,
+// Prometheus text exposition, and the structured slow-query log. Every
+// layer of the system (core engine, sqldb executor, cache, shard
+// router, HTTP server) instruments itself through this package; nothing
+// here imports any other seedb package, so every layer can.
+//
+// Tracing is opt-in per request: spans only exist when the caller
+// attached a Trace to the context with WithTrace. Without one,
+// StartSpan returns a nil *Span whose methods are all no-ops, so the
+// disabled cost of an instrumentation site is one context value lookup
+// — small enough to leave the instrumentation on permanently (the
+// bench harness guards the overhead below 2%).
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// spanKey is the context key a trace's current span travels under.
+type spanKey struct{}
+
+// Trace is one request's trace: a tree of timed spans rooted at the
+// span WithTrace created. Safe for concurrent span attachment.
+type Trace struct {
+	start time.Time
+	root  *Span
+}
+
+// Span is one timed operation inside a trace. Spans are created with
+// StartSpan, annotated with SetAttr and closed with End; children
+// attach concurrently (query worker pools, shard fan-out). All methods
+// are nil-receiver safe, which is what makes the untraced path free.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    map[string]string
+	children []*Span
+}
+
+// WithTrace attaches a new trace to ctx, rooted at a span with the
+// given name. The returned context carries the root span, so every
+// StartSpan below it builds the tree. Finish the trace (which ends the
+// root) before reading the tree.
+func WithTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	now := time.Now()
+	tr := &Trace{start: now, root: &Span{name: name, start: now}}
+	return context.WithValue(ctx, spanKey{}, tr.root), tr
+}
+
+// StartSpan starts a child span under the context's current span. When
+// the context carries no trace (or is nil), it returns ctx unchanged
+// and a nil span — the no-op fast path.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := &Span{name: name, start: time.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, sp)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// SpanFromContext returns the context's current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// SetAttr annotates the span. Nil-safe.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// End closes the span, recording its duration. Idempotent and nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// Node snapshots the span's subtree relative to the given trace start
+// time (zero time = the span's own start). Open spans report the
+// duration elapsed so far. Nil-safe (returns nil).
+func (s *Span) Node() *SpanNode {
+	if s == nil {
+		return nil
+	}
+	return s.node(s.start)
+}
+
+func (s *Span) node(origin time.Time) *SpanNode {
+	s.mu.Lock()
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+	}
+	n := &SpanNode{
+		Name:    s.name,
+		StartMS: durMS(s.start.Sub(origin)),
+		DurMS:   durMS(dur),
+	}
+	if len(s.attrs) > 0 {
+		n.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			n.Attrs[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		n.Children = append(n.Children, c.node(origin))
+	}
+	return n
+}
+
+// Open lists the names of spans still open, excluding the root (which
+// Finish closes). Instrumented code that defers End around every
+// execution path — cancellation included — keeps this empty by the
+// time its caller returns.
+func (tr *Trace) Open() []string {
+	var open []string
+	var walk func(s *Span, root bool)
+	walk = func(s *Span, root bool) {
+		s.mu.Lock()
+		ended := s.ended
+		children := append([]*Span(nil), s.children...)
+		s.mu.Unlock()
+		if !ended && !root {
+			open = append(open, s.name)
+		}
+		for _, c := range children {
+			walk(c, false)
+		}
+	}
+	walk(tr.root, true)
+	return open
+}
+
+// Finish ends the root span (and any still-open descendants, which keep
+// the duration elapsed at finish time) and returns the trace tree.
+func (tr *Trace) Finish() *SpanNode {
+	tr.endAll(tr.root)
+	return tr.root.node(tr.start)
+}
+
+// endAll ends every span in the subtree that is still open.
+func (tr *Trace) endAll(s *Span) {
+	s.End()
+	s.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		tr.endAll(c)
+	}
+}
+
+// Root returns the trace's root span.
+func (tr *Trace) Root() *Span { return tr.root }
+
+// SpanNode is one node of an exported trace tree: the JSON shape the
+// server returns under "trace" and the slow-query log embeds.
+type SpanNode struct {
+	Name string `json:"name"`
+	// StartMS is the span's start offset from its tree's origin, in
+	// milliseconds; DurMS is its wall-clock duration.
+	StartMS  float64           `json:"start_ms"`
+	DurMS    float64           `json:"duration_ms"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanNode       `json:"children,omitempty"`
+}
+
+// Find returns the first node named name in a pre-order walk, or nil.
+func (n *SpanNode) Find(name string) *SpanNode {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if found := c.Find(name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// ChildrenDurMS sums the node's direct children's durations — the
+// "explained" share of the node's own duration (children that overlap
+// in time, e.g. a worker pool's, may sum past it).
+func (n *SpanNode) ChildrenDurMS() float64 {
+	total := 0.0
+	for _, c := range n.Children {
+		total += c.DurMS
+	}
+	return total
+}
+
+// Render formats the tree as indented text for terminals (seedb -trace).
+// Attributes print sorted, so output is stable.
+func (n *SpanNode) Render() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *SpanNode) render(b *strings.Builder, depth int) {
+	fmt.Fprintf(b, "%s%-*s %9.3fms", strings.Repeat("  ", depth), 24-2*depth, n.Name, n.DurMS)
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(b, "  %s=%s", k, n.Attrs[k])
+		}
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// durMS converts a duration to float milliseconds.
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNoTraceIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "x")
+	if sp != nil {
+		t.Fatalf("expected nil span without a trace, got %+v", sp)
+	}
+	if ctx2 != ctx {
+		t.Fatal("untraced StartSpan must return the context unchanged")
+	}
+	// Every method must be safe on the nil span.
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sp.Node() != nil {
+		t.Fatal("nil span Node must be nil")
+	}
+	// And on a nil context.
+	if _, sp := StartSpan(nil, "x"); sp != nil { //nolint:staticcheck // deliberate nil ctx
+		t.Fatal("nil ctx must yield nil span")
+	}
+}
+
+func TestTraceTree(t *testing.T) {
+	ctx, tr := WithTrace(context.Background(), "request")
+	ctx1, a := StartSpan(ctx, "a")
+	_, a1 := StartSpan(ctx1, "a1")
+	a1.SetAttr("sql", "SELECT 1")
+	time.Sleep(2 * time.Millisecond)
+	a1.End()
+	a.End()
+	_, b := StartSpan(ctx, "b")
+	b.End()
+
+	node := tr.Finish()
+	if node.Name != "request" {
+		t.Fatalf("root = %q", node.Name)
+	}
+	if len(node.Children) != 2 || node.Children[0].Name != "a" || node.Children[1].Name != "b" {
+		t.Fatalf("children = %+v", node.Children)
+	}
+	a1n := node.Find("a1")
+	if a1n == nil || a1n.Attrs["sql"] != "SELECT 1" {
+		t.Fatalf("a1 node = %+v", a1n)
+	}
+	if a1n.DurMS <= 0 {
+		t.Fatalf("a1 duration = %v", a1n.DurMS)
+	}
+	if an := node.Find("a"); an.DurMS < a1n.DurMS {
+		t.Fatalf("parent a (%.3fms) shorter than child a1 (%.3fms)", an.DurMS, a1n.DurMS)
+	}
+	if node.Find("missing") != nil {
+		t.Fatal("Find on a missing name must return nil")
+	}
+	out := node.Render()
+	for _, want := range []string{"request", "a1", "sql=SELECT 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	ctx, tr := WithTrace(context.Background(), "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := StartSpan(ctx, "child")
+			sp.SetAttr("k", "v")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	node := tr.Finish()
+	if len(node.Children) != 32 {
+		t.Fatalf("children = %d, want 32", len(node.Children))
+	}
+}
+
+func TestOpenAndFinishClosesSpans(t *testing.T) {
+	ctx, tr := WithTrace(context.Background(), "root")
+	_, sp := StartSpan(ctx, "leak")
+	if open := tr.Open(); len(open) != 1 || open[0] != "leak" {
+		t.Fatalf("Open = %v", open)
+	}
+	node := tr.Finish()
+	if open := tr.Open(); len(open) != 0 {
+		t.Fatalf("Open after Finish = %v", open)
+	}
+	if n := node.Find("leak"); n == nil || n.DurMS < 0 {
+		t.Fatalf("leaked span node = %+v", n)
+	}
+	sp.End() // idempotent after force-close
+}
+
+func TestChildrenDurMS(t *testing.T) {
+	n := &SpanNode{Name: "p", DurMS: 10, Children: []*SpanNode{{DurMS: 4}, {DurMS: 5}}}
+	if got := n.ChildrenDurMS(); got != 9 {
+		t.Fatalf("ChildrenDurMS = %v", got)
+	}
+}
