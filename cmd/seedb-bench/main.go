@@ -122,6 +122,11 @@ func run() error {
 			rep.GOMAXPROCS, rep.Points[0].ColdMS, last.Shards, last.ColdMS, last.Speedup,
 			rep.ShardPartialLatency.P50MS, rep.ShardPartialLatency.P95MS, rep.ShardPartialLatency.P99MS,
 			rep.ShardPartialLatency.Count, *shardJSON)
+		if len(rep.Hedge) == 2 {
+			fmt.Printf("hedging vs one slow child: straggler %.2fms → %.2fms (%d of %d partials hedged, %d wins)\n",
+				rep.Hedge[0].StragglerMS, rep.Hedge[1].StragglerMS,
+				rep.Hedge[1].HedgedPartials, rep.Hedge[1].ShardFanout, rep.Hedge[1].HedgeWins)
+		}
 		return nil
 	}
 

@@ -6,6 +6,14 @@
 //	seedb-server -dataset census -shards 4   # partitioned fan-out execution
 //	seedb-server -dataset census -pprof -slowlog - -slow-query 250ms
 //
+// Cross-process sharding splits the same deployment over several
+// machines: child servers each hold one contiguous partition, and a
+// router server reaches them over the netbe wire protocol:
+//
+//	seedb-server -listen :8081 -dataset census -partition 0/2   # child 0
+//	seedb-server -listen :8082 -dataset census -partition 1/2   # child 1
+//	seedb-server -listen :8080 -children http://localhost:8081,http://localhost:8082 -hedge
+//
 // Observability: GET /metrics serves Prometheus text-format counters and
 // latency histograms; -slowlog writes JSON-lines slow-query entries (to
 // a file, or stderr with "-"); -pprof mounts net/http/pprof under
@@ -21,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +37,9 @@ import (
 	"os"
 	"strings"
 
+	"seedb/internal/backend"
+	"seedb/internal/backend/netbe"
+	"seedb/internal/backend/shardbe"
 	"seedb/internal/backend/sqlbe"
 	"seedb/internal/dataset"
 	"seedb/internal/server"
@@ -52,6 +64,21 @@ func run() error {
 		shards      = flag.Int("shards", 0,
 			"also register a \"shard\" backend: a shard router over N embedded children\n"+
 				"holding partitions of every loaded table (select per request with {\"backend\": \"shard\"})")
+		children = flag.String("children", "",
+			"comma-separated base URLs of child seedb-servers: registers the \"shard\"\n"+
+				"backend as a router fanning out to them over the netbe wire protocol\n"+
+				"(mutually exclusive with -shards)")
+		hedge = flag.Bool("hedge", false,
+			"hedge straggling child executions behind -children: after the hedge delay,\n"+
+				"issue a speculative duplicate and keep the first answer")
+		hedgeDelay = flag.Duration("hedge-delay", 0,
+			"fixed hedge delay for -hedge (0 = adaptive: p95 of observed child latencies)")
+		partialCache = flag.Int("partial-cache", 0,
+			"memoize up to N per-shard partial results in the -children router,\n"+
+				"keyed by child version tokens (0 = off)")
+		partition = flag.String("partition", "",
+			"keep only the i-th of n contiguous blocks of each preloaded dataset (\"i/n\",\n"+
+				"0-based) — run one child server per partition behind a -children router")
 		sqlBackend = flag.Bool("sql-backend", false,
 			"also register a \"sql\" backend that reaches the store through database/sql\n"+
 				"(the external-backend path; select per request with {\"backend\": \"sql\"})")
@@ -86,6 +113,13 @@ func run() error {
 		}
 	}
 
+	if *partition != "" {
+		var err error
+		if db, err = keepPartition(db, *partition); err != nil {
+			return err
+		}
+	}
+
 	srv := server.NewWithCacheBudget(db, *cacheBudget)
 	if *pprofOn {
 		srv.EnablePprof()
@@ -103,6 +137,36 @@ func run() error {
 		}
 		srv.SetSlowQueryLog(w, *slowThr)
 		fmt.Printf("slow-query log -> %s (threshold %v)\n", *slowLog, srv.Telemetry().SlowLog.Threshold())
+	}
+	if *children != "" {
+		if *shards > 0 {
+			return fmt.Errorf("-children and -shards both register the %q backend; pick one", server.ShardBackendName)
+		}
+		urls := splitList(*children)
+		if len(urls) == 0 {
+			return fmt.Errorf("-children lists no URLs")
+		}
+		bes := make([]backend.Backend, len(urls))
+		for i, u := range urls {
+			c, err := netbe.New(context.Background(), u, netbe.Options{})
+			if err != nil {
+				return err
+			}
+			bes[i] = c
+		}
+		router, err := shardbe.New(bes, shardbe.Options{
+			Telemetry:           srv.Telemetry(),
+			Hedge:               shardbe.HedgeOptions{Enabled: *hedge, Delay: *hedgeDelay},
+			PartialCacheEntries: *partialCache,
+		})
+		if err != nil {
+			return err
+		}
+		if err := srv.RegisterBackend(server.ShardBackendName, router); err != nil {
+			return err
+		}
+		fmt.Printf("registered shard router %q over %d remote children (hedging %v)\n",
+			server.ShardBackendName, len(urls), *hedge)
 	}
 	if *shards > 0 {
 		// Partition every loaded table across N embedded children behind
@@ -130,4 +194,43 @@ func run() error {
 	}
 	fmt.Printf("SeeDB middleware listening on %s\n", *listen)
 	return http.ListenAndServe(*listen, srv)
+}
+
+// keepPartition replaces the loaded database with just the i-th of n
+// contiguous blocks of every table — the child server's share when a
+// dataset is split across a fleet. Splitting with the same block
+// partitioner the in-process router uses means a -children router over
+// the fleet presents the original global row order.
+func keepPartition(src *sqldb.DB, spec string) (*sqldb.DB, error) {
+	var idx, n int
+	if _, err := fmt.Sscanf(spec, "%d/%d", &idx, &n); err != nil || n < 1 || idx < 0 || idx >= n {
+		return nil, fmt.Errorf("bad -partition %q (want \"i/n\" with 0 <= i < n)", spec)
+	}
+	parts := make([]*sqldb.DB, n)
+	for i := range parts {
+		parts[i] = sqldb.NewDB()
+	}
+	for _, name := range src.TableNames() {
+		t, ok := src.Table(name)
+		if !ok {
+			continue
+		}
+		if err := shardbe.ScatterTable(src, name, parts, shardbe.Blocks{Total: t.NumRows()}); err != nil {
+			return nil, err
+		}
+		kept, _ := parts[idx].Table(name)
+		fmt.Printf("partition %d/%d of %s: %d rows\n", idx, n, name, kept.NumRows())
+	}
+	return parts[idx], nil
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -14,6 +14,10 @@
 //
 //	# Manual (non-recommended) SQL, the other half of the frontend.
 //	seedb -dataset census -sql "SELECT sex, AVG(age) FROM census GROUP BY sex"
+//
+//	# Recommend over a running seedb-server (or several, sharded):
+//	seedb -join http://localhost:8080 -table census -target "sex = 'Female'"
+//	seedb -join http://h1:8081,http://h2:8082 -table census -target "sex = 'Female'"
 package main
 
 import (
@@ -26,6 +30,9 @@ import (
 	"time"
 
 	"seedb"
+	"seedb/internal/backend"
+	"seedb/internal/backend/netbe"
+	"seedb/internal/backend/shardbe"
 	"seedb/internal/dataset"
 	"seedb/internal/distance"
 	"seedb/internal/sqldb"
@@ -44,7 +51,11 @@ func run() error {
 		dsName    = flag.String("dataset", "", "built-in dataset to load ("+strings.Join(dataset.Names(), ", ")+")")
 		rows      = flag.Int("rows", 0, "override generated row count for -dataset")
 		csvPath   = flag.String("csv", "", "CSV file to load instead of a built-in dataset")
-		tableName = flag.String("table", "", "table name for -csv (default: file name)")
+		tableName = flag.String("table", "", "table name for -csv (default: file name) or -join (required)")
+		join      = flag.String("join", "",
+			"comma-separated base URLs of running seedb-servers: recommend over their data\n"+
+				"via the netbe wire protocol instead of loading locally (one URL = direct\n"+
+				"remote backend; several = shard router over remote children)")
 		layoutStr = flag.String("layout", "col", "physical layout: row or col")
 		target    = flag.String("target", "", "target predicate (the analyst's query), e.g. \"marital = 'Unmarried'\"")
 		reference = flag.String("reference", "all", "reference dataset: all, complement, or a SQL predicate")
@@ -78,6 +89,24 @@ func run() error {
 	}
 	table := ""
 	switch {
+	case *join != "":
+		if *dsName != "" || *csvPath != "" || *shards > 1 {
+			return fmt.Errorf("-join reads remote data; it excludes -dataset, -csv, and -shards")
+		}
+		if *tableName == "" {
+			return fmt.Errorf("-join needs -table (the remote table to analyze)")
+		}
+		be, err := joinBackend(splitList(*join))
+		if err != nil {
+			return err
+		}
+		client = seedb.NewWithBackend(be)
+		table = *tableName
+		ti, err := client.Backend().TableInfo(context.Background(), table)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("joined %s: %d rows over %d server(s)\n", table, ti.Rows, len(splitList(*join)))
 	case *dsName != "":
 		spec, err := dataset.ByName(*dsName)
 		if err != nil {
@@ -229,6 +258,27 @@ func run() error {
 		fmt.Printf("\ntrace:\n%s", tr.Finish().Render())
 	}
 	return nil
+}
+
+// joinBackend connects to one or more remote seedb-servers: a single
+// URL becomes a direct netbe backend, several become a shard router
+// whose children are netbe clients (the cross-process deployment).
+func joinBackend(urls []string) (backend.Backend, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("-join lists no URLs")
+	}
+	children := make([]backend.Backend, len(urls))
+	for i, u := range urls {
+		c, err := netbe.New(context.Background(), u, netbe.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("joining %s: %w", u, err)
+		}
+		children[i] = c
+	}
+	if len(children) == 1 {
+		return children[0], nil
+	}
+	return shardbe.New(children, shardbe.Options{})
 }
 
 // splitList splits a comma-separated flag value.

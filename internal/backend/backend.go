@@ -45,6 +45,16 @@ import (
 // failure; callers match with errors.Is.
 var ErrNoTable = errors.New("backend: table does not exist")
 
+// ErrUnavailable reports that the backing store could not be reached or
+// answered with a server-side failure — an outage, not a client mistake.
+// Network backends (internal/backend/netbe) wrap it around transport
+// errors and remote 5xx responses after their retry budget is spent; the
+// shard router preserves it through its child-error wrapping. The HTTP
+// server's error classifier maps it to 502 Bad Gateway, which is what
+// lets an upstream netbe's retry policy key off status codes instead of
+// guessing from message text.
+var ErrUnavailable = errors.New("backend: store unavailable")
+
 // Value is the engine's runtime scalar, shared with the embedded store
 // so the hot path (the embedded adapter) moves rows without conversion.
 type Value = sqldb.Value
@@ -179,6 +189,23 @@ type ExecStats struct {
 	// start until the last shard answers.
 	ShardFanout       int
 	ShardStragglerMax time.Duration
+	// ShardPartialsCached counts child executions a routing backend
+	// answered from its per-shard partial memo (keyed by the child's own
+	// version token) instead of re-executing; they do not appear in
+	// ShardFanout, which counts real executions only.
+	ShardPartialsCached int
+	// HedgedPartials counts speculative duplicate child executions a
+	// routing backend issued against stragglers; HedgeWins counts the
+	// duplicates that answered first (the primary was then cancelled).
+	// Exactly one result per partial ever reaches the merge, hedged or
+	// not.
+	HedgedPartials int
+	HedgeWins      int
+	// NetRetries counts transparent retries a network child backend
+	// (internal/backend/netbe) performed inside this execution after
+	// retryable transport or 5xx failures. Zero means every round trip
+	// succeeded first try.
+	NetRetries int
 }
 
 // Rows is a fully materialized query result: named columns over rows of

@@ -1,0 +1,91 @@
+package conformancetest
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"seedb/internal/backend"
+	"seedb/internal/backend/netbe"
+	"seedb/internal/backend/shardbe"
+	"seedb/internal/server"
+	"seedb/internal/sqldb"
+)
+
+// startRemote stands up a seedb-server over db and connects a netbe
+// client to it.
+func startRemote(tb testing.TB, db *sqldb.DB) *netbe.Client {
+	tb.Helper()
+	srv := httptest.NewServer(server.New(db))
+	tb.Cleanup(srv.Close)
+	c, err := netbe.New(context.Background(), srv.URL, netbe.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+// TestNetBackendConformance holds the network backend bit-identical to
+// the embedded reference: the backend under test is a netbe client
+// whose remote server serves the harness's own source database, so
+// every divergence is the wire protocol's fault — value encoding, stats
+// transport, version tokens, error mapping. The remote embedded store
+// keeps full capabilities, so phased strategies run phased end to end
+// (Lo/Hi travel in the query request).
+//
+// No Invalidate hook: the remote server reads the source database
+// directly, and the embedded store's version tokens observe the
+// harness's appends, so the version endpoint stays truthful on its own.
+func TestNetBackendConformance(t *testing.T) {
+	Harness{
+		New: func(tb testing.TB, db *sqldb.DB) backend.Backend {
+			return startRemote(tb, db)
+		},
+	}.Run(t)
+}
+
+// TestShardedNetBackendConformance is the scale-out deployment the
+// paper's middleware architecture promises, in miniature: a shard
+// router whose two children are netbe clients of two separate
+// seedb-servers, each holding one contiguous block of the source table.
+// The whole stack — partition, remote wire hops, partial-aggregate
+// merge — must stay bit-identical to one unsharded in-process run.
+func TestShardedNetBackendConformance(t *testing.T) {
+	const shards = 2
+	var cur struct {
+		src *sqldb.DB
+		dbs []*sqldb.DB
+	}
+	mirror := func(tb testing.TB) {
+		tb.Helper()
+		tab, ok := cur.src.Table(SourceTable)
+		if !ok {
+			tb.Fatalf("source table %q missing", SourceTable)
+		}
+		if err := shardbe.ScatterTable(cur.src, SourceTable, cur.dbs, shardbe.Blocks{Total: tab.NumRows()}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	Harness{
+		New: func(tb testing.TB, db *sqldb.DB) backend.Backend {
+			cur.src = db
+			cur.dbs = make([]*sqldb.DB, shards)
+			children := make([]backend.Backend, shards)
+			for i := range cur.dbs {
+				cur.dbs[i] = sqldb.NewDB()
+			}
+			// Scatter before the servers see traffic, then connect one
+			// netbe client per child server.
+			mirror(tb)
+			for i, cdb := range cur.dbs {
+				children[i] = startRemote(tb, cdb)
+			}
+			r, err := shardbe.New(children, shardbe.Options{})
+			if err != nil {
+				tb.Fatal(err)
+			}
+			return r
+		},
+		Invalidate: func(backend.Backend) { mirror(t) },
+	}.Run(t)
+}

@@ -1,0 +1,113 @@
+// Package faultbe wraps a backend.Backend with injectable faults —
+// added latency and scripted errors — for tests and benchmarks that
+// need a misbehaving child on demand: the shard router's hedging tests
+// make one child a straggler, the netbe robustness tests script
+// outages, and the shard benchmark's hedged-vs-unhedged curve injects a
+// deterministic straggler per fan-out.
+//
+// The wrapper is deliberately boring: it never changes results, only
+// when (latency) and whether (errors) they arrive. Latency honors ctx
+// cancellation — a hedged loser or a timed-out call aborts its sleep
+// immediately, which is exactly the behavior cancellation tests need to
+// observe (the Aborted counter counts those).
+package faultbe
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seedb/internal/backend"
+)
+
+// Fault is a fault-injecting backend wrapper. Safe for concurrent use.
+type Fault struct {
+	inner backend.Backend
+
+	mu       sync.Mutex
+	delay    time.Duration
+	failures int
+	failErr  error
+
+	execs   atomic.Int64
+	aborted atomic.Int64
+}
+
+// Wrap decorates inner with fault injection (no faults configured yet).
+func Wrap(inner backend.Backend) *Fault {
+	return &Fault{inner: inner}
+}
+
+// SetExecDelay makes every subsequent Exec sleep d before delegating
+// (0 removes the delay). The sleep aborts on ctx cancellation.
+func (f *Fault) SetExecDelay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// FailNextExecs scripts the next n Exec calls to fail with err without
+// reaching the inner backend.
+func (f *Fault) FailNextExecs(n int, err error) {
+	f.mu.Lock()
+	f.failures, f.failErr = n, err
+	f.mu.Unlock()
+}
+
+// Execs counts Exec calls that reached this wrapper (failed, aborted
+// and delegated alike).
+func (f *Fault) Execs() int64 { return f.execs.Load() }
+
+// Aborted counts Exec calls whose injected delay was cut short by ctx
+// cancellation — hedging's cancelled losers land here.
+func (f *Fault) Aborted() int64 { return f.aborted.Load() }
+
+// Name delegates to the inner backend, so version tokens and cache keys
+// are indistinguishable from the unwrapped store.
+func (f *Fault) Name() string { return f.inner.Name() }
+
+// Capabilities delegates to the inner backend.
+func (f *Fault) Capabilities() backend.Capabilities { return f.inner.Capabilities() }
+
+// TableInfo delegates to the inner backend.
+func (f *Fault) TableInfo(ctx context.Context, table string) (backend.TableInfo, error) {
+	return f.inner.TableInfo(ctx, table)
+}
+
+// TableVersion delegates to the inner backend.
+func (f *Fault) TableVersion(ctx context.Context, table string) (string, bool) {
+	return f.inner.TableVersion(ctx, table)
+}
+
+// TableStats delegates to the inner backend.
+func (f *Fault) TableStats(ctx context.Context, table string) (*backend.TableStats, error) {
+	return f.inner.TableStats(ctx, table)
+}
+
+// Exec applies the scripted faults, then delegates.
+func (f *Fault) Exec(ctx context.Context, query string, opts backend.ExecOptions) (*backend.Rows, backend.ExecStats, error) {
+	f.execs.Add(1)
+	f.mu.Lock()
+	delay := f.delay
+	var err error
+	if f.failures > 0 {
+		f.failures--
+		err = f.failErr
+	}
+	f.mu.Unlock()
+	if err != nil {
+		return nil, backend.ExecStats{}, err
+	}
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			f.aborted.Add(1)
+			return nil, backend.ExecStats{}, ctx.Err()
+		case <-t.C:
+		}
+	}
+	return f.inner.Exec(ctx, query, opts)
+}

@@ -1,0 +1,34 @@
+package netbe
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// sleepBackoff waits out the backoff before retry number attempt
+// (1-based): exponential from BaseBackoff, capped at MaxBackoff, with
+// ±50% jitter so a fleet of clients hammered by the same outage does
+// not retry in lockstep. It returns early with an error when the
+// caller's ctx is cancelled mid-sleep or its deadline leaves no room
+// for the sleep at all — sleeping past a deadline would burn the
+// remaining budget on a wait whose attempt can only fail.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int) error {
+	d := c.opts.BaseBackoff << (attempt - 1)
+	if d <= 0 || d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	// Jitter: uniform in [d/2, d].
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) <= d {
+		return context.DeadlineExceeded
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

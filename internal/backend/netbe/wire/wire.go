@@ -1,0 +1,286 @@
+// Package wire defines the JSON wire protocol between a seedb-server
+// and the netbe network-backend client — the cross-process half of the
+// paper's middleware/DBMS split. The server (internal/server) encodes
+// these types on its introspection endpoints and on the typed
+// /api/query path; netbe decodes them back into backend.Backend
+// results. Both sides compile against this one package, so the contract
+// cannot drift silently.
+//
+// Values round-trip bit-exactly: integers travel as JSON numbers
+// (decoded straight into int64, no float detour), and floats travel as
+// hexadecimal float strings (strconv 'x' format), which preserves the
+// exact bit pattern — including -0.0, ±Inf and NaN — where a decimal
+// JSON number could not. That is what lets a netbe-backed engine stay
+// bit-identical to the embedded reference in backend/conformancetest.
+package wire
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"seedb/internal/backend"
+	"seedb/internal/sqldb"
+)
+
+// ProtoVersion identifies the wire protocol generation. The handshake
+// endpoint reports it; a client refusing to speak to a newer server
+// fails loudly instead of mis-decoding.
+const ProtoVersion = 1
+
+// Value is one engine scalar on the wire. Exactly one of the payload
+// fields is meaningful, selected by K.
+type Value struct {
+	// K is the value kind: "n" (NULL), "i" (int), "f" (float),
+	// "s" (string), "b" (bool).
+	K string `json:"k"`
+	I int64  `json:"i,omitempty"`
+	// F is the float payload in strconv's hexadecimal 'x' format
+	// ("0x1.8p+01"), or "NaN"/"+Inf"/"-Inf". Hex keeps the round trip
+	// bit-exact.
+	F string `json:"f,omitempty"`
+	S string `json:"s,omitempty"`
+	B bool   `json:"b,omitempty"`
+}
+
+// FromValue encodes one engine scalar.
+func FromValue(v sqldb.Value) Value {
+	switch v.Kind {
+	case sqldb.KindNull:
+		return Value{K: "n"}
+	case sqldb.KindInt:
+		return Value{K: "i", I: v.I}
+	case sqldb.KindFloat:
+		return Value{K: "f", F: strconv.FormatFloat(v.F, 'x', -1, 64)}
+	case sqldb.KindString:
+		return Value{K: "s", S: v.S}
+	case sqldb.KindBool:
+		return Value{K: "b", B: v.I != 0}
+	default:
+		return Value{K: "n"}
+	}
+}
+
+// ToValue decodes one wire scalar.
+func (w Value) ToValue() (sqldb.Value, error) {
+	switch w.K {
+	case "n":
+		return sqldb.Null(), nil
+	case "i":
+		return sqldb.Int(w.I), nil
+	case "f":
+		f, err := strconv.ParseFloat(w.F, 64)
+		if err != nil {
+			return sqldb.Null(), fmt.Errorf("wire: bad float payload %q: %w", w.F, err)
+		}
+		return sqldb.Float(f), nil
+	case "s":
+		return sqldb.Str(w.S), nil
+	case "b":
+		return sqldb.Bool(w.B), nil
+	default:
+		return sqldb.Null(), fmt.Errorf("wire: unknown value kind %q", w.K)
+	}
+}
+
+// EncodeRows converts a materialized result to wire rows.
+func EncodeRows(rows [][]sqldb.Value) [][]Value {
+	out := make([][]Value, len(rows))
+	for r, row := range rows {
+		wr := make([]Value, len(row))
+		for i, v := range row {
+			wr[i] = FromValue(v)
+		}
+		out[r] = wr
+	}
+	return out
+}
+
+// DecodeRows converts wire rows back to engine rows.
+func DecodeRows(rows [][]Value) ([][]sqldb.Value, error) {
+	out := make([][]sqldb.Value, len(rows))
+	for r, row := range rows {
+		vr := make([]sqldb.Value, len(row))
+		for i, wv := range row {
+			v, err := wv.ToValue()
+			if err != nil {
+				return nil, fmt.Errorf("row %d column %d: %w", r, i, err)
+			}
+			vr[i] = v
+		}
+		out[r] = vr
+	}
+	return out, nil
+}
+
+// ExecStats mirrors backend.ExecStats field for field (durations in
+// nanoseconds), so a remote execution's cost report survives the wire.
+type ExecStats struct {
+	RowsScanned         int    `json:"rows_scanned"`
+	Groups              int    `json:"groups"`
+	Vectorized          bool   `json:"vectorized"`
+	FallbackReason      string `json:"fallback_reason,omitempty"`
+	Workers             int    `json:"workers"`
+	SelectionKernels    int    `json:"selection_kernels"`
+	ResidualPredicates  int    `json:"residual_predicates"`
+	ShardFanout         int    `json:"shard_fanout"`
+	ShardStragglerNS    int64  `json:"shard_straggler_ns"`
+	ShardPartialsCached int    `json:"shard_partials_cached"`
+	HedgedPartials      int    `json:"hedged_partials"`
+	HedgeWins           int    `json:"hedge_wins"`
+	NetRetries          int    `json:"net_retries"`
+}
+
+// FromExecStats encodes execution stats.
+func FromExecStats(s backend.ExecStats) ExecStats {
+	return ExecStats{
+		RowsScanned:         s.RowsScanned,
+		Groups:              s.Groups,
+		Vectorized:          s.Vectorized,
+		FallbackReason:      s.FallbackReason,
+		Workers:             s.Workers,
+		SelectionKernels:    s.SelectionKernels,
+		ResidualPredicates:  s.ResidualPredicates,
+		ShardFanout:         s.ShardFanout,
+		ShardStragglerNS:    s.ShardStragglerMax.Nanoseconds(),
+		ShardPartialsCached: s.ShardPartialsCached,
+		HedgedPartials:      s.HedgedPartials,
+		HedgeWins:           s.HedgeWins,
+		NetRetries:          s.NetRetries,
+	}
+}
+
+// ToExecStats decodes execution stats.
+func (w ExecStats) ToExecStats() backend.ExecStats {
+	return backend.ExecStats{
+		RowsScanned:         w.RowsScanned,
+		Groups:              w.Groups,
+		Vectorized:          w.Vectorized,
+		FallbackReason:      w.FallbackReason,
+		Workers:             w.Workers,
+		SelectionKernels:    w.SelectionKernels,
+		ResidualPredicates:  w.ResidualPredicates,
+		ShardFanout:         w.ShardFanout,
+		ShardStragglerMax:   time.Duration(w.ShardStragglerNS),
+		ShardPartialsCached: w.ShardPartialsCached,
+		HedgedPartials:      w.HedgedPartials,
+		HedgeWins:           w.HedgeWins,
+		NetRetries:          w.NetRetries,
+	}
+}
+
+// Column is one schema column on the wire.
+type Column struct {
+	Name string `json:"name"`
+	// Type is the ColumnType's numeric code (stable across both sides:
+	// the codes are part of this protocol).
+	Type uint8 `json:"type"`
+}
+
+// TableInfo is GET /api/backend/info's payload.
+type TableInfo struct {
+	Name    string   `json:"name"`
+	Columns []Column `json:"columns"`
+	Rows    int      `json:"rows"`
+	// Layout is "row" or "col".
+	Layout string `json:"layout"`
+}
+
+// FromTableInfo encodes a table description.
+func FromTableInfo(ti backend.TableInfo) TableInfo {
+	out := TableInfo{Name: ti.Name, Rows: ti.Rows, Layout: "row"}
+	if ti.Layout == backend.LayoutCol {
+		out.Layout = "col"
+	}
+	for _, c := range ti.Columns {
+		out.Columns = append(out.Columns, Column{Name: c.Name, Type: uint8(c.Type)})
+	}
+	return out
+}
+
+// ToTableInfo decodes a table description.
+func (w TableInfo) ToTableInfo() backend.TableInfo {
+	out := backend.TableInfo{Name: w.Name, Rows: w.Rows, Layout: backend.LayoutRow}
+	if w.Layout == "col" {
+		out.Layout = backend.LayoutCol
+	}
+	for _, c := range w.Columns {
+		out.Columns = append(out.Columns, backend.Column{Name: c.Name, Type: backend.ColumnType(c.Type)})
+	}
+	return out
+}
+
+// ColumnStats is one column's statistics on the wire.
+type ColumnStats struct {
+	Name     string `json:"name"`
+	Type     uint8  `json:"type"`
+	Distinct int    `json:"distinct"`
+}
+
+// TableStats is GET /api/backend/stats's payload.
+type TableStats struct {
+	Rows    int           `json:"rows"`
+	Columns []ColumnStats `json:"columns"`
+}
+
+// FromTableStats encodes table statistics.
+func FromTableStats(ts *backend.TableStats) TableStats {
+	out := TableStats{Rows: ts.Rows}
+	for _, c := range ts.Columns {
+		out.Columns = append(out.Columns, ColumnStats{Name: c.Name, Type: uint8(c.Type), Distinct: c.Distinct})
+	}
+	return out
+}
+
+// ToTableStats decodes table statistics.
+func (w TableStats) ToTableStats() *backend.TableStats {
+	out := &backend.TableStats{Rows: w.Rows}
+	for _, c := range w.Columns {
+		out.Columns = append(out.Columns, backend.ColumnStats{Name: c.Name, Type: backend.ColumnType(c.Type), Distinct: c.Distinct})
+	}
+	return out
+}
+
+// TableVersion is GET /api/backend/version's payload. OK false means
+// the table does not exist (or the store could not say).
+type TableVersion struct {
+	Version string `json:"version"`
+	OK      bool   `json:"ok"`
+}
+
+// Handshake is GET /api/backend/caps's payload: the remote backend's
+// identity and capability flags, checked once when a netbe client is
+// constructed.
+type Handshake struct {
+	Proto                   int    `json:"proto"`
+	Backend                 string `json:"backend"`
+	SupportsVectorized      bool   `json:"supports_vectorized"`
+	SupportsPhasedExecution bool   `json:"supports_phased_execution"`
+}
+
+// QueryRequest is the typed POST /api/query payload a netbe client
+// sends: Wire true selects the typed response (string cells otherwise,
+// for human clients), and the ExecOptions fields travel alongside.
+type QueryRequest struct {
+	SQL     string `json:"sql"`
+	Backend string `json:"backend,omitempty"`
+	Wire    bool   `json:"wire,omitempty"`
+	Lo      int    `json:"lo,omitempty"`
+	Hi      int    `json:"hi,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	// NoSelectionKernels forwards the cost-ablation knob.
+	NoSelectionKernels bool `json:"no_selection_kernels,omitempty"`
+}
+
+// QueryResponse is the typed /api/query response (Wire true).
+type QueryResponse struct {
+	Columns []string  `json:"columns"`
+	Rows    [][]Value `json:"vrows"`
+	Stats   ExecStats `json:"stats"`
+}
+
+// Error is the uniform error payload netbe decodes from non-200
+// responses (the server's errorResponse shape).
+type Error struct {
+	Error string `json:"error"`
+}

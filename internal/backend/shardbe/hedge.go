@@ -1,0 +1,276 @@
+// Straggler hedging and per-shard partial memoization for the shard
+// router.
+//
+// Hedging bounds a fan-out's tail latency: the merge cannot start until
+// the slowest shard answers, so one straggling child drags the whole
+// query to its pace (ShardStragglerMax is exactly that critical path).
+// When a child execution outlives the hedge delay — a percentile of the
+// router's own recent child latencies, or a fixed operator-chosen
+// duration — the router issues a speculative duplicate of the same
+// partial, takes whichever answer arrives first, and cancels the loser.
+// Exactly one result per partial ever reaches the merge, so hedged and
+// unhedged executions are bit-identical; hedging spends duplicate work
+// to buy tail latency, never correctness.
+//
+// The partial memo answers repeated child executions from memory, keyed
+// by the child's own version token — the shard-level analogue of the
+// engine's result cache. It is off by default: the shard benchmarks
+// (and TestShardFanoutEngages) measure cold fan-out cost, and a router
+// that silently answered from memory would report a fanout of zero.
+// Deployments opt in with Options.PartialCacheEntries.
+package shardbe
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"seedb/internal/backend"
+	"seedb/internal/telemetry"
+)
+
+// HedgeOptions configures straggler hedging.
+type HedgeOptions struct {
+	// Enabled turns hedging on.
+	Enabled bool
+	// Delay is a fixed hedge delay. Zero selects the adaptive delay: the
+	// configured Percentile of the router's own observed child latencies,
+	// floored at MinDelay.
+	Delay time.Duration
+	// Percentile picks the adaptive delay from the child-latency
+	// distribution (50, 90, 95 or 99; default 95). A partial slower than
+	// this percentile is, by construction, a straggler.
+	Percentile float64
+	// MinDelay floors the adaptive delay (default 1ms), and stands in for
+	// it entirely until enough latency history accumulates. It keeps a
+	// fast-and-tight latency distribution from hedging every call.
+	MinDelay time.Duration
+}
+
+// hedgeHistoryMin is how many child latencies the adaptive delay wants
+// before trusting a percentile over MinDelay.
+const hedgeHistoryMin = 8
+
+// hedgeDelay computes the current hedge delay.
+func (r *Router) hedgeDelay() time.Duration {
+	if r.hedge.Delay > 0 {
+		return r.hedge.Delay
+	}
+	min := r.hedge.MinDelay
+	if min <= 0 {
+		min = time.Millisecond
+	}
+	snap := r.hedgeLat.Snapshot()
+	if snap.Count < hedgeHistoryMin {
+		return min
+	}
+	var ms float64
+	switch {
+	case r.hedge.Percentile >= 99:
+		ms = snap.P99MS
+	case r.hedge.Percentile >= 95 || r.hedge.Percentile <= 0:
+		ms = snap.P95MS
+	case r.hedge.Percentile >= 90:
+		ms = snap.P90MS
+	default:
+		ms = snap.P50MS
+	}
+	d := time.Duration(ms * float64(time.Millisecond))
+	if d < min {
+		d = min
+	}
+	return d
+}
+
+// hedgeTarget picks where a child's speculative duplicate runs: the
+// configured replica when one exists, the same child otherwise (a
+// duplicate against the same store still beats a transient stall —
+// scheduling hiccups, one slow connection — though not a uniformly slow
+// child).
+func (r *Router) hedgeTarget(child int) backend.Backend {
+	if child < len(r.replicas) && len(r.replicas[child]) > 0 {
+		return r.replicas[child][0]
+	}
+	return r.children[child]
+}
+
+// runChild executes one planned partial: memo lookup first (when the
+// memo is on and the child's version is observable), then a plain or
+// hedged execution, then memo fill.
+func (r *Router) runChild(ctx context.Context, table, childSQL string, t childTask, opts backend.ExecOptions) childRun {
+	childOpts := backend.ExecOptions{
+		Lo: t.lo, Hi: t.hi,
+		Workers:            opts.Workers,
+		NoSelectionKernels: opts.NoSelectionKernels,
+	}
+	var memoKey string
+	if r.memo != nil {
+		if v, ok := r.children[t.child].TableVersion(ctx, table); ok {
+			memoKey = partialKey(t.child, v, childSQL, childOpts)
+			if e, ok := r.memo.get(memoKey); ok {
+				// A memo hit did no scanning, so only the result-shaped
+				// stats survive; scan-cost counters stay zero and the hit
+				// is invisible to the straggler max.
+				return childRun{
+					rows: e.rows,
+					stats: backend.ExecStats{
+						Groups:         e.groups,
+						Vectorized:     e.vectorized,
+						FallbackReason: e.reason,
+						Workers:        1,
+					},
+					cached: true,
+				}
+			}
+		}
+	}
+	run := r.execHedged(ctx, t, childSQL, childOpts)
+	if run.err == nil && memoKey != "" {
+		r.memo.put(memoKey, partialEntry{
+			rows:       run.rows,
+			groups:     run.stats.Groups,
+			vectorized: run.stats.Vectorized,
+			reason:     run.stats.FallbackReason,
+		})
+	}
+	return run
+}
+
+// execHedged runs one partial with hedging (when enabled): launch the
+// primary, arm a timer with the hedge delay, duplicate the partial on
+// expiry, keep the first success and cancel the other attempt. A
+// failure is returned as-is when no other attempt is in flight —
+// hedging is a tail-latency tool, not a retry policy (netbe owns
+// retries, with its own budget).
+func (r *Router) execHedged(ctx context.Context, t childTask, childSQL string, childOpts backend.ExecOptions) childRun {
+	if !r.hedge.Enabled {
+		cctx, csp := telemetry.StartSpan(ctx, "shard.exec")
+		csp.SetAttr("shard", strconv.Itoa(t.child))
+		start := time.Now()
+		rows, stats, err := r.children[t.child].Exec(cctx, childSQL, childOpts)
+		lat := time.Since(start)
+		csp.End()
+		return childRun{rows: rows, stats: stats, lat: lat, err: err}
+	}
+
+	type attempt struct {
+		run    childRun
+		hedged bool
+	}
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	// Buffered to both attempts, so a loser finishing after the winner
+	// never blocks on a channel nobody reads.
+	results := make(chan attempt, 2)
+	launch := func(be backend.Backend, hedged bool) {
+		go func() {
+			cctx, csp := telemetry.StartSpan(actx, "shard.exec")
+			csp.SetAttr("shard", strconv.Itoa(t.child))
+			if hedged {
+				csp.SetAttr("hedged", "true")
+			}
+			start := time.Now()
+			rows, stats, err := be.Exec(cctx, childSQL, childOpts)
+			lat := time.Since(start)
+			csp.End()
+			results <- attempt{run: childRun{rows: rows, stats: stats, lat: lat, err: err}, hedged: hedged}
+		}()
+	}
+	launch(r.children[t.child], false)
+
+	timer := time.NewTimer(r.hedgeDelay())
+	defer timer.Stop()
+	outstanding := 1
+	hedgedIssued := false
+	var failure childRun
+	for {
+		select {
+		case <-timer.C:
+			if !hedgedIssued {
+				hedgedIssued = true
+				outstanding++
+				launch(r.hedgeTarget(t.child), true)
+			}
+		case a := <-results:
+			outstanding--
+			if a.run.err == nil {
+				// First success wins; cancelling actx aborts the loser's
+				// scan mid-flight. Only the winner's latency feeds the
+				// adaptive-delay history — the loser's says nothing about
+				// how fast a healthy partial runs.
+				acancel()
+				a.run.hedged = hedgedIssued
+				a.run.hedgeWon = a.hedged
+				r.hedgeLat.Observe(a.run.lat)
+				return a.run
+			}
+			// Keep the most diagnostic failure: a real error over the
+			// cancellation it caused on the other attempt.
+			if failure.err == nil || (isCtxErr(failure.err) && !isCtxErr(a.run.err)) {
+				failure = a.run
+			}
+			if outstanding == 0 {
+				failure.hedged = hedgedIssued
+				return failure
+			}
+		}
+	}
+}
+
+// partialKey identifies one child execution for the memo. The child's
+// version token pins the data generation; the rest pins the exact work.
+func partialKey(child int, version, childSQL string, opts backend.ExecOptions) string {
+	return fmt.Sprintf("%d\x00%s\x00%s\x00%d|%d|%d|%t",
+		child, version, childSQL, opts.Lo, opts.Hi, opts.Workers, opts.NoSelectionKernels)
+}
+
+// partialEntry is one memoized child partial. Rows are shared, never
+// copied: partial results are immutable once returned (the merge builds
+// fresh output rows and only reads child rows).
+type partialEntry struct {
+	rows       *backend.Rows
+	groups     int
+	vectorized bool
+	reason     string
+}
+
+// partialMemo is a bounded FIFO memo of child partials. FIFO (not LRU)
+// keeps eviction O(1) with no per-hit bookkeeping; the memo's job is
+// absorbing repeated identical fan-outs, not modelling reuse distance.
+type partialMemo struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]partialEntry
+	order   []string
+}
+
+// newPartialMemo creates a memo holding at most max entries.
+func newPartialMemo(max int) *partialMemo {
+	return &partialMemo{max: max, entries: make(map[string]partialEntry, max)}
+}
+
+// get returns the memoized partial for key, if any.
+func (m *partialMemo) get(key string) (partialEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	return e, ok
+}
+
+// put memoizes one partial, evicting the oldest entry over budget.
+func (m *partialMemo) put(key string, e partialEntry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.entries[key]; dup {
+		return
+	}
+	for len(m.entries) >= m.max && len(m.order) > 0 {
+		oldest := m.order[0]
+		m.order = m.order[1:]
+		delete(m.entries, oldest)
+	}
+	m.entries[key] = e
+	m.order = append(m.order, key)
+}

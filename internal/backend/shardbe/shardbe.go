@@ -76,6 +76,21 @@ type Options struct {
 	// in the collector's shard-latency histogram — per-child partials,
 	// which is what turns "the straggler max" into a distribution.
 	Telemetry *telemetry.Collector
+	// Hedge configures straggler hedging (off by default): child
+	// executions outliving the hedge delay get a speculative duplicate,
+	// first answer wins, loser is cancelled. See hedge.go.
+	Hedge HedgeOptions
+	// Replicas optionally lists, per child index, alternate backends
+	// holding the same shard's data; hedged duplicates run there instead
+	// of doubling load on the straggler itself. Missing or empty entries
+	// fall back to re-querying the same child.
+	Replicas [][]backend.Backend
+	// PartialCacheEntries bounds the per-shard partial memo (0 disables
+	// it, the default): repeated identical child executions answer from
+	// memory, keyed by the child's own version token, and report as
+	// ShardPartialsCached instead of ShardFanout. Off by default because
+	// the shard benchmarks measure cold fan-out cost.
+	PartialCacheEntries int
 }
 
 // Router is the shard-routing backend. It is safe for concurrent use
@@ -85,6 +100,13 @@ type Router struct {
 	children []backend.Backend
 	par      int
 	tel      *telemetry.Collector
+	hedge    HedgeOptions
+	replicas [][]backend.Backend
+	// hedgeLat tracks winning child-execution latencies for the adaptive
+	// hedge delay (router-internal, independent of Options.Telemetry).
+	hedgeLat *telemetry.Histogram
+	// memo is the per-shard partial memo, nil when disabled.
+	memo *partialMemo
 
 	mu        sync.Mutex
 	statsMemo map[string]statsEntry // table (lowercased) → memoized stats
@@ -110,13 +132,23 @@ func New(children []backend.Backend, opts Options) (*Router, error) {
 	if par <= 0 || par > len(children) {
 		par = len(children)
 	}
-	return &Router{
+	if len(opts.Replicas) > len(children) {
+		return nil, fmt.Errorf("shardbe: %d replica sets for %d children", len(opts.Replicas), len(children))
+	}
+	r := &Router{
 		name:      name,
 		children:  append([]backend.Backend(nil), children...),
 		par:       par,
 		tel:       opts.Telemetry,
+		hedge:     opts.Hedge,
+		replicas:  opts.Replicas,
+		hedgeLat:  &telemetry.Histogram{},
 		statsMemo: make(map[string]statsEntry),
-	}, nil
+	}
+	if opts.PartialCacheEntries > 0 {
+		r.memo = newPartialMemo(opts.PartialCacheEntries)
+	}
+	return r, nil
 }
 
 // NumChildren returns the fan-out width.
@@ -296,6 +328,21 @@ type childTask struct {
 	lo, hi int // local range; 0,0 means "full child table"
 }
 
+// childRun is one partial's outcome: the winning attempt's result plus
+// how it was obtained (memo hit, hedged, hedge won).
+type childRun struct {
+	rows  *backend.Rows
+	stats backend.ExecStats
+	lat   time.Duration
+	err   error
+	// cached marks a partial answered from the memo (no execution).
+	cached bool
+	// hedged marks that a speculative duplicate was issued for this
+	// partial; hedgeWon that the duplicate answered first.
+	hedged   bool
+	hedgeWon bool
+}
+
 // Exec fans one query out to the children and merges the partial
 // results. The query is decomposed by sqldb.NewShardPlan: aggregates
 // travel as mergeable partial states (AVG as SUM+COUNT, COUNT(DISTINCT)
@@ -358,12 +405,6 @@ func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOption
 	}
 
 	childSQL := sp.ChildSQL()
-	type childRun struct {
-		rows  *backend.Rows
-		stats backend.ExecStats
-		lat   time.Duration
-		err   error
-	}
 	runs := make([]childRun, len(tasks))
 
 	if len(tasks) > 0 {
@@ -387,23 +428,14 @@ func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOption
 			go func() {
 				defer wg.Done()
 				for ti := range work {
-					t := tasks[ti]
-					childOpts := backend.ExecOptions{
-						Lo: t.lo, Hi: t.hi,
-						Workers:            opts.Workers,
-						NoSelectionKernels: opts.NoSelectionKernels,
-					}
-					cctx, csp := telemetry.StartSpan(fanCtx, "shard.exec")
-					csp.SetAttr("shard", strconv.Itoa(t.child))
-					start := time.Now()
-					rows, stats, err := r.children[t.child].Exec(cctx, childSQL, childOpts)
-					lat := time.Since(start)
-					csp.End()
-					runs[ti] = childRun{rows: rows, stats: stats, lat: lat, err: err}
-					if err != nil {
+					run := r.runChild(fanCtx, stmt.Table, childSQL, tasks[ti], opts)
+					runs[ti] = run
+					if run.err != nil {
 						cancel() // first failure aborts the straggling shards
-					} else {
-						r.tel.ObserveShard(lat)
+					} else if !run.cached {
+						// Memo hits cost no child execution; only winners of
+						// real executions belong in the latency distribution.
+						r.tel.ObserveShard(run.lat)
 					}
 				}
 			}()
@@ -432,12 +464,32 @@ func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOption
 		return nil, backend.ExecStats{}, fmt.Errorf("shardbe: shard %d: %w", firstChild, firstErr)
 	}
 
-	stats := backend.ExecStats{ShardFanout: len(tasks)}
+	// ShardFanout counts real child executions; memo hits report as
+	// ShardPartialsCached instead (and cost no latency, so they never
+	// touch the straggler max). Nested robustness counters — a netbe
+	// child's retries, a nested router's hedges — sum through, so the
+	// top-level ExecStats sees the whole tree.
+	var stats backend.ExecStats
 	for ti := range tasks {
 		run := &runs[ti]
+		if run.cached {
+			stats.ShardPartialsCached++
+		} else {
+			stats.ShardFanout++
+		}
+		if run.hedged {
+			stats.HedgedPartials++
+		}
+		if run.hedgeWon {
+			stats.HedgeWins++
+		}
 		stats.RowsScanned += run.stats.RowsScanned
 		stats.SelectionKernels += run.stats.SelectionKernels
 		stats.ResidualPredicates += run.stats.ResidualPredicates
+		stats.ShardPartialsCached += run.stats.ShardPartialsCached
+		stats.HedgedPartials += run.stats.HedgedPartials
+		stats.HedgeWins += run.stats.HedgeWins
+		stats.NetRetries += run.stats.NetRetries
 		if run.stats.Workers > stats.Workers {
 			stats.Workers = run.stats.Workers
 		}

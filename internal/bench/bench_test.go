@@ -350,6 +350,28 @@ func TestShardFanoutEngages(t *testing.T) {
 	}
 	t.Logf("cold curve (GOMAXPROCS=%d): 1 shard %.2fms, 4 shards %.2fms (%.2fx, straggler %.2fms)",
 		rep.GOMAXPROCS, p1.ColdMS, p4.ColdMS, p4.Speedup, p4.StragglerMS)
+
+	// The hedge curve: unhedged, every query eats the injected straggler
+	// delay; hedged, the healthy replica answers first and the straggler
+	// collapses well below the injected delay.
+	if len(rep.Hedge) != 2 || rep.Hedge[0].Hedged || !rep.Hedge[1].Hedged {
+		t.Fatalf("hedge curve = %+v", rep.Hedge)
+	}
+	off, on := rep.Hedge[0], rep.Hedge[1]
+	if min := float64(slowChildDelay.Microseconds()) / 1000; off.StragglerMS < min {
+		t.Errorf("unhedged straggler %.2fms below the injected %.2fms delay", off.StragglerMS, min)
+	}
+	if on.HedgedPartials == 0 || on.HedgeWins == 0 {
+		t.Errorf("hedged run never hedged: %+v", on)
+	}
+	if off.HedgedPartials != 0 || off.HedgeWins != 0 {
+		t.Errorf("unhedged run reports hedges: %+v", off)
+	}
+	if on.StragglerMS >= off.StragglerMS {
+		t.Errorf("hedging did not tame the straggler: %.2fms -> %.2fms", off.StragglerMS, on.StragglerMS)
+	}
+	t.Logf("hedge curve: straggler %.2fms -> %.2fms (%d/%d partials hedged, %d wins)",
+		off.StragglerMS, on.StragglerMS, on.HedgedPartials, on.ShardFanout, on.HedgeWins)
 }
 
 func TestBuildShuffledPreservesContent(t *testing.T) {

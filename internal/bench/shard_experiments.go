@@ -17,6 +17,8 @@ import (
 	"runtime"
 	"time"
 
+	"seedb/internal/backend"
+	"seedb/internal/backend/faultbe"
 	"seedb/internal/backend/shardbe"
 	"seedb/internal/core"
 	"seedb/internal/dataset"
@@ -55,6 +57,25 @@ type ShardReport struct {
 	// experiment's own metrics accounting.
 	QueryLatency        LatencySummary `json:"query_latency"`
 	ShardPartialLatency LatencySummary `json:"shard_partial_latency"`
+	// Hedge is the straggler-mitigation curve: the same 2-shard run with
+	// one artificially slow child, hedging off then on (with a healthy
+	// replica). The hedged run should collapse the straggler tail.
+	Hedge []HedgePoint `json:"hedge"`
+}
+
+// HedgePoint is one hedged-vs-unhedged measurement over a deployment
+// with one slow child.
+type HedgePoint struct {
+	Hedged bool `json:"hedged"`
+	// ColdMS is the cold Recommend latency with the slow child present.
+	ColdMS float64 `json:"cold_ms"`
+	// StragglerMS is the slowest per-query child execution: the injected
+	// delay unhedged, roughly the hedge delay plus a healthy execution
+	// once hedging cuts the straggler off.
+	StragglerMS    float64 `json:"straggler_ms"`
+	ShardFanout    int     `json:"shard_fanout"`
+	HedgedPartials int     `json:"hedged_partials"`
+	HedgeWins      int     `json:"hedge_wins"`
 }
 
 // MeasureShard runs the cold scaling curve at 1, 2 and 4 shards over the
@@ -144,7 +165,71 @@ func MeasureShard(ctx context.Context, cfg Config) (*ShardReport, error) {
 		return nil, err
 	}
 	report.QueryLatency, report.ShardPartialLatency = qLat, sLat
+	if report.Hedge, err = measureHedge(ctx, src, srcTab.NumRows(), spec.Name, req, opts); err != nil {
+		return nil, err
+	}
 	return report, nil
+}
+
+// Injected straggler profile for the hedge experiment: one child is
+// slowed by slowChildDelay on every execution; the hedged run issues a
+// speculative duplicate to a healthy replica after hedgeAfter. The
+// injected delay must dominate single-core scheduling noise (observed
+// around 100-200ms under contention), so the experiment trims the
+// request to one dimension/measure pair to keep the unhedged run short.
+const (
+	slowChildDelay = 250 * time.Millisecond
+	hedgeAfter     = 2 * time.Millisecond
+)
+
+// measureHedge runs the same 2-shard recommendation twice with child 1
+// artificially slowed: hedging off (every query eats the injected
+// straggler) and hedging on with a healthy replica of the slow child
+// (the speculative duplicate wins and the straggler is cancelled).
+func measureHedge(ctx context.Context, src *sqldb.DB, rows int, table string, req core.Request, opts core.Options) ([]HedgePoint, error) {
+	const shards = 2
+	// One view is enough to expose the straggler; the full view space
+	// would multiply the injected delay into the run time.
+	req.Dimensions = req.Dimensions[:1]
+	req.Measures = req.Measures[:1]
+	var points []HedgePoint
+	for _, hedged := range []bool{false, true} {
+		dbs, bes := shardbe.EmbeddedChildren(shards)
+		if err := shardbe.ScatterTable(src, table, dbs, shardbe.Blocks{Total: rows}); err != nil {
+			return nil, err
+		}
+		slow := faultbe.Wrap(bes[1])
+		slow.SetExecDelay(slowChildDelay)
+		sopts := shardbe.Options{Telemetry: telemetry.NewCollector()}
+		if hedged {
+			// The replica holds the same partition as the slow child, built
+			// by scattering the source again and keeping block 1.
+			repDBs, repBes := shardbe.EmbeddedChildren(shards)
+			if err := shardbe.ScatterTable(src, table, repDBs, shardbe.Blocks{Total: rows}); err != nil {
+				return nil, err
+			}
+			sopts.Hedge = shardbe.HedgeOptions{Enabled: true, Delay: hedgeAfter}
+			sopts.Replicas = [][]backend.Backend{1: {repBes[1]}}
+		}
+		router, err := shardbe.New([]backend.Backend{bes[0], slow}, sopts)
+		if err != nil {
+			return nil, err
+		}
+		eng := core.NewEngine(router)
+		d, res, err := timeRecommend(ctx, eng, req, opts)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, HedgePoint{
+			Hedged:         hedged,
+			ColdMS:         msF(d),
+			StragglerMS:    float64(res.Metrics.ShardStragglerMax.Microseconds()) / 1000,
+			ShardFanout:    res.Metrics.ShardFanout,
+			HedgedPartials: res.Metrics.HedgedPartials,
+			HedgeWins:      res.Metrics.HedgeWins,
+		})
+	}
+	return points, nil
 }
 
 // ShardExperiment renders MeasureShard as an experiment table.
@@ -168,5 +253,22 @@ func ShardExperiment(ctx context.Context, cfg Config) ([]*Table, error) {
 		"cold path: cache off, inter-query and intra-query parallelism pinned to 1",
 		"each shard scans 1/N of the rows; speedup needs physical cores to run shards on",
 		"results are bit-identical to unsharded execution (see backend/conformancetest and sqldb/difftest)")
-	return []*Table{t}, nil
+	h := &Table{
+		ID: "shard-hedge",
+		Title: fmt.Sprintf("Straggler hedging, 2 shards with one child slowed by %v (beyond the paper)",
+			slowChildDelay),
+		Header: []string{"hedging", "cold latency", "straggler", "hedged partials", "hedge wins"},
+	}
+	for _, p := range rep.Hedge {
+		mode := "off"
+		if p.Hedged {
+			mode = "on"
+		}
+		h.AddRow(mode, fmt.Sprintf("%.2fms", p.ColdMS), fmt.Sprintf("%.2fms", p.StragglerMS),
+			fmt.Sprintf("%d", p.HedgedPartials), fmt.Sprintf("%d", p.HedgeWins))
+	}
+	h.Notes = append(h.Notes,
+		fmt.Sprintf("hedge delay fixed at %v; the duplicate goes to a healthy replica of the slow child", hedgeAfter),
+		"first answer wins and the straggling execution is cancelled; results stay bit-identical")
+	return []*Table{t, h}, nil
 }

@@ -120,6 +120,19 @@ type Metrics struct {
 	// ShardStragglerMax is the slowest child execution observed across
 	// all fanned-out queries — the shard merge's critical path.
 	ShardStragglerMax time.Duration
+	// ShardPartialsCached counts per-shard partials the router served
+	// from its version-keyed partial memo instead of re-executing on a
+	// child.
+	ShardPartialsCached int
+	// HedgedPartials counts speculative duplicate child executions the
+	// shard router issued against stragglers; HedgeWins counts the
+	// duplicates that answered first. Wins never double-count in any
+	// merge — exactly one result per partial is folded.
+	HedgedPartials int
+	HedgeWins      int
+	// NetRetries counts transparent retries network child backends
+	// performed after retryable transport or 5xx failures.
+	NetRetries int
 	// RowsScanned sums base-table rows visited across all queries.
 	RowsScanned int64
 	// MaxGroups is the peak distinct-group count of any single query
@@ -385,6 +398,7 @@ func (e *Engine) recommend(ctx context.Context, req Request, opts Options) (*Res
 		m.FallbackReasons = nil
 		m.SelectionKernels, m.ResidualPredicates = 0, 0
 		m.ShardQueries, m.ShardFanout, m.ShardStragglerMax = 0, 0, 0
+		m.ShardPartialsCached, m.HedgedPartials, m.HedgeWins, m.NetRetries = 0, 0, 0, 0
 		m.CacheMisses, m.RefViewsReused = 0, 0
 		m.CacheHits = 1
 		m.ServedFromCache = true

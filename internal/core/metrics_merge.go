@@ -4,7 +4,7 @@ package core
 // aggregate view a server exposes across requests: additive counters
 // sum, peak counters take the max, and booleans OR. FallbackReasons
 // merges per reason (allocating only when the source has any), so the
-// aggregate preserves the recordExec invariants — QueriesExecuted ==
+// aggregate preserves the RecordExec invariants — QueriesExecuted ==
 // VectorizedQueries + FallbackQueries and the per-reason counts sum to
 // FallbackQueries — whenever every input satisfied them. DegradedFrom
 // keeps the first value seen, since a mixed aggregate has no single
@@ -32,6 +32,10 @@ func (m *Metrics) Merge(o Metrics) {
 	if o.ShardStragglerMax > m.ShardStragglerMax {
 		m.ShardStragglerMax = o.ShardStragglerMax
 	}
+	m.ShardPartialsCached += o.ShardPartialsCached
+	m.HedgedPartials += o.HedgedPartials
+	m.HedgeWins += o.HedgeWins
+	m.NetRetries += o.NetRetries
 	m.RowsScanned += o.RowsScanned
 	if o.MaxGroups > m.MaxGroups {
 		m.MaxGroups = o.MaxGroups

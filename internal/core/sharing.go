@@ -478,11 +478,11 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 	}
 	for qi, res := range results {
 		if outcomes[qi] == cache.Computed {
-			// This invocation paid for the execution. recordExec keeps the
+			// This invocation paid for the execution. RecordExec keeps the
 			// executed/vectorized/fallback counters in lockstep whatever
 			// path the backend took (fast path, runtime fallback, external
 			// store).
-			s.metrics.recordExec(res.stats)
+			s.metrics.RecordExec(res.stats)
 			if s.cache != nil {
 				s.metrics.CacheMisses++
 			}
@@ -494,13 +494,16 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 	return nil
 }
 
-// recordExec folds one paid query execution into the invocation metrics.
-// It is the single place the executor counters advance, which is what
-// keeps the invariant QueriesExecuted == VectorizedQueries +
+// RecordExec folds one paid query execution into the invocation
+// metrics. It is the single place the executor counters advance, which
+// is what keeps the invariant QueriesExecuted == VectorizedQueries +
 // FallbackQueries true on every path — including the vectorized fast
 // path's runtime fallback retry (row-store tables, group-id overflow)
-// and backends that never vectorize.
-func (m *Metrics) recordExec(stats backend.ExecStats) {
+// and backends that never vectorize. It is exported because the HTTP
+// server's raw-query path (/api/query) folds its executions through the
+// same single point, so manual-chart traffic obeys the same invariants
+// as engine traffic.
+func (m *Metrics) RecordExec(stats backend.ExecStats) {
 	m.QueriesExecuted++
 	if stats.Vectorized {
 		m.VectorizedQueries++
@@ -517,13 +520,17 @@ func (m *Metrics) recordExec(stats backend.ExecStats) {
 	}
 	m.SelectionKernels += stats.SelectionKernels
 	m.ResidualPredicates += stats.ResidualPredicates
-	if stats.ShardFanout > 0 {
+	if stats.ShardFanout > 0 || stats.ShardPartialsCached > 0 {
 		m.ShardQueries++
 		m.ShardFanout += stats.ShardFanout
 		if stats.ShardStragglerMax > m.ShardStragglerMax {
 			m.ShardStragglerMax = stats.ShardStragglerMax
 		}
 	}
+	m.ShardPartialsCached += stats.ShardPartialsCached
+	m.HedgedPartials += stats.HedgedPartials
+	m.HedgeWins += stats.HedgeWins
+	m.NetRetries += stats.NetRetries
 	if stats.Workers > m.ScanWorkers {
 		m.ScanWorkers = stats.Workers
 	}

@@ -12,10 +12,21 @@
 //	GET  /api/datasets          built-in dataset generators
 //	POST /api/datasets/load     {"name","layout","rows"} → load a builtin
 //	GET  /api/tables            tables with schemas and row counts
-//	POST /api/query             {"sql"} → columns + rows
+//	POST /api/query             {"sql"} → columns + rows ({"wire":true} → typed)
 //	POST /api/recommend         RecommendRequest → RecommendResponse
 //	GET  /api/cache             result-cache statistics
 //	POST /api/cache/clear       drop every cached entry
+//	GET  /api/backend/caps      netbe handshake: wire protocol + capabilities
+//	GET  /api/backend/info      ?table= → schema description (404 = no table)
+//	GET  /api/backend/stats     ?table= → per-column statistics
+//	GET  /api/backend/version   ?table= → dataset version token
+//
+// The four /api/backend/* endpoints plus the typed /api/query mode form
+// the netbe wire protocol (internal/backend/netbe/wire): they make a
+// remote seedb-server usable as a backend.Backend from another process.
+// Error statuses are classified (see statusForError) so remote clients
+// can retry outages (502/504) and never retry their own mistakes
+// (400/404).
 //
 // EnablePprof additionally mounts net/http/pprof under /debug/pprof/
 // (off by default: profiling endpoints expose heap contents, so they
@@ -45,6 +56,7 @@ import (
 	"time"
 
 	"seedb/internal/backend"
+	"seedb/internal/backend/netbe/wire"
 	"seedb/internal/backend/shardbe"
 	"seedb/internal/cache"
 	"seedb/internal/chart"
@@ -103,7 +115,7 @@ type registeredBackend struct {
 //
 // All counters fold under one mutex through core.Metrics.Merge and are
 // snapshotted under the same mutex, so a scrape concurrent with
-// recommendations can never observe a torn aggregate: the recordExec
+// recommendations can never observe a torn aggregate: the RecordExec
 // invariants (QueriesExecuted == VectorizedQueries + FallbackQueries,
 // per-reason counts summing to FallbackQueries) hold in every snapshot,
 // not just at rest. The previous per-field atomics could interleave with
@@ -119,13 +131,24 @@ type executorStats struct {
 	totals   core.Metrics
 }
 
-// record folds one request's metrics in.
+// record folds one recommendation request's metrics in.
 func (e *executorStats) record(m core.Metrics) {
 	e.mu.Lock()
 	e.requests++
 	if m.StrategyDegraded {
 		e.degraded++
 	}
+	e.totals.Merge(m)
+	e.mu.Unlock()
+}
+
+// recordQuery folds one raw /api/query execution's metrics in without
+// advancing the request counter: requests counts recommendations
+// served, while the executor totals — and the invariant that the query
+// latency histogram's count equals queries_executed — cover manual
+// chart traffic too.
+func (e *executorStats) recordQuery(m core.Metrics) {
+	e.mu.Lock()
 	e.totals.Merge(m)
 	e.mu.Unlock()
 }
@@ -164,6 +187,10 @@ func (e *executorStats) healthSnapshot() map[string]any {
 		"shard_queries":              m.ShardQueries,
 		"shard_fanout":               m.ShardFanout,
 		"shard_straggler_max_ms":     float64(m.ShardStragglerMax) / 1e6,
+		"shard_partials_cached":      m.ShardPartialsCached,
+		"hedged_partials":            m.HedgedPartials,
+		"hedge_wins":                 m.HedgeWins,
+		"net_retries":                m.NetRetries,
 		"strategy_degraded_requests": degraded,
 	}
 }
@@ -196,6 +223,10 @@ func NewWithCacheBudget(db *sqldb.DB, cacheBudgetBytes int64) *Server {
 	s.mux.HandleFunc("POST /api/recommend", s.handleRecommend)
 	s.mux.HandleFunc("GET /api/cache", s.handleCacheStats)
 	s.mux.HandleFunc("POST /api/cache/clear", s.handleCacheClear)
+	s.mux.HandleFunc("GET /api/backend/caps", s.handleBackendCaps)
+	s.mux.HandleFunc("GET /api/backend/info", s.handleBackendInfo)
+	s.mux.HandleFunc("GET /api/backend/stats", s.handleBackendStats)
+	s.mux.HandleFunc("GET /api/backend/version", s.handleBackendVersion)
 	return s
 }
 
@@ -397,6 +428,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	pw.Counter("seedb_shard_queries_total", "Queries fanned out by the shard router.", float64(m.ShardQueries))
 	pw.Counter("seedb_shard_fanout_total", "Child executions issued by the shard router.", float64(m.ShardFanout))
 	pw.Gauge("seedb_shard_straggler_seconds_max", "Slowest single shard child execution observed.", m.ShardStragglerMax.Seconds())
+	pw.Counter("seedb_shard_partials_cached_total", "Shard partials served from the router's version-keyed memo.", float64(m.ShardPartialsCached))
+	pw.Counter("seedb_hedged_partials_total", "Speculative duplicate shard executions issued against stragglers.", float64(m.HedgedPartials))
+	pw.Counter("seedb_hedge_wins_total", "Hedged duplicates that answered before their primary.", float64(m.HedgeWins))
+	pw.Counter("seedb_net_retries_total", "Transparent retries performed by network child backends.", float64(m.NetRetries))
 	pw.Gauge("seedb_scan_workers_max", "Widest per-query scan worker pool observed.", float64(m.ScanWorkers))
 
 	pw.Counter("seedb_cache_hits_total", "Result-cache hits.", float64(cs.Hits))
@@ -525,15 +560,8 @@ func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// queryRequest is the POST /api/query payload.
-type queryRequest struct {
-	SQL string `json:"sql"`
-	// Backend selects which registered backend executes the query
-	// (empty = the embedded default).
-	Backend string `json:"backend"`
-}
-
-// queryResponse carries a raw SQL result.
+// queryResponse carries a raw SQL result in the human-facing string
+// form ({"wire": true} requests get wire.QueryResponse instead).
 type queryResponse struct {
 	Columns []string   `json:"columns"`
 	Rows    [][]string `json:"rows"`
@@ -541,11 +569,15 @@ type queryResponse struct {
 }
 
 // handleQuery implements POST /api/query — the manual chart-construction
-// path of the mixed-initiative frontend. Like /api/recommend it routes
-// through the selected backend, so manual charts work over external
-// stores too.
+// path of the mixed-initiative frontend, and (with {"wire": true}) the
+// Exec leg of the netbe wire protocol. Like /api/recommend it routes
+// through the selected backend, runs under the server's request
+// timeout, classifies errors by status, and folds its execution stats
+// into the same executor totals and query-latency histogram — so raw
+// queries and remote shard partials are first-class citizens of every
+// dashboard invariant (histogram count == queries_executed included).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
+	var req wire.QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
@@ -555,9 +587,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, _, err := rb.be.Exec(r.Context(), req.SQL, backend.ExecOptions{})
+	ctx := r.Context()
+	if s.Timeout > 0 {
+		// The same deadline /api/recommend runs under; previously raw
+		// queries could hold a connection forever.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, stats, err := rb.be.Exec(ctx, req.SQL, backend.ExecOptions{
+		Lo:                 req.Lo,
+		Hi:                 req.Hi,
+		Workers:            req.Workers,
+		NoSelectionKernels: req.NoSelectionKernels,
+	})
+	elapsed := time.Since(start)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusForError(err), err)
+		return
+	}
+	s.tel.ObserveQuery(elapsed)
+	var m core.Metrics
+	m.RecordExec(stats)
+	s.exec.recordQuery(m)
+	if req.Wire {
+		writeJSON(w, http.StatusOK, wire.QueryResponse{
+			Columns: res.Columns,
+			Rows:    wire.EncodeRows(res.Rows),
+			Stats:   wire.FromExecStats(stats),
+		})
 		return
 	}
 	resp := queryResponse{Columns: res.Columns, Count: len(res.Rows), Rows: [][]string{}}
@@ -740,7 +799,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := rb.engine.Recommend(ctx, coreReq, opts)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusForError(err), err)
 		return
 	}
 	s.exec.record(res.Metrics)

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"seedb/internal/backend/netbe/wire"
 	"seedb/internal/dataset"
 	"seedb/internal/sqldb"
 )
@@ -132,7 +133,7 @@ func TestQueryEndpoint(t *testing.T) {
 	srv := newTestServer(t)
 	var out queryResponse
 	code := postJSON(t, srv.URL+"/api/query",
-		queryRequest{SQL: "SELECT sex, COUNT(*) FROM census GROUP BY sex ORDER BY sex"}, &out)
+		wire.QueryRequest{SQL: "SELECT sex, COUNT(*) FROM census GROUP BY sex ORDER BY sex"}, &out)
 	if code != 200 {
 		t.Fatalf("status %d", code)
 	}
@@ -141,7 +142,7 @@ func TestQueryEndpoint(t *testing.T) {
 	}
 	// SQL errors surface as 400 with a JSON error.
 	var e errorResponse
-	code = postJSON(t, srv.URL+"/api/query", queryRequest{SQL: "SELECT nosuch FROM census"}, &e)
+	code = postJSON(t, srv.URL+"/api/query", wire.QueryRequest{SQL: "SELECT nosuch FROM census"}, &e)
 	if code != http.StatusBadRequest || e.Error == "" {
 		t.Errorf("bad query = %d %v", code, e)
 	}
@@ -357,7 +358,7 @@ func TestEndToEndWorkflow(t *testing.T) {
 		t.Fatalf("tables = %+v", tables)
 	}
 	var q queryResponse
-	postJSON(t, srv.URL+"/api/query", queryRequest{SQL: "SELECT COUNT(*) FROM bank"}, &q)
+	postJSON(t, srv.URL+"/api/query", wire.QueryRequest{SQL: "SELECT COUNT(*) FROM bank"}, &q)
 	if q.Rows[0][0] != "2000" {
 		t.Fatalf("count = %v", q.Rows)
 	}

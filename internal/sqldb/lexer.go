@@ -77,7 +77,7 @@ func lex(src string) ([]token, error) {
 			var b strings.Builder
 			for {
 				if l.pos >= len(l.src) {
-					return nil, fmt.Errorf("sqldb: unterminated string literal at offset %d", start)
+					return nil, fmt.Errorf("%w: unterminated string literal at offset %d", ErrParse, start)
 				}
 				if l.src[l.pos] == '\'' {
 					// '' is an escaped quote inside a string literal.
@@ -98,14 +98,14 @@ func lex(src string) ([]token, error) {
 			l.pos++
 			end := strings.IndexByte(l.src[l.pos:], '"')
 			if end < 0 {
-				return nil, fmt.Errorf("sqldb: unterminated quoted identifier at offset %d", start)
+				return nil, fmt.Errorf("%w: unterminated quoted identifier at offset %d", ErrParse, start)
 			}
 			l.emit(tokIdent, l.src[l.pos:l.pos+end], start)
 			l.pos += end + 1
 		default:
 			sym, n := scanSymbol(l.src[l.pos:])
 			if n == 0 {
-				return nil, fmt.Errorf("sqldb: unexpected character %q at offset %d", c, l.pos)
+				return nil, fmt.Errorf("%w: unexpected character %q at offset %d", ErrParse, c, l.pos)
 			}
 			l.pos += n
 			l.emit(tokSymbol, sym, start)

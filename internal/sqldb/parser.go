@@ -1,10 +1,17 @@
 package sqldb
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 )
+
+// ErrParse is wrapped by every lexing and parsing failure, so callers —
+// notably the HTTP server's error classifier — can tell a malformed
+// query (the client's mistake, 400) apart from a store failure (the
+// deployment's problem, 502) with errors.Is.
+var ErrParse = errors.New("sqldb: invalid SQL")
 
 // Parse parses a single SELECT statement in the engine's SQL dialect.
 func Parse(sql string) (*SelectStmt, error) {
@@ -45,7 +52,7 @@ func (p *parser) next() token {
 }
 
 func (p *parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("sqldb: parse error at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+	return fmt.Errorf("%w: parse error at offset %d: %s", ErrParse, p.peek().pos, fmt.Sprintf(format, args...))
 }
 
 // acceptKeyword consumes the keyword if it is next.
