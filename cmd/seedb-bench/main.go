@@ -54,6 +54,7 @@ func run() error {
 		parallelJSON = flag.String("paralleljson", "", "run the parallel-executor experiment and write its datapoint to this JSON file")
 		filterJSON   = flag.String("filterjson", "", "run the selection-kernel filter experiment and write its report to this JSON file")
 		shardJSON    = flag.String("shardjson", "", "run the shard-router scaling experiment and write its report to this JSON file")
+		loadJSON     = flag.String("loadjson", "", "run the mixed-workload load replay and write its report to this JSON file")
 		timeout      = flag.Duration("timeout", 4*time.Hour, "overall timeout")
 	)
 	flag.Parse()
@@ -128,6 +129,26 @@ func run() error {
 				rep.Hedge[1].HedgedPartials, rep.Hedge[1].ShardFanout, rep.Hedge[1].HedgeWins)
 		}
 		return nil
+	}
+
+	if *loadJSON != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		rep, err := bench.MeasureLoad(ctx, bench.Config{Quick: *quick, PaperScale: *paperScale, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(*loadJSON, rep); err != nil {
+			return err
+		}
+		rec, raw := rep.Classes["recommend"], rep.Classes["query"]
+		fmt.Printf("load replay: %d rows, %d users, %.0fs: %.1f req/s total; recommend p50/p95/p99 %.2f/%.2f/%.2fms, query p50/p95/p99 %.2f/%.2f/%.2fms, %d queries (match=%v), wrote %s\n",
+			rep.RowsLoaded, rep.Users, rep.DurationS, rep.ThroughputRPS,
+			rec.P50MS, rec.P95MS, rec.P99MS, raw.P50MS, raw.P95MS, raw.P99MS,
+			rep.ServerQueriesDelta, rep.QueriesMatch, *loadJSON)
+		// The report doubles as the SLO regression gate: a malformed or
+		// mismatched run fails the command (and CI with it).
+		return rep.Validate()
 	}
 
 	if *list {

@@ -163,6 +163,7 @@ func All() []Experiment {
 		{"parallel", "Intra-query parallel vectorized executor (beyond the paper)", ParallelExperiment},
 		{"filter", "Vectorized predicate selection kernels (beyond the paper)", FilterExperiment},
 		{"shard", "Shard-router partitioned fan-out scaling (beyond the paper)", ShardExperiment},
+		{"load", "Mixed-workload production load replay (beyond the paper)", LoadExperiment},
 	}
 }
 

@@ -50,8 +50,8 @@ func runExperiment(t *testing.T, id string) []*Table {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Errorf("registered %d experiments, want 17", len(all))
+	if len(all) != 18 {
+		t.Errorf("registered %d experiments, want 18", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -65,6 +65,23 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	}
 	if _, err := ByID("nope"); err == nil {
 		t.Error("unknown experiment should fail")
+	}
+}
+
+// TestLoadExperiment drives the quick load replay end to end (real
+// loopback server, mixed traffic) and checks the rendered table names
+// every class. The report's own invariants (zero errors, accounting
+// match) are enforced inside LoadExperiment via Report.Validate.
+func TestLoadExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load replay takes several seconds")
+	}
+	tables := runExperiment(t, "load")
+	out := tables[0].String()
+	for _, class := range []string{"recommend", "query", "ingest", "total"} {
+		if !strings.Contains(out, class) {
+			t.Errorf("load table missing %s row:\n%s", class, out)
+		}
 	}
 }
 

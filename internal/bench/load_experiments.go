@@ -1,0 +1,94 @@
+// The load experiment: stand up a real seedb-server on a loopback
+// socket, populate it with the synthetic traffic table, and replay the
+// mixed workload through internal/load — the same path CI's smoke runs
+// and the BENCH_load.json regeneration uses. Unlike the other
+// experiments, this one measures the whole stack (HTTP, JSON, handler,
+// cache, engine, store) rather than the engine alone.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"seedb/internal/dataset"
+	"seedb/internal/load"
+	"seedb/internal/server"
+	"seedb/internal/sqldb"
+)
+
+// loadProfile picks the replay shape: quick is the CI smoke (seconds),
+// full is the committed BENCH_load.json profile (a million rows, 64
+// simulated users).
+func loadProfile(cfg Config) (rows, users int, dur time.Duration) {
+	if cfg.Quick {
+		return 50_000, 8, 5 * time.Second
+	}
+	return 1_000_000, 64, 25 * time.Second
+}
+
+// MeasureLoad runs the load harness against an in-process server and
+// returns its report (the BENCH_load.json payload).
+func MeasureLoad(ctx context.Context, cfg Config) (*load.Report, error) {
+	cfg = cfg.withDefaults()
+	rows, users, dur := loadProfile(cfg)
+	return measureLoad(ctx, cfg, rows, users, dur)
+}
+
+func measureLoad(ctx context.Context, cfg Config, rows, users int, dur time.Duration) (*load.Report, error) {
+	srv := server.New(sqldb.NewDB())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	lcfg := load.Config{
+		BaseURL:  "http://" + ln.Addr().String(),
+		Spec:     dataset.TrafficSpec().WithRows(rows).WithSeed(cfg.Seed),
+		Users:    users,
+		Duration: dur,
+		Seed:     cfg.Seed,
+	}
+	// PushSpec goes over the wire like a real client would, so the
+	// million-row build exercises /api/datasets/synth too.
+	if err := load.PushSpec(ctx, lcfg); err != nil {
+		return nil, err
+	}
+	return load.Run(ctx, lcfg)
+}
+
+// f2 formats a latency/throughput cell.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// LoadExperiment renders the load report as an experiment table.
+func LoadExperiment(ctx context.Context, cfg Config) ([]*Table, error) {
+	rep, err := MeasureLoad(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "load",
+		Title:  fmt.Sprintf("Mixed-workload replay (%d rows, %d users, %.0fs)", rep.RowsLoaded, rep.Users, rep.DurationS),
+		Header: []string{"class", "requests", "rps", "p50 ms", "p95 ms", "p99 ms", "mean ms"},
+	}
+	for _, class := range []string{load.ClassRecommend, load.ClassQuery, load.ClassIngest} {
+		cs := rep.Classes[class]
+		t.AddRow(class, fmt.Sprintf("%d", cs.Count), f2(cs.ThroughputRPS),
+			f2(cs.P50MS), f2(cs.P95MS), f2(cs.P99MS), f2(cs.MeanMS))
+	}
+	t.AddRow("total", fmt.Sprintf("%d", rep.TotalRequests), f2(rep.ThroughputRPS), "", "", "", "")
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("driver observed %d queries, server executed %d (match=%v)",
+			rep.DriverQueriesObserved, rep.ServerQueriesDelta, rep.QueriesMatch),
+		fmt.Sprintf("%d recommends served from cache; %d rows ingested mid-replay; %d errors",
+			rep.CacheServed, rep.RowsIngested, rep.ErrorCount))
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}

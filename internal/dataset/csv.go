@@ -41,6 +41,56 @@ func WriteCSV(w io.Writer, t sqldb.Table) error {
 	return cw.Error()
 }
 
+// streamCSV writes a header plus generated rows as CSV, flushing every
+// synthBatch rows so memory stays bounded regardless of the row count.
+// generate must call emit once per row; the emitted slice may be reused.
+func streamCSV(w io.Writer, schema *sqldb.Schema, rows int, generate func(emit func(vals []sqldb.Value) error) error) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, schema.NumColumns())
+	for i := range header {
+		header[i] = schema.Column(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	record := make([]string, len(header))
+	emitted := 0
+	err := generate(func(vals []sqldb.Value) error {
+		for i, v := range vals {
+			if v.IsNull() {
+				record[i] = ""
+			} else {
+				record[i] = v.String()
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+		emitted++
+		if emitted%synthBatch == 0 {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// StreamCSV writes a paper-catalog spec as CSV without materializing a
+// table: rows flow from the spec's generator straight into the encoder.
+func StreamCSV(w io.Writer, spec Spec, rows int) error {
+	if rows > 0 {
+		spec.Rows = rows
+	}
+	return streamCSV(w, spec.Schema(), spec.Rows, spec.Generate)
+}
+
 // LoadCSV reads CSV data (with a header row naming columns) into a new
 // table. Column types are taken from the provided schema; the CSV header
 // must list exactly the schema's columns, in order. Empty fields load as
@@ -73,7 +123,7 @@ func LoadCSV(db *sqldb.DB, name string, schema *sqldb.Schema, layout sqldb.Layou
 			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
 		}
 		for i, field := range record {
-			v, err := parseField(field, schema.Column(i).Type)
+			v, err := ParseField(field, schema.Column(i).Type)
 			if err != nil {
 				return nil, fmt.Errorf("dataset: CSV line %d column %s: %w", line, schema.Column(i).Name, err)
 			}
@@ -86,8 +136,10 @@ func LoadCSV(db *sqldb.DB, name string, schema *sqldb.Schema, layout sqldb.Layou
 	return t, nil
 }
 
-// parseField converts one CSV field to a Value of the given type.
-func parseField(s string, typ sqldb.ColumnType) (sqldb.Value, error) {
+// ParseField converts one textual field to a Value of the given type;
+// the empty string parses as NULL. It is the shared cell decoder for
+// CSV loading and the server's /api/ingest row format.
+func ParseField(s string, typ sqldb.ColumnType) (sqldb.Value, error) {
 	if s == "" {
 		return sqldb.Null(), nil
 	}

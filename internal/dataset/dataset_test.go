@@ -424,19 +424,19 @@ func TestLoadCSVErrors(t *testing.T) {
 }
 
 func TestParseFieldTypes(t *testing.T) {
-	if v, err := parseField("5", sqldb.TypeInt); err != nil || v.I != 5 {
+	if v, err := ParseField("5", sqldb.TypeInt); err != nil || v.I != 5 {
 		t.Error("int parse failed")
 	}
-	if v, err := parseField("true", sqldb.TypeBool); err != nil || !v.Truthy() {
+	if v, err := ParseField("true", sqldb.TypeBool); err != nil || !v.Truthy() {
 		t.Error("bool parse failed")
 	}
-	if _, err := parseField("xyz", sqldb.TypeInt); err == nil {
+	if _, err := ParseField("xyz", sqldb.TypeInt); err == nil {
 		t.Error("bad int should fail")
 	}
-	if _, err := parseField("xyz", sqldb.TypeBool); err == nil {
+	if _, err := ParseField("xyz", sqldb.TypeBool); err == nil {
 		t.Error("bad bool should fail")
 	}
-	if v, err := parseField("", sqldb.TypeFloat); err != nil || !v.IsNull() {
+	if v, err := ParseField("", sqldb.TypeFloat); err != nil || !v.IsNull() {
 		t.Error("empty field should be NULL")
 	}
 }

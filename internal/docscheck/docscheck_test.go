@@ -111,6 +111,52 @@ func TestArchitectureDocsLinkedFromREADME(t *testing.T) {
 	}
 }
 
+// TestBenchmarksDocPinned pins the benchmark documentation contract:
+// the guide must exist, be linked from the README, and describe every
+// committed BENCH_*.json artifact, the load workload model, and the
+// regeneration commands.
+func TestBenchmarksDocPinned(t *testing.T) {
+	root := repoRoot(t)
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(readme), "(docs/BENCHMARKS.md)") {
+		t.Error("README.md does not link docs/BENCHMARKS.md")
+	}
+	doc, err := os.ReadFile(filepath.Join(root, "docs", "BENCHMARKS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		// every committed artifact
+		"BENCH_cache.json", "BENCH_parallel.json", "BENCH_filter.json",
+		"BENCH_shard.json", "BENCH_load.json",
+		// regeneration commands
+		"-cachejson", "-paralleljson", "-filterjson", "-shardjson",
+		"-loadjson", "seedb-loadgen",
+		// load workload model + gates
+		"recommend", "ingest", "cache-hostile", "tail_fraction",
+		"driver_queries_observed", "server_queries_delta", "queries_match",
+		"p50_ms", "p95_ms", "p99_ms", "Report.Validate",
+	} {
+		if !strings.Contains(string(doc), want) {
+			t.Errorf("BENCHMARKS.md does not mention %s", want)
+		}
+	}
+	// Every committed BENCH artifact must actually be documented; a new
+	// one must land with its schema description.
+	matches, err := filepath.Glob(filepath.Join(root, "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		if !strings.Contains(string(doc), filepath.Base(m)) {
+			t.Errorf("BENCHMARKS.md does not document committed artifact %s", filepath.Base(m))
+		}
+	}
+}
+
 // TestObservabilityDocPinned pins the telemetry documentation contract:
 // the guide must describe the span taxonomy, every exported metric
 // family, the slow-log schema and the knobs that switch each piece on.

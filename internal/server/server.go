@@ -11,6 +11,8 @@
 //	GET  /metrics               Prometheus text-format counters and histograms
 //	GET  /api/datasets          built-in dataset generators
 //	POST /api/datasets/load     {"name","layout","rows"} → load a builtin
+//	POST /api/datasets/synth    {"spec",...} → generate a synthetic table in-server
+//	POST /api/ingest            {"table","rows"} → append rows under live traffic
 //	GET  /api/tables            tables with schemas and row counts
 //	POST /api/query             {"sql"} → columns + rows ({"wire":true} → typed)
 //	POST /api/recommend         RecommendRequest → RecommendResponse
@@ -97,6 +99,15 @@ type Server struct {
 	// shardDBs holds the shard children when EnableSharding registered a
 	// router; dataset loads then re-scatter into them.
 	shardDBs []*sqldb.DB
+
+	// dataMu is the server-wide reader/writer lock over table data: the
+	// embedded store's writes are not synchronized with reads, so every
+	// registered backend is wrapped (guardedBackend) to hold the read
+	// side around execution and introspection, while the mutating
+	// endpoints (/api/ingest and the dataset loaders) hold the write
+	// side. Query-query concurrency is untouched; a write drains
+	// in-flight queries, applies, and releases.
+	dataMu sync.RWMutex
 }
 
 // registeredBackend is one named backend with its engine.
@@ -218,6 +229,8 @@ func NewWithCacheBudget(db *sqldb.DB, cacheBudgetBytes int64) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /api/datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /api/datasets/load", s.handleLoadDataset)
+	s.mux.HandleFunc("POST /api/datasets/synth", s.handleLoadSynth)
+	s.mux.HandleFunc("POST /api/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /api/tables", s.handleTables)
 	s.mux.HandleFunc("POST /api/query", s.handleQuery)
 	s.mux.HandleFunc("POST /api/recommend", s.handleRecommend)
@@ -259,10 +272,14 @@ func (s *Server) EnablePprof() {
 // RegisterBackend adds a named backend; recommendation requests select
 // it with {"backend": name}. The engine it gets shares the server's
 // process-wide result cache. Registering a duplicate name is an error.
+// The backend is wrapped so its execution and introspection hold the
+// server's data read-lock, making it safe to serve queries concurrently
+// with /api/ingest writes.
 func (s *Server) RegisterBackend(name string, be backend.Backend) error {
 	if name == "" {
 		return fmt.Errorf("server: backend name must be non-empty")
 	}
+	be = guardedBackend{inner: be, mu: &s.dataMu}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.backends[name]; dup {
@@ -298,6 +315,8 @@ func (s *Server) EnableSharding(n int) error {
 	s.mu.Lock()
 	s.shardDBs = dbs
 	s.mu.Unlock()
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
 	for _, name := range s.db.TableNames() {
 		if err := s.scatterShards(name); err != nil {
 			return err
@@ -522,14 +541,18 @@ func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if _, err := dataset.Build(s.db, spec, layout); err != nil {
-		writeError(w, http.StatusConflict, err)
-		return
+	// The write lock keeps the build (and the shard re-scatter, which
+	// drops and recreates child tables) invisible to in-flight queries.
+	s.dataMu.Lock()
+	_, buildErr := dataset.Build(s.db, spec, layout)
+	if buildErr == nil {
+		// Keep the shard children in sync so {"backend": "shard"}
+		// requests see every loaded table.
+		buildErr = s.scatterShards(spec.Name)
 	}
-	// Keep the shard children in sync so {"backend": "shard"} requests
-	// see every loaded table.
-	if err := s.scatterShards(spec.Name); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+	s.dataMu.Unlock()
+	if buildErr != nil {
+		writeError(w, http.StatusConflict, buildErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"table": spec.Name, "rows": spec.Rows})
@@ -545,6 +568,9 @@ type tableInfo struct {
 
 // handleTables implements GET /api/tables.
 func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
+	// Row counts race with ingest appends without the read lock.
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
 	out := []tableInfo{}
 	for _, name := range s.db.TableNames() {
 		t, ok := s.db.Table(name)
