@@ -29,8 +29,12 @@ import (
 	"strings"
 	"time"
 
+	"seedb/internal/backend"
+	"seedb/internal/backend/faultbe"
+	"seedb/internal/backend/shardbe"
 	"seedb/internal/dataset"
 	"seedb/internal/load"
+	"seedb/internal/resilience"
 	"seedb/internal/server"
 	"seedb/internal/sqldb"
 )
@@ -45,21 +49,36 @@ func main() {
 func run(args []string, stdout *os.File) error {
 	fs := flag.NewFlagSet("seedb-loadgen", flag.ContinueOnError)
 	var (
-		url      = fs.String("url", "", "target server base URL (empty = serve in-process)")
-		specArg  = fs.String("spec", "traffic", "synthetic spec: \"traffic\" or a spec JSON file")
-		rows     = fs.Int("rows", 100_000, "rows to load when the table is absent")
-		users    = fs.Int("users", 8, "concurrent simulated users")
-		duration = fs.Duration("duration", 5*time.Second, "replay wall-clock budget")
-		seed     = fs.Int64("seed", 1, "deterministic replay seed")
-		backend  = fs.String("backend", "", "server backend to route reads to (e.g. \"shard\")")
-		shards   = fs.Int("shards", 0, "self-serve only: enable embedded sharding with N children")
-		mix      = fs.String("mix", "", "traffic mix as recommend,query,ingest weights (e.g. \"0.6,0.35,0.05\"; normalized)")
-		tail     = fs.Float64("tail", 0.15, "fraction of recommends that are cache-hostile tail draws")
-		k        = fs.Int("k", 3, "recommend top-k")
-		out      = fs.String("o", "", "also write the report JSON to this file")
+		url         = fs.String("url", "", "target server base URL (empty = serve in-process)")
+		specArg     = fs.String("spec", "traffic", "synthetic spec: \"traffic\" or a spec JSON file")
+		rows        = fs.Int("rows", 100_000, "rows to load when the table is absent")
+		users       = fs.Int("users", 8, "concurrent simulated users")
+		duration    = fs.Duration("duration", 5*time.Second, "replay wall-clock budget")
+		seed        = fs.Int64("seed", 1, "deterministic replay seed")
+		backendName = fs.String("backend", "", "server backend to route reads to (e.g. \"shard\")")
+		shards      = fs.Int("shards", 0, "self-serve only: enable embedded sharding with N children")
+		mix         = fs.String("mix", "", "traffic mix as recommend,query,ingest weights (e.g. \"0.6,0.35,0.05\"; normalized)")
+		tail        = fs.Float64("tail", 0.15, "fraction of recommends that are cache-hostile tail draws")
+		k           = fs.Int("k", 3, "recommend top-k")
+		out         = fs.String("o", "", "also write the report JSON to this file")
+		chaos       = fs.Bool("chaos", false,
+			"self-serve only: shard the table, kill one shard child a third of the way\n"+
+				"into the run and restore it at two thirds; reads opt into partial results,\n"+
+				"and the report gates on zero errors plus observed degraded responses")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaos {
+		if *url != "" {
+			return fmt.Errorf("-chaos only applies to self-serve mode (it needs in-process fault injection)")
+		}
+		if *shards < 2 {
+			*shards = 3
+		}
+		if *backendName == "" {
+			*backendName = server.ShardBackendName
+		}
 	}
 
 	spec, err := resolveSpec(*specArg)
@@ -92,9 +111,11 @@ func run(args []string, stdout *os.File) error {
 		Users:        *users,
 		Duration:     *duration,
 		Seed:         *seed,
-		Backend:      *backend,
+		Backend:      *backendName,
 		TailFraction: *tail,
 		K:            *k,
+		AllowPartial: *chaos,
+		Chaos:        *chaos,
 	}
 	if *mix != "" {
 		m, err := parseMix(*mix)
@@ -107,12 +128,45 @@ func run(args []string, stdout *os.File) error {
 	if err := load.PushSpec(ctx, cfg); err != nil {
 		return err
 	}
+	var fault *faultbe.Fault
 	if srv != nil && *shards > 0 {
 		// Sharding scatters every loaded table into the children, so it
 		// follows the spec push.
-		if err := srv.EnableSharding(*shards); err != nil {
+		if *chaos {
+			// Chaos runs route around the failure with breakers evicting
+			// the dead child; tolerance is purely per-request (the driver
+			// sets allow_partial on every read), so the run exercises the
+			// same opt-in path real clients use.
+			opts := shardbe.Options{
+				Breakers: &resilience.BreakerOptions{},
+			}
+			err = srv.EnableShardingOpts(*shards, opts, func(i int, be backend.Backend) backend.Backend {
+				if i != 0 {
+					return be
+				}
+				fault = faultbe.Wrap(be)
+				return fault
+			})
+		} else {
+			err = srv.EnableSharding(*shards)
+		}
+		if err != nil {
 			return err
 		}
+	}
+	if fault != nil {
+		// Outage window: child 0 hard-down for the middle third of the
+		// run — long enough to trip the breaker, with recovery observable
+		// before the deadline.
+		downAt, upAt := *duration/3, 2**duration/3
+		go func() {
+			time.Sleep(downAt)
+			fault.SetDown(backend.ErrUnavailable)
+			fmt.Fprintln(os.Stderr, "seedb-loadgen: chaos: shard child 0 down")
+			time.Sleep(upAt - downAt)
+			fault.SetDown(nil)
+			fmt.Fprintln(os.Stderr, "seedb-loadgen: chaos: shard child 0 restored")
+		}()
 	}
 	fmt.Fprintf(os.Stderr, "seedb-loadgen: replaying %d users for %s...\n", *users, *duration)
 	rep, err := load.Run(ctx, cfg)

@@ -33,15 +33,20 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"seedb/internal/backend"
 	"seedb/internal/backend/netbe"
 	"seedb/internal/backend/shardbe"
 	"seedb/internal/backend/sqlbe"
 	"seedb/internal/dataset"
+	"seedb/internal/resilience"
 	"seedb/internal/server"
 	"seedb/internal/sqldb"
 	"seedb/internal/sqldriver"
@@ -82,9 +87,21 @@ func run() error {
 		sqlBackend = flag.Bool("sql-backend", false,
 			"also register a \"sql\" backend that reaches the store through database/sql\n"+
 				"(the external-backend path; select per request with {\"backend\": \"sql\"})")
-		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: exposes heap contents)")
-		slowLog = flag.String("slowlog", "", "write JSON-lines slow-query log entries to this file (\"-\" = stderr)")
-		slowThr = flag.Duration("slow-query", 0, "slow-query log threshold (0 = 100ms default; needs -slowlog)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: exposes heap contents)")
+		slowLog  = flag.String("slowlog", "", "write JSON-lines slow-query log entries to this file (\"-\" = stderr)")
+		slowThr  = flag.Duration("slow-query", 0, "slow-query log threshold (0 = 100ms default; needs -slowlog)")
+		breakers = flag.Bool("breakers", false,
+			"per-child circuit breakers on the shard router: repeatedly failing children\n"+
+				"are evicted and probed for recovery; requests opt into results over the\n"+
+				"surviving shards with {\"allow_partial\": true}")
+		maxInflight = flag.Int("max-inflight", 0,
+			"bound concurrently executing query requests; overload waits -queue-wait for\n"+
+				"a slot, then is shed with 503 (queue overflow refuses with 429). 0 = unlimited")
+		queueWait = flag.Duration("queue-wait", 100*time.Millisecond,
+			"how long an over-limit request may queue for an execution slot (needs -max-inflight)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
+			"how long in-flight requests get to complete after SIGINT/SIGTERM before the\n"+
+				"server exits anyway (0 = wait forever)")
 	)
 	flag.Parse()
 
@@ -158,6 +175,7 @@ func run() error {
 			Telemetry:           srv.Telemetry(),
 			Hedge:               shardbe.HedgeOptions{Enabled: *hedge, Delay: *hedgeDelay},
 			PartialCacheEntries: *partialCache,
+			Breakers:            breakerOptions(*breakers),
 		})
 		if err != nil {
 			return err
@@ -173,7 +191,7 @@ func run() error {
 		// the shard router; view queries then fan out per shard and merge
 		// decomposed partial aggregation states. Preloaded datasets are
 		// scattered immediately, later /api/datasets/load calls re-scatter.
-		if err := srv.EnableSharding(*shards); err != nil {
+		if err := srv.EnableShardingOpts(*shards, shardbe.Options{Breakers: breakerOptions(*breakers)}, nil); err != nil {
 			return err
 		}
 		fmt.Printf("registered shard router %q over %d embedded children\n", server.ShardBackendName, *shards)
@@ -192,8 +210,59 @@ func run() error {
 		}
 		fmt.Println(`registered database/sql backend "sql"`)
 	}
-	fmt.Printf("SeeDB middleware listening on %s\n", *listen)
-	return http.ListenAndServe(*listen, srv)
+	if *maxInflight > 0 {
+		srv.SetAdmission(*maxInflight, *queueWait)
+		fmt.Printf("admission control: %d in-flight queries, %v queue wait\n", *maxInflight, *queueWait)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SeeDB middleware listening on %s\n", ln.Addr())
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	return serveWithDrain(&http.Server{Handler: srv}, ln, *drainTimeout, sigCh, os.Stdout)
+}
+
+// breakerOptions maps the -breakers flag to router options (nil = off;
+// the zero BreakerOptions selects the package defaults).
+func breakerOptions(on bool) *resilience.BreakerOptions {
+	if !on {
+		return nil
+	}
+	return &resilience.BreakerOptions{}
+}
+
+// serveWithDrain serves hs on ln until a signal arrives, then drains:
+// the listener closes (new connections are refused), in-flight requests
+// get up to drainTimeout to complete, and only then does the process
+// exit — a deploy's SIGTERM never truncates running recommendations.
+// The slow-query log file (if any) is closed by run's defer after the
+// drain completes, so every entry from draining requests is flushed.
+func serveWithDrain(hs *http.Server, ln net.Listener, drainTimeout time.Duration, sigCh <-chan os.Signal, out io.Writer) error {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err // listener failed before any signal
+	case sig := <-sigCh:
+		fmt.Fprintf(out, "received %v; draining in-flight requests (timeout %v)\n", sig, drainTimeout)
+		ctx := context.Background()
+		if drainTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, drainTimeout)
+			defer cancel()
+		}
+		err := hs.Shutdown(ctx)
+		<-serveErr // Serve has returned http.ErrServerClosed
+		if err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		fmt.Fprintln(out, "drained clean")
+		return nil
+	}
 }
 
 // keepPartition replaces the loaded database with just the i-th of n

@@ -154,6 +154,34 @@ type ExecOptions struct {
 	// inside a vectorized executor (a cost-only benchmarking knob).
 	// Backends without SupportsVectorized ignore it.
 	NoSelectionKernels bool
+	// AllowPartial opts this execution into degraded results on routing
+	// backends (internal/backend/shardbe): child shards that are
+	// unavailable (hard failure or open circuit breaker) are skipped and
+	// the merge proceeds over the survivors, with the omission reported
+	// in ExecStats.ShardsDegraded/DegradedShards. Leaf backends ignore
+	// it — a single store is either available or not.
+	AllowPartial bool
+}
+
+// partialKey carries the per-request degraded-results opt-in through
+// the context. Introspection calls (TableInfo, TableStats) have no
+// options parameter, and interface wrappers (locking guards, fault
+// injectors) defeat optional-interface assertions — the context is the
+// one channel that reaches a routing backend through both.
+type partialKey struct{}
+
+// WithAllowPartial marks ctx as opted into degraded results, so routing
+// backends tolerate unavailable children on the introspection paths the
+// same way ExecOptions.AllowPartial covers Exec.
+func WithAllowPartial(ctx context.Context) context.Context {
+	return context.WithValue(ctx, partialKey{}, true)
+}
+
+// AllowPartialFrom reports whether ctx carries the degraded-results
+// opt-in set by WithAllowPartial.
+func AllowPartialFrom(ctx context.Context) bool {
+	b, _ := ctx.Value(partialKey{}).(bool)
+	return b
 }
 
 // ExecStats reports what one query execution cost. Fields a backend
@@ -206,6 +234,14 @@ type ExecStats struct {
 	// retryable transport or 5xx failures. Zero means every round trip
 	// succeeded first try.
 	NetRetries int
+	// ShardsDegraded counts child shards this execution skipped because
+	// they were unavailable and ExecOptions.AllowPartial was set; the
+	// result covers only the surviving shards' rows. DegradedShards
+	// lists their indices (sorted). Both are zero/nil for complete
+	// results — callers (and the result cache, which must never admit a
+	// partial result) key off ShardsDegraded > 0.
+	ShardsDegraded int
+	DegradedShards []int
 }
 
 // Rows is a fully materialized query result: named columns over rows of

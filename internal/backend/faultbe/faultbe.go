@@ -30,7 +30,16 @@ type Fault struct {
 	failures int
 	failErr  error
 
+	// Flap mode: fail flapFail calls, let flapOK through, repeat.
+	flapFail, flapOK int
+	flapErr          error
+	flapPos          int
+
+	// Down mode: every Exec fails with downErr until cleared.
+	downErr error
+
 	execs   atomic.Int64
+	failed  atomic.Int64
 	aborted atomic.Int64
 }
 
@@ -55,9 +64,35 @@ func (f *Fault) FailNextExecs(n int, err error) {
 	f.mu.Unlock()
 }
 
+// SetFlap scripts a repeating fail/recover cycle: the next failN Exec
+// calls fail with err, the okN after that delegate normally, then the
+// cycle restarts. failN <= 0 clears flap mode. Breaker tests use this
+// to drive deterministic open→half-open→open→...→closed sequences.
+func (f *Fault) SetFlap(failN, okN int, err error) {
+	f.mu.Lock()
+	f.flapFail, f.flapOK, f.flapErr, f.flapPos = failN, okN, err, 0
+	f.mu.Unlock()
+}
+
+// SetDown makes every subsequent Exec fail with err until SetDown(nil)
+// restores the child. TableInfo/TableVersion still delegate — this
+// models a store whose query path is dead while cheap introspection
+// (often cached or served by a proxy) survives, the harder degraded
+// case for the shard router.
+func (f *Fault) SetDown(err error) {
+	f.mu.Lock()
+	f.downErr = err
+	f.mu.Unlock()
+}
+
 // Execs counts Exec calls that reached this wrapper (failed, aborted
 // and delegated alike).
 func (f *Fault) Execs() int64 { return f.execs.Load() }
+
+// FailedExecs counts Exec calls that failed with an injected error
+// (scripted, flap, or down), letting breaker tests assert exactly how
+// many calls the child actually rejected.
+func (f *Fault) FailedExecs() int64 { return f.failed.Load() }
 
 // Aborted counts Exec calls whose injected delay was cut short by ctx
 // cancellation — hedging's cancelled losers land here.
@@ -91,12 +126,25 @@ func (f *Fault) Exec(ctx context.Context, query string, opts backend.ExecOptions
 	f.mu.Lock()
 	delay := f.delay
 	var err error
-	if f.failures > 0 {
+	switch {
+	case f.downErr != nil:
+		err = f.downErr
+	case f.failures > 0:
 		f.failures--
 		err = f.failErr
+	case f.flapFail > 0:
+		cycle := f.flapFail + f.flapOK
+		if f.flapPos < f.flapFail {
+			err = f.flapErr
+		}
+		f.flapPos++
+		if f.flapPos >= cycle {
+			f.flapPos = 0
+		}
 	}
 	f.mu.Unlock()
 	if err != nil {
+		f.failed.Add(1)
 		return nil, backend.ExecStats{}, err
 	}
 	if delay > 0 {

@@ -228,6 +228,7 @@ func (c *Client) Exec(ctx context.Context, query string, opts backend.ExecOption
 		Hi:                 opts.Hi,
 		Workers:            opts.Workers,
 		NoSelectionKernels: opts.NoSelectionKernels,
+		AllowPartial:       opts.AllowPartial,
 	})
 	if err != nil {
 		return nil, backend.ExecStats{}, err

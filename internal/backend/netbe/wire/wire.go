@@ -129,6 +129,8 @@ type ExecStats struct {
 	HedgedPartials      int    `json:"hedged_partials"`
 	HedgeWins           int    `json:"hedge_wins"`
 	NetRetries          int    `json:"net_retries"`
+	ShardsDegraded      int    `json:"shards_degraded,omitempty"`
+	DegradedShards      []int  `json:"degraded_shards,omitempty"`
 }
 
 // FromExecStats encodes execution stats.
@@ -147,6 +149,8 @@ func FromExecStats(s backend.ExecStats) ExecStats {
 		HedgedPartials:      s.HedgedPartials,
 		HedgeWins:           s.HedgeWins,
 		NetRetries:          s.NetRetries,
+		ShardsDegraded:      s.ShardsDegraded,
+		DegradedShards:      s.DegradedShards,
 	}
 }
 
@@ -166,6 +170,8 @@ func (w ExecStats) ToExecStats() backend.ExecStats {
 		HedgedPartials:      w.HedgedPartials,
 		HedgeWins:           w.HedgeWins,
 		NetRetries:          w.NetRetries,
+		ShardsDegraded:      w.ShardsDegraded,
+		DegradedShards:      w.DegradedShards,
 	}
 }
 
@@ -270,6 +276,9 @@ type QueryRequest struct {
 	Workers int    `json:"workers,omitempty"`
 	// NoSelectionKernels forwards the cost-ablation knob.
 	NoSelectionKernels bool `json:"no_selection_kernels,omitempty"`
+	// AllowPartial forwards the degraded-results opt-in to a remote
+	// shard router (leaf backends ignore it).
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // QueryResponse is the typed /api/query response (Wire true).

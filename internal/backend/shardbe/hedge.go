@@ -90,10 +90,15 @@ func (r *Router) hedgeDelay() time.Duration {
 // scheduling hiccups, one slow connection — though not a uniformly slow
 // child).
 func (r *Router) hedgeTarget(child int) backend.Backend {
-	if child < len(r.replicas) && len(r.replicas[child]) > 0 {
+	if r.hasReplica(child) {
 		return r.replicas[child][0]
 	}
 	return r.children[child]
+}
+
+// hasReplica reports whether a child has a configured hedge replica.
+func (r *Router) hasReplica(child int) bool {
+	return child < len(r.replicas) && len(r.replicas[child]) > 0
 }
 
 // runChild executes one planned partial: memo lookup first (when the
@@ -172,7 +177,18 @@ func (r *Router) execHedged(ctx context.Context, t childTask, childSQL string, c
 				csp.SetAttr("hedged", "true")
 			}
 			start := time.Now()
-			rows, stats, err := be.Exec(cctx, childSQL, childOpts)
+			rows, stats, err := func() (rows *backend.Rows, stats backend.ExecStats, err error) {
+				// A panicking child must report as a failed attempt, not
+				// hang the select below forever (and take the process
+				// down) — the router's callers rely on every launched
+				// attempt producing exactly one result.
+				defer func() {
+					if p := recover(); p != nil {
+						err = fmt.Errorf("shardbe: child panicked: %v", p)
+					}
+				}()
+				return be.Exec(cctx, childSQL, childOpts)
+			}()
 			lat := time.Since(start)
 			csp.End()
 			results <- attempt{run: childRun{rows: rows, stats: stats, lat: lat, err: err}, hedged: hedged}
@@ -188,7 +204,11 @@ func (r *Router) execHedged(ctx context.Context, t childTask, childSQL string, c
 	for {
 		select {
 		case <-timer.C:
-			if !hedgedIssued {
+			// A duplicate against the straggler itself is pointless — and
+			// actively harmful — when that child's breaker has opened
+			// since the primary launched: hedging must never resurrect an
+			// open circuit. Replicas have no breaker and stay eligible.
+			if !hedgedIssued && (r.hasReplica(t.child) || r.breakerFor(t.child) == nil || r.breakerFor(t.child).Ready()) {
 				hedgedIssued = true
 				outstanding++
 				launch(r.hedgeTarget(t.child), true)

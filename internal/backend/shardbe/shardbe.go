@@ -47,12 +47,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"seedb/internal/backend"
+	"seedb/internal/resilience"
 	"seedb/internal/sqldb"
 	"seedb/internal/telemetry"
 )
@@ -91,6 +93,21 @@ type Options struct {
 	// ShardPartialsCached instead of ShardFanout. Off by default because
 	// the shard benchmarks measure cold fan-out cost.
 	PartialCacheEntries int
+	// Breakers, when non-nil, arms one circuit breaker per child with
+	// these options: a child whose executions keep failing with
+	// unavailability is opened (fail-fast, no hammering) until a
+	// half-open probe succeeds. Nil disables breakers (the default).
+	Breakers *resilience.BreakerOptions
+	// AllowPartial opts the whole router into degraded results: when a
+	// child is unavailable (hard failure or open breaker), the merge
+	// proceeds over the surviving shards instead of failing the query,
+	// and the omission is stamped into ExecStats.ShardsDegraded/
+	// DegradedShards. Per-request opt-in ORs on top: via
+	// ExecOptions.AllowPartial for Exec, and via the
+	// backend.WithAllowPartial context marker for the introspection
+	// paths (TableInfo, TableStats) whose signatures carry no options.
+	// Off by default: complete-or-error.
+	AllowPartial bool
 }
 
 // Router is the shard-routing backend. It is safe for concurrent use
@@ -107,6 +124,11 @@ type Router struct {
 	hedgeLat *telemetry.Histogram
 	// memo is the per-shard partial memo, nil when disabled.
 	memo *partialMemo
+	// breakers holds one circuit breaker per child, nil when disabled.
+	breakers []*resilience.Breaker
+	// allowPartial is the router-level degraded-results opt-in;
+	// ExecOptions.AllowPartial ORs on top per request.
+	allowPartial bool
 
 	mu        sync.Mutex
 	statsMemo map[string]statsEntry // table (lowercased) → memoized stats
@@ -136,19 +158,64 @@ func New(children []backend.Backend, opts Options) (*Router, error) {
 		return nil, fmt.Errorf("shardbe: %d replica sets for %d children", len(opts.Replicas), len(children))
 	}
 	r := &Router{
-		name:      name,
-		children:  append([]backend.Backend(nil), children...),
-		par:       par,
-		tel:       opts.Telemetry,
-		hedge:     opts.Hedge,
-		replicas:  opts.Replicas,
-		hedgeLat:  &telemetry.Histogram{},
-		statsMemo: make(map[string]statsEntry),
+		name:         name,
+		children:     append([]backend.Backend(nil), children...),
+		par:          par,
+		tel:          opts.Telemetry,
+		hedge:        opts.Hedge,
+		replicas:     opts.Replicas,
+		hedgeLat:     &telemetry.Histogram{},
+		statsMemo:    make(map[string]statsEntry),
+		allowPartial: opts.AllowPartial,
 	}
 	if opts.PartialCacheEntries > 0 {
 		r.memo = newPartialMemo(opts.PartialCacheEntries)
 	}
+	if opts.Breakers != nil {
+		r.breakers = make([]*resilience.Breaker, len(children))
+		for i := range r.breakers {
+			r.breakers[i] = resilience.NewBreaker(*opts.Breakers)
+		}
+	}
 	return r, nil
+}
+
+// BreakerStats snapshots the per-child circuit breakers, in child
+// order. Nil when breakers are disabled. The server's /metrics and
+// /healthz endpoints export these.
+func (r *Router) BreakerStats() []resilience.BreakerStats {
+	if r.breakers == nil {
+		return nil
+	}
+	out := make([]resilience.BreakerStats, len(r.breakers))
+	for i, b := range r.breakers {
+		out[i] = b.Snapshot()
+	}
+	return out
+}
+
+// breakerFor returns child i's breaker, nil when breakers are off.
+func (r *Router) breakerFor(i int) *resilience.Breaker {
+	if r.breakers == nil {
+		return nil
+	}
+	return r.breakers[i]
+}
+
+// partialMode reports whether a call runs with degraded-results
+// tolerance: the router-level opt-in, or the per-request opt-in carried
+// by the context (the only channel that reaches introspection calls,
+// whose signatures have no options).
+func (r *Router) partialMode(ctx context.Context) bool {
+	return r.allowPartial || backend.AllowPartialFrom(ctx)
+}
+
+// childDown reports whether child i should be treated as unavailable
+// right now without touching it: its breaker is open and still inside
+// the cooldown. Introspection paths use it; Exec consumes Allow.
+func (r *Router) childDown(i int) bool {
+	b := r.breakerFor(i)
+	return b != nil && !b.Ready()
 }
 
 // NumChildren returns the fan-out width.
@@ -176,32 +243,91 @@ func (r *Router) Capabilities() backend.Capabilities {
 // present on only some children is a partitioning inconsistency, which
 // is an error distinct from "no such table".
 func (r *Router) childInfos(ctx context.Context, table string) ([]backend.TableInfo, error) {
+	infos, _, err := r.childInfosPartial(ctx, table, r.partialMode(ctx))
+	return infos, err
+}
+
+// childInfosPartial is childInfos with degraded-results awareness: in
+// partial mode a child that is unavailable — open breaker, or a
+// TableInfo failure shaped like an outage — is marked down instead of
+// failing the call. A down child reports zero rows, so the router's
+// global row space becomes exactly the concatenation of the surviving
+// shards (which is what makes a degraded result equal an unsharded run
+// over the survivors' rows). At least one child must survive; an
+// all-down table is ErrUnavailable, never a silent empty result.
+func (r *Router) childInfosPartial(ctx context.Context, table string, partial bool) ([]backend.TableInfo, []bool, error) {
 	infos := make([]backend.TableInfo, len(r.children))
-	missing := 0
+	var down []bool
+	missing, alive := 0, 0
 	for i, c := range r.children {
+		if r.childDown(i) {
+			if !partial {
+				return nil, nil, fmt.Errorf("shardbe: shard %d: %w: circuit open", i, backend.ErrUnavailable)
+			}
+			if down == nil {
+				down = make([]bool, len(r.children))
+			}
+			down[i] = true
+			continue
+		}
 		ti, err := c.TableInfo(ctx, table)
 		if errors.Is(err, backend.ErrNoTable) {
 			missing++
 			continue
 		}
 		if err != nil {
-			return nil, fmt.Errorf("shardbe: shard %d: %w", i, err)
+			if partial && errors.Is(err, backend.ErrUnavailable) && ctx.Err() == nil {
+				if b := r.breakerFor(i); b != nil {
+					// Introspection outages feed the breaker too, so a
+					// dead child opens even when no Exec reaches it.
+					if b.Allow() {
+						b.RecordFailure()
+					}
+				}
+				if down == nil {
+					down = make([]bool, len(r.children))
+				}
+				down[i] = true
+				continue
+			}
+			return nil, nil, fmt.Errorf("shardbe: shard %d: %w", i, err)
 		}
 		infos[i] = ti
+		alive++
 	}
-	if missing == len(r.children) {
-		return nil, fmt.Errorf("%w: %q", backend.ErrNoTable, table)
+	if alive == 0 {
+		if missing > 0 && down == nil {
+			return nil, nil, fmt.Errorf("%w: %q", backend.ErrNoTable, table)
+		}
+		return nil, nil, fmt.Errorf("shardbe: table %q: %w: all %d shards down", table, backend.ErrUnavailable, len(r.children))
 	}
 	if missing > 0 {
-		return nil, fmt.Errorf("shardbe: table %q exists on only %d of %d shards", table, len(r.children)-missing, len(r.children))
+		return nil, nil, fmt.Errorf("shardbe: table %q exists on only %d of %d reachable shards", table, alive, alive+missing)
 	}
-	first := infos[0]
-	for i := 1; i < len(infos); i++ {
-		if err := sameColumns(first.Columns, infos[i].Columns); err != nil {
-			return nil, fmt.Errorf("shardbe: table %q: shard %d schema disagrees with shard 0: %w", table, i, err)
+	// Schema agreement is checked among the survivors only.
+	first := -1
+	for i := range infos {
+		if down != nil && down[i] {
+			continue
+		}
+		if first < 0 {
+			first = i
+			continue
+		}
+		if err := sameColumns(infos[first].Columns, infos[i].Columns); err != nil {
+			return nil, nil, fmt.Errorf("shardbe: table %q: shard %d schema disagrees with shard %d: %w", table, i, first, err)
 		}
 	}
-	return infos, nil
+	// A down child carries the shared schema (zero rows) so downstream
+	// consumers can index infos uniformly.
+	if down != nil {
+		for i := range infos {
+			if down[i] {
+				infos[i] = backend.TableInfo{Name: infos[first].Name, Columns: infos[first].Columns, Layout: infos[first].Layout}
+			}
+		}
+	}
+	return infos, down, nil
 }
 
 // sameColumns checks two shards declare identical columns.
@@ -276,15 +402,20 @@ func (r *Router) TableStats(ctx context.Context, table string) (*backend.TableSt
 		rows += ti.Rows
 	}
 	out := &backend.TableStats{Rows: rows, Columns: make([]backend.ColumnStats, len(infos[0].Columns))}
+	statsDegraded := false
 	for ci, col := range infos[0].Columns {
-		distinct, err := r.distinctCount(ctx, table, col.Name)
+		distinct, degraded, err := r.distinctCount(ctx, table, col.Name)
 		if err != nil {
 			return nil, err
 		}
+		statsDegraded = statsDegraded || degraded
 		out.Columns[ci] = backend.ColumnStats{Name: col.Name, Type: col.Type, Distinct: distinct}
 	}
 
-	if versioned {
+	// Stats computed while a shard was down describe the survivors, not
+	// the table: never memoize them, or they would outlive the outage
+	// (the version vector need not change when a child recovers).
+	if versioned && !statsDegraded {
 		r.mu.Lock()
 		r.statsMemo[key] = statsEntry{version: version, stats: out}
 		r.mu.Unlock()
@@ -294,8 +425,11 @@ func (r *Router) TableStats(ctx context.Context, table string) (*backend.TableSt
 
 // distinctCount unions one column's distinct non-NULL values across
 // shards, keyed by the embedded engine's injective value encoding so the
-// count is exact (bit-level float identity included).
-func (r *Router) distinctCount(ctx context.Context, table, column string) (int, error) {
+// count is exact (bit-level float identity included). In router-level
+// partial mode, unavailable shards are skipped (the stats then describe
+// the survivors, matching what a degraded Exec will scan) and the
+// second return reports the omission.
+func (r *Router) distinctCount(ctx context.Context, table, column string) (int, bool, error) {
 	col := &sqldb.ColumnExpr{Name: column}
 	stmt := &sqldb.SelectStmt{
 		Items:   []sqldb.SelectItem{{Expr: col}},
@@ -306,10 +440,20 @@ func (r *Router) distinctCount(ctx context.Context, table, column string) (int, 
 	sql := stmt.String()
 	seen := make(map[string]struct{})
 	var keyBuf []byte
+	partial := r.partialMode(ctx)
+	degraded := false
 	for i, c := range r.children {
+		if partial && r.childDown(i) {
+			degraded = true
+			continue
+		}
 		rows, _, err := c.Exec(ctx, sql, backend.ExecOptions{})
 		if err != nil {
-			return 0, fmt.Errorf("shardbe: distinct scan on shard %d: %w", i, err)
+			if partial && errors.Is(err, backend.ErrUnavailable) && ctx.Err() == nil {
+				degraded = true
+				continue
+			}
+			return 0, false, fmt.Errorf("shardbe: distinct scan on shard %d: %w", i, err)
 		}
 		for _, row := range rows.Rows {
 			if len(row) != 1 || row[0].IsNull() {
@@ -319,7 +463,7 @@ func (r *Router) distinctCount(ctx context.Context, table, column string) (int, 
 			seen[string(keyBuf)] = struct{}{}
 		}
 	}
-	return len(seen), nil
+	return len(seen), degraded, nil
 }
 
 // childTask is one planned child execution.
@@ -341,6 +485,10 @@ type childRun struct {
 	// partial; hedgeWon that the duplicate answered first.
 	hedged   bool
 	hedgeWon bool
+	// degraded marks a partial skipped in degraded-results mode: the
+	// child was unavailable, the merge proceeds without it, and the
+	// omission is stamped into the fan-out's ExecStats.
+	degraded bool
 }
 
 // Exec fans one query out to the children and merges the partial
@@ -350,13 +498,14 @@ type childRun struct {
 // merge. Fan-out is concurrent with bounded parallelism; the first child
 // error cancels the remaining executions.
 func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOptions) (*backend.Rows, backend.ExecStats, error) {
+	partial := r.partialMode(ctx) || opts.AllowPartial
 	_, psp := telemetry.StartSpan(ctx, "shard.plan")
 	stmt, err := sqldb.Parse(query)
 	if err != nil {
 		psp.End()
 		return nil, backend.ExecStats{}, err
 	}
-	infos, err := r.childInfos(ctx, stmt.Table)
+	infos, down, err := r.childInfosPartial(ctx, stmt.Table, partial)
 	if err != nil {
 		psp.End()
 		return nil, backend.ExecStats{}, err
@@ -428,11 +577,49 @@ func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOption
 			go func() {
 				defer wg.Done()
 				for ti := range work {
-					run := r.runChild(fanCtx, stmt.Table, childSQL, tasks[ti], opts)
+					t := tasks[ti]
+					br := r.breakerFor(t.child)
+					if br != nil && !br.Allow() {
+						// Open circuit: fail fast without touching the child.
+						if partial {
+							runs[ti] = childRun{degraded: true}
+						} else {
+							runs[ti] = childRun{err: fmt.Errorf("%w: circuit open", backend.ErrUnavailable)}
+							cancel()
+						}
+						continue
+					}
+					run := r.runChild(fanCtx, stmt.Table, childSQL, t, opts)
+					if br != nil {
+						// A child is "failing" only when it looks down —
+						// unreachable or timing out while the request itself
+						// is still live. The caller's own cancellation, and
+						// child-side errors like a parse rejection, say
+						// nothing bad about child health.
+						switch {
+						case run.err == nil:
+							br.RecordSuccess()
+						case (errors.Is(run.err, backend.ErrUnavailable) || errors.Is(run.err, context.DeadlineExceeded)) && ctx.Err() == nil:
+							br.RecordFailure()
+						case !isCtxErr(run.err):
+							// The child answered, just not usefully (parse
+							// rejection, unknown column): it is alive.
+							br.RecordSuccess()
+						default:
+							// Cancellation with the parent request dead or
+							// dying: no health signal either way.
+							br.RecordCancel()
+						}
+					}
+					if run.err != nil && partial && errors.Is(run.err, backend.ErrUnavailable) && ctx.Err() == nil {
+						// Degraded-results mode tolerates an unavailable
+						// child: skip its part, keep the fan-out running.
+						run = childRun{degraded: true}
+					}
 					runs[ti] = run
 					if run.err != nil {
 						cancel() // first failure aborts the straggling shards
-					} else if !run.cached {
+					} else if !run.cached && !run.degraded {
 						// Memo hits cost no child execution; only winners of
 						// real executions belong in the latency distribution.
 						r.tel.ObserveShard(run.lat)
@@ -464,14 +651,45 @@ func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOption
 		return nil, backend.ExecStats{}, fmt.Errorf("shardbe: shard %d: %w", firstChild, firstErr)
 	}
 
+	// Collect the degraded shard set: children skipped before fan-out
+	// (down at introspection time) plus partials dropped mid-fan-out.
+	var degradedShards []int
+	for i := range r.children {
+		if down != nil && down[i] {
+			degradedShards = append(degradedShards, i)
+		}
+	}
+	survivors := 0
+	for ti := range tasks {
+		if runs[ti].degraded {
+			degradedShards = append(degradedShards, tasks[ti].child)
+		} else {
+			survivors++
+		}
+	}
+	sort.Ints(degradedShards)
+	if partial && survivors == 0 && len(degradedShards) >= len(r.children) {
+		// Every child in the router is gone: that is an outage, not a
+		// degraded result. A row range that only touches down children
+		// while healthy children survive elsewhere stays degraded — the
+		// partial contract is "the result over surviving partitions",
+		// and the surviving partitions hold no rows in that range.
+		return nil, backend.ExecStats{}, fmt.Errorf("shardbe: %w: all %d shards unavailable", backend.ErrUnavailable, len(r.children))
+	}
+
 	// ShardFanout counts real child executions; memo hits report as
 	// ShardPartialsCached instead (and cost no latency, so they never
 	// touch the straggler max). Nested robustness counters — a netbe
 	// child's retries, a nested router's hedges — sum through, so the
 	// top-level ExecStats sees the whole tree.
 	var stats backend.ExecStats
+	stats.ShardsDegraded = len(degradedShards)
+	stats.DegradedShards = degradedShards
 	for ti := range tasks {
 		run := &runs[ti]
+		if run.degraded {
+			continue // no execution, no part: only the degraded stamp above
+		}
 		if run.cached {
 			stats.ShardPartialsCached++
 		} else {
@@ -498,8 +716,14 @@ func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOption
 		}
 	}
 
+	// A degraded partial merges as zero rows: the global result is then
+	// exactly what an unsharded store holding only the surviving
+	// partitions' rows would produce.
 	parts := make([]sqldb.ShardPart, len(tasks))
 	for ti := range tasks {
+		if runs[ti].degraded {
+			continue
+		}
 		parts[ti] = sqldb.ShardPart{Rows: runs[ti].rows.Rows, Groups: runs[ti].stats.Groups}
 	}
 	_, msp := telemetry.StartSpan(ctx, "shard.merge")
@@ -516,8 +740,12 @@ func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOption
 	// The fan-out counts as vectorized only when every scanned shard ran
 	// the fast path; otherwise the first shard's reason stands in for the
 	// whole query (a per-shard breakdown would not fit one ExecStats).
-	stats.Vectorized = len(tasks) > 0
+	// Degraded partials scanned nothing and have no say.
+	stats.Vectorized = survivors > 0
 	for ti := range tasks {
+		if runs[ti].degraded {
+			continue
+		}
 		if !runs[ti].stats.Vectorized {
 			stats.Vectorized = false
 			stats.FallbackReason = runs[ti].stats.FallbackReason

@@ -201,8 +201,9 @@ func (c *Cache) admissible(size int64, cost time.Duration) bool {
 // while concurrent duplicates block and share it (Shared).
 //
 // size estimates the byte footprint of a computed value for admission
-// and budgeting. Errors are not cached; every Do after a failure retries
-// the computation. ctx governs only this caller's waiting: a follower
+// and budgeting; a negative size marks the value do-not-admit (it is
+// returned to this flight's callers but never stored). Errors are not
+// cached; every Do after a failure retries the computation. ctx governs only this caller's waiting: a follower
 // whose own context dies stops waiting and returns ctx.Err(), while a
 // follower that inherits the *leader's* context-cancellation error (the
 // leader's client hung up, not the follower's) retries with its own
@@ -229,7 +230,14 @@ func (c *Cache) Do(ctx context.Context, key string, size func(v any) int64, comp
 		if err != nil {
 			return nil, err
 		}
-		if !c.Put(key, v, size(v), time.Since(start)) {
+		if sz := size(v); sz < 0 {
+			// A negative size is the compute's do-not-admit signal: the
+			// value is valid for this caller (and any followers sharing
+			// the flight) but must not persist — degraded shard results
+			// use this, since partial coverage would poison every later
+			// reader.
+			sp.SetAttr("filled", "uncacheable")
+		} else if !c.Put(key, v, sz, time.Since(start)) {
 			sp.SetAttr("filled", "rejected")
 		}
 		return v, nil

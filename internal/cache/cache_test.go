@@ -295,8 +295,8 @@ func TestDoSurvivesPanickingCompute(t *testing.T) {
 
 func TestVersionedKeysIsolate(t *testing.T) {
 	c := New(1 << 20)
-	k1 := QueryKey("t", "1.0", "SELECT a FROM t", 0, 0)
-	k2 := QueryKey("t", "2.0", "SELECT a FROM t", 0, 0)
+	k1 := QueryKey("t", "1.0", "SELECT a FROM t", 0, 0, false)
+	k2 := QueryKey("t", "2.0", "SELECT a FROM t", 0, 0, false)
 	c.Put(k1, "old", 10, 0)
 	if _, ok := c.Get(k2); ok {
 		t.Fatal("new version observed old entry")
@@ -337,7 +337,7 @@ func contains(s, sub string) bool {
 }
 
 func TestKeyNamespacesDisjoint(t *testing.T) {
-	q := QueryKey("t", "1.0", "x", 0, 0)
+	q := QueryKey("t", "1.0", "x", 0, 0, false)
 	r := RequestKey("t", "1.0", "x", "0", "0")
 	if q == r {
 		t.Fatal("query and request keys collide")

@@ -61,11 +61,15 @@ func NormalizeSQL(sql string) string {
 }
 
 // QueryKey keys one shared view query execution: normalized SQL plus the
-// table version and the scanned row range (phased execution runs the
-// same SQL over different partitions).
-func QueryKey(table, version, sql string, lo, hi int) string {
+// table version, the scanned row range (phased execution runs the same
+// SQL over different partitions), and the degraded-results opt-in. The
+// last matters for singleflight, not storage: a complete-or-error
+// request must never share a flight whose computation may legally
+// return partial shard coverage.
+func QueryKey(table, version, sql string, lo, hi int, allowPartial bool) string {
 	return "q" + sep + strings.ToLower(table) + sep + version + sep +
-		strconv.Itoa(lo) + sep + strconv.Itoa(hi) + sep + NormalizeSQL(sql)
+		strconv.Itoa(lo) + sep + strconv.Itoa(hi) + sep +
+		strconv.FormatBool(allowPartial) + sep + NormalizeSQL(sql)
 }
 
 // RequestKey keys one whole Recommend invocation. parts is the

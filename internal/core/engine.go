@@ -33,7 +33,20 @@ type Engine struct {
 	// the slow-query log. Atomic so it can be installed while requests
 	// are in flight; a nil collector makes every observation a no-op.
 	tel atomic.Pointer[telemetry.Collector]
+
+	// The stale-result store backs Options.ServeStaleOnError: the last
+	// complete Result per request shape, kept independently of the
+	// dataset version so an outage can be masked with yesterday's
+	// answer. Bounded FIFO; deliberately separate from the result cache,
+	// whose entries die with their version — stale serving exists
+	// precisely for the moment the current version is unreachable.
+	staleMu    sync.Mutex
+	stale      map[string]*Result
+	staleOrder []string
 }
+
+// staleStoreMax bounds how many request shapes the stale store retains.
+const staleStoreMax = 256
 
 // NewEngine creates an engine over a backend. Wrap the embedded store
 // with backend.NewEmbedded.
@@ -133,6 +146,18 @@ type Metrics struct {
 	// NetRetries counts transparent retries network child backends
 	// performed after retryable transport or 5xx failures.
 	NetRetries int
+	// ShardsDegraded sums child shards skipped across this invocation's
+	// queries because they were unavailable under Options.AllowPartial;
+	// DegradedShards lists the distinct skipped shard indices (sorted).
+	// Non-zero means the recommendation covers only the surviving
+	// partitions' rows — such results are never admitted to the shared
+	// result cache.
+	ShardsDegraded int
+	DegradedShards []int
+	// ServedStale marks a response answered from the stale-result store
+	// under Options.ServeStaleOnError after the backend became
+	// unavailable: the data may predate the current dataset version.
+	ServedStale bool
 	// RowsScanned sums base-table rows visited across all queries.
 	RowsScanned int64
 	// MaxGroups is the peak distinct-group count of any single query
@@ -275,9 +300,91 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 	return res, nil
 }
 
-// recommend is the Recommend body; the exported wrapper owns the
-// request span, latency observation and slow-request logging.
+// recommend wraps recommendInner with the stale-on-outage path
+// (Options.ServeStaleOnError): fresh complete results refresh the stale
+// store, and an unavailability failure is answered from it when
+// possible. The store is keyed on the raw request+options — option
+// canonicalization needs table metadata, which is exactly what a
+// full outage takes away — so the key is computable on both the fill
+// and the serve side without touching the backend.
 func (e *Engine) recommend(ctx context.Context, req Request, opts Options) (*Result, error) {
+	if opts.AllowPartial {
+		// The introspection legs (TableInfo, TableStats) have no options
+		// parameter; the context carries the opt-in to routing backends.
+		ctx = backend.WithAllowPartial(ctx)
+	}
+	useStale := opts.ServeStaleOnError && opts.EnableCache
+	var staleKey string
+	if useStale {
+		staleKey = requestCacheKey(req, opts, "stale")
+	}
+	start := time.Now()
+	res, err := e.recommendInner(ctx, req, opts)
+	if err == nil {
+		// Only complete, freshly-consistent answers are worth replaying
+		// during an outage: degraded results are partial by construction.
+		if useStale && res.Metrics.ShardsDegraded == 0 {
+			e.storeStale(staleKey, res)
+		}
+		return res, nil
+	}
+	if useStale && errors.Is(err, backend.ErrUnavailable) && ctx.Err() == nil {
+		if sres, ok := e.loadStale(staleKey); ok {
+			telemetry.SpanFromContext(ctx).SetAttr("served_stale", "true")
+			sres.Metrics.Elapsed = time.Since(start)
+			return sres, nil
+		}
+	}
+	return nil, err
+}
+
+// storeStale records a private copy of a complete result as the outage
+// fallback for its request shape, evicting the oldest shape at cap.
+func (e *Engine) storeStale(key string, res *Result) {
+	cp := cloneResult(res)
+	e.staleMu.Lock()
+	defer e.staleMu.Unlock()
+	if e.stale == nil {
+		e.stale = make(map[string]*Result, staleStoreMax)
+	}
+	if _, exists := e.stale[key]; !exists {
+		e.staleOrder = append(e.staleOrder, key)
+		if len(e.staleOrder) > staleStoreMax {
+			delete(e.stale, e.staleOrder[0])
+			e.staleOrder = e.staleOrder[1:]
+		}
+	}
+	e.stale[key] = cp
+}
+
+// loadStale returns a copy of the stored fallback for a request shape,
+// with cost counters zeroed (this invocation executed nothing) and
+// ServedStale stamped.
+func (e *Engine) loadStale(key string) (*Result, bool) {
+	e.staleMu.Lock()
+	r, ok := e.stale[key]
+	e.staleMu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	res := cloneResult(r)
+	m := &res.Metrics
+	m.QueriesExecuted, m.RowsScanned, m.MaxGroups, m.PhasesRun = 0, 0, 0, 0
+	m.VectorizedQueries, m.FallbackQueries, m.ScanWorkers = 0, 0, 0
+	m.FallbackReasons = nil
+	m.SelectionKernels, m.ResidualPredicates = 0, 0
+	m.ShardQueries, m.ShardFanout, m.ShardStragglerMax = 0, 0, 0
+	m.ShardPartialsCached, m.HedgedPartials, m.HedgeWins, m.NetRetries = 0, 0, 0, 0
+	m.CacheHits, m.CacheMisses, m.RefViewsReused = 0, 0, 0
+	m.ServedFromCache = false
+	m.ServedStale = true
+	return res, true
+}
+
+// recommendInner is the Recommend body; the exported wrapper owns the
+// request span, latency observation and slow-request logging, and the
+// recommend wrapper owns stale-on-outage serving.
+func (e *Engine) recommendInner(ctx context.Context, req Request, opts Options) (*Result, error) {
 	start := time.Now()
 	if req.TargetWhere == "" {
 		return nil, fmt.Errorf("core: request needs a target predicate (TargetWhere)")
@@ -399,6 +506,9 @@ func (e *Engine) recommend(ctx context.Context, req Request, opts Options) (*Res
 		m.SelectionKernels, m.ResidualPredicates = 0, 0
 		m.ShardQueries, m.ShardFanout, m.ShardStragglerMax = 0, 0, 0
 		m.ShardPartialsCached, m.HedgedPartials, m.HedgeWins, m.NetRetries = 0, 0, 0, 0
+		// Degraded results are never admitted, so a warm response is by
+		// construction complete and fresh.
+		m.ShardsDegraded, m.DegradedShards, m.ServedStale = 0, nil, false
 		m.CacheMisses, m.RefViewsReused = 0, 0
 		m.CacheHits = 1
 		m.ServedFromCache = true

@@ -36,6 +36,9 @@ func (m *Metrics) Merge(o Metrics) {
 	m.HedgedPartials += o.HedgedPartials
 	m.HedgeWins += o.HedgeWins
 	m.NetRetries += o.NetRetries
+	m.ShardsDegraded += o.ShardsDegraded
+	m.DegradedShards = unionSorted(m.DegradedShards, o.DegradedShards)
+	m.ServedStale = m.ServedStale || o.ServedStale
 	m.RowsScanned += o.RowsScanned
 	if o.MaxGroups > m.MaxGroups {
 		m.MaxGroups = o.MaxGroups
@@ -52,4 +55,32 @@ func (m *Metrics) Merge(o Metrics) {
 		m.DegradedFrom = o.DegradedFrom
 	}
 	m.Elapsed += o.Elapsed
+}
+
+// unionSorted merges two sorted int slices without duplicates. Either
+// input may be nil; the result is nil only when both are.
+func unionSorted(a, b []int) []int {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]int(nil), b...)
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default: // equal
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
 }

@@ -235,6 +235,21 @@ type Options struct {
 	// Parallelism it describes observation cost, never output, so it is
 	// excluded from cache keys.
 	SlowQueryThreshold time.Duration
+	// AllowPartial opts the request into degraded results on routing
+	// backends: when a shard child is unavailable, its partition is
+	// skipped and the recommendation is computed over the surviving
+	// shards, with Metrics.ShardsDegraded/DegradedShards stamped so the
+	// caller knows coverage is partial. Degraded results are never
+	// admitted to the shared result cache. It IS part of the cache key:
+	// a complete-or-error request must not share a flight (or an entry)
+	// with one that may legally return partial coverage. Default false.
+	AllowPartial bool
+	// ServeStaleOnError serves the last successfully computed result for
+	// the same request (whatever dataset version it was computed at)
+	// when the backend is unavailable — outage masking for read-mostly
+	// dashboards. The response is marked via Metrics.ServedStale.
+	// Requires EnableCache; default false (errors propagate).
+	ServeStaleOnError bool
 }
 
 // withDefaults fills unset options given the table layout.

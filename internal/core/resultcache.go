@@ -64,6 +64,11 @@ func requestCacheKey(req Request, opts Options, version string) string {
 		fmt.Sprintf("%g", opts.ConfidenceScale),
 		strconv.FormatInt(opts.Seed, 10),
 		strconv.FormatBool(opts.KeepAllViews),
+		// AllowPartial changes what a result may legally contain
+		// (degraded shard coverage), so complete-or-error requests must
+		// never share a key — and above all never share a singleflight
+		// flight — with degradable ones.
+		strconv.FormatBool(opts.AllowPartial),
 	)
 	return cache.RequestKey(req.Table, version, parts...)
 }
@@ -80,6 +85,7 @@ func cloneResult(r *Result) *Result {
 	cp := *r
 	cp.Recommendations = cloneRecommendations(r.Recommendations)
 	cp.AllViews = cloneRecommendations(r.AllViews)
+	cp.Metrics.DegradedShards = append([]int(nil), r.Metrics.DegradedShards...)
 	return &cp
 }
 
@@ -112,8 +118,14 @@ func cloneAggMap(m map[string]float64) map[string]float64 {
 	return out
 }
 
-// resultSizeBytes estimates a Result's cache footprint.
+// resultSizeBytes estimates a Result's cache footprint. Degraded
+// results (partial shard coverage) report a negative size — the cache's
+// do-not-admit signal — because a cached partial answer would keep
+// serving incomplete data long after the missing shard recovered.
 func resultSizeBytes(r *Result) int64 {
+	if r.Metrics.ShardsDegraded > 0 {
+		return -1
+	}
 	n := int64(128)
 	n += recommendationsSizeBytes(r.Recommendations)
 	n += recommendationsSizeBytes(r.AllViews)
@@ -135,8 +147,12 @@ func recommendationsSizeBytes(recs []Recommendation) int64 {
 }
 
 // execResultSizeBytes estimates a materialized query result's cache
-// footprint.
+// footprint. Like resultSizeBytes, degraded shard results are marked
+// do-not-admit with a negative size.
 func execResultSizeBytes(res *execResult) int64 {
+	if res.stats.ShardsDegraded > 0 {
+		return -1
+	}
 	n := int64(96)
 	for _, c := range res.rows.Columns {
 		n += int64(len(c)) + 16

@@ -396,12 +396,11 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 		return nil
 	}
 	par := s.opts.Parallelism
-	scanWorkers := s.opts.ScanParallelism
 	if s.opts.Strategy == NoOpt {
 		// The basic framework is the paper's unoptimized baseline: it
-		// executes queries serially and scans with the serial interpreter.
+		// executes queries serially and scans with the serial interpreter
+		// (runQuery pins the per-query scan workers the same way).
 		par = 1
-		scanWorkers = 1
 	}
 	if par > len(queries) {
 		par = len(queries)
@@ -420,48 +419,19 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 		go func() {
 			defer wg.Done()
 			for qi := range work {
-				sql := queries[qi].sql
-				execOpts := backend.ExecOptions{
-					Lo: lo, Hi: hi, Workers: scanWorkers,
-					NoSelectionKernels: s.opts.DisableSelectionKernels,
-				}
-				qctx, qsp := telemetry.StartSpan(ctx, "query")
-				qsp.SetAttr("sql", sql)
-				// exec is the paid execution path: singleflight runs it in
-				// exactly one caller per flight, so observing here keeps the
-				// query-latency histogram count equal to QueriesExecuted.
-				exec := func(cctx context.Context) (any, error) {
-					t0 := time.Now()
-					rows, stats, err := s.be.Exec(cctx, sql, execOpts)
-					d := time.Since(t0)
-					if err != nil {
-						return nil, err
-					}
-					s.tel.ObserveQuery(d)
-					s.logSlowQuery(sql, lo, hi, d, stats, qsp)
-					return &execResult{rows: rows, stats: stats}, nil
-				}
-				if s.cache == nil {
-					v, err := exec(qctx)
-					qsp.End()
-					if err != nil {
-						errs[qi] = err
-						continue
-					}
-					results[qi], outcomes[qi] = v.(*execResult), cache.Computed
-					continue
-				}
-				key := cache.QueryKey(s.req.Table, s.version, sql, lo, hi)
-				v, outcome, err := s.cache.Do(qctx, key,
-					func(v any) int64 { return execResultSizeBytes(v.(*execResult)) },
-					exec,
-				)
-				qsp.End()
-				if err != nil {
-					errs[qi] = err
-					continue
-				}
-				results[qi], outcomes[qi] = v.(*execResult), outcome
+				// A panicking backend must fail the query, not kill the
+				// process: these workers run outside the HTTP handler
+				// goroutine, so the server's recovery middleware cannot
+				// catch them. The worker also has to survive to keep
+				// draining the work channel, or the feeder would block.
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							errs[qi] = fmt.Errorf("core: backend panicked: %v", p)
+						}
+					}()
+					s.runQuery(ctx, queries[qi].sql, qi, lo, hi, results, outcomes, errs)
+				}()
 			}
 		}()
 	}
@@ -492,6 +462,57 @@ func (s *execState) runQueries(ctx context.Context, queries []*sharedQuery, lo, 
 		s.mergeResult(queries[qi], res.rows)
 	}
 	return nil
+}
+
+// runQuery executes (or cache-resolves) one shared query and stores its
+// result, outcome and error at index qi.
+func (s *execState) runQuery(ctx context.Context, sql string, qi, lo, hi int, results []*execResult, outcomes []cache.Outcome, errs []error) {
+	scanWorkers := s.opts.ScanParallelism
+	if s.opts.Strategy == NoOpt {
+		scanWorkers = 1
+	}
+	execOpts := backend.ExecOptions{
+		Lo: lo, Hi: hi, Workers: scanWorkers,
+		NoSelectionKernels: s.opts.DisableSelectionKernels,
+		AllowPartial:       s.opts.AllowPartial,
+	}
+	qctx, qsp := telemetry.StartSpan(ctx, "query")
+	qsp.SetAttr("sql", sql)
+	// exec is the paid execution path: singleflight runs it in
+	// exactly one caller per flight, so observing here keeps the
+	// query-latency histogram count equal to QueriesExecuted.
+	exec := func(cctx context.Context) (any, error) {
+		t0 := time.Now()
+		rows, stats, err := s.be.Exec(cctx, sql, execOpts)
+		d := time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		s.tel.ObserveQuery(d)
+		s.logSlowQuery(sql, lo, hi, d, stats, qsp)
+		return &execResult{rows: rows, stats: stats}, nil
+	}
+	if s.cache == nil {
+		v, err := exec(qctx)
+		qsp.End()
+		if err != nil {
+			errs[qi] = err
+			return
+		}
+		results[qi], outcomes[qi] = v.(*execResult), cache.Computed
+		return
+	}
+	key := cache.QueryKey(s.req.Table, s.version, sql, lo, hi, s.opts.AllowPartial)
+	v, outcome, err := s.cache.Do(qctx, key,
+		func(v any) int64 { return execResultSizeBytes(v.(*execResult)) },
+		exec,
+	)
+	qsp.End()
+	if err != nil {
+		errs[qi] = err
+		return
+	}
+	results[qi], outcomes[qi] = v.(*execResult), outcome
 }
 
 // RecordExec folds one paid query execution into the invocation
@@ -531,6 +552,8 @@ func (m *Metrics) RecordExec(stats backend.ExecStats) {
 	m.HedgedPartials += stats.HedgedPartials
 	m.HedgeWins += stats.HedgeWins
 	m.NetRetries += stats.NetRetries
+	m.ShardsDegraded += stats.ShardsDegraded
+	m.DegradedShards = unionSorted(m.DegradedShards, stats.DegradedShards)
 	if stats.Workers > m.ScanWorkers {
 		m.ScanWorkers = stats.Workers
 	}

@@ -195,3 +195,54 @@ func TestObservabilityDocPinned(t *testing.T) {
 		t.Error("ARCHITECTURE.md does not link OBSERVABILITY.md")
 	}
 }
+
+// TestResilienceDocPinned pins the graceful-degradation documentation
+// contract: the guide must exist, be linked from the README, and
+// describe the breaker state machine, the degraded/stale response
+// markers, the admission knobs and the chaos harness — and the new
+// metric families must be in the observability table too.
+func TestResilienceDocPinned(t *testing.T) {
+	root := repoRoot(t)
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(readme), "(docs/RESILIENCE.md)") {
+		t.Error("README.md does not link docs/RESILIENCE.md")
+	}
+	doc, err := os.ReadFile(filepath.Join(root, "docs", "RESILIENCE.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		// breaker state machine + knobs
+		"closed", "open", "half_open", "FailureThreshold", "Cooldown",
+		"-breakers",
+		// degraded results contract
+		"allow_partial", "degraded_shards", "ShardsDegraded",
+		"never admitted to the result cache",
+		// admission control
+		"-max-inflight", "-queue-wait", "Retry-After", "503", "429",
+		// stale serving, panics, drain
+		"serve_stale", "seedb_panics_total", "-drain-timeout", "SIGTERM",
+		// chaos harness
+		"seedb-loadgen -chaos", "faultbe",
+	} {
+		if !strings.Contains(string(doc), want) {
+			t.Errorf("RESILIENCE.md does not mention %s", want)
+		}
+	}
+	obs, err := os.ReadFile(filepath.Join(root, "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"seedb_breaker_state", "seedb_breaker_transitions_total",
+		"seedb_degraded_requests_total", "seedb_shed_requests_total",
+		"seedb_stale_serves_total", "seedb_panics_total",
+	} {
+		if !strings.Contains(string(obs), want) {
+			t.Errorf("OBSERVABILITY.md does not list %s", want)
+		}
+	}
+}

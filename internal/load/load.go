@@ -102,6 +102,16 @@ type Config struct {
 	// Backend optionally routes recommend/query traffic to a named
 	// server backend ("" = the embedded default).
 	Backend string `json:"backend,omitempty"`
+	// AllowPartial opts recommend traffic into degraded results: with a
+	// breaker-equipped shard backend, a child outage then yields 200s
+	// covering the surviving shards (marked degraded) instead of 5xx.
+	AllowPartial bool `json:"allow_partial,omitempty"`
+	// Chaos marks a run whose harness injects a mid-run child outage
+	// (see cmd/seedb-loadgen -chaos). Validate then additionally
+	// requires that degraded responses were actually observed — the
+	// outage must have been hit — while keeping the zero-error gate:
+	// graceful degradation means the fault is absorbed, not surfaced.
+	Chaos bool `json:"chaos,omitempty"`
 	// Client overrides the HTTP client (default: no timeout — the
 	// driver never abandons an in-flight request, which is what keeps
 	// the driver/server query-count cross-check exact).
@@ -180,6 +190,16 @@ type Report struct {
 	// CacheServed counts recommend responses answered entirely from the
 	// result cache — the Zipf head doing its job.
 	CacheServed int64 `json:"cache_served"`
+	// Chaos echoes Config.Chaos; DegradedResponses counts recommend 200s
+	// computed from partial shard coverage during the injected outage,
+	// StaleResponses counts 200s served from the stale-result store, and
+	// ShedResponses counts 503/429 admission rejections (these also
+	// count as errors — the driver's SLO gate treats shedding as a
+	// capacity failure the run must be sized to avoid).
+	Chaos             bool  `json:"chaos,omitempty"`
+	DegradedResponses int64 `json:"degraded_responses"`
+	StaleResponses    int64 `json:"stale_responses"`
+	ShedResponses     int64 `json:"shed_responses"`
 
 	// DriverQueriesObserved sums queries_executed over every recommend
 	// response plus one per successful raw query; ServerQueriesDelta is
@@ -216,6 +236,12 @@ func (r *Report) Validate() error {
 	if !r.QueriesMatch {
 		probs = append(probs, fmt.Sprintf("driver observed %d queries, server executed %d",
 			r.DriverQueriesObserved, r.ServerQueriesDelta))
+	}
+	if r.Chaos && r.DegradedResponses == 0 && r.StaleResponses == 0 {
+		// The zero-error gate above already proves no 5xx leaked; this
+		// gate proves the run actually exercised the outage — a chaos run
+		// where nothing degraded tested nothing.
+		probs = append(probs, "chaos run observed no degraded or stale responses (outage never hit)")
 	}
 	if len(probs) > 0 {
 		return fmt.Errorf("load report failed validation: %s", strings.Join(probs, "; "))
@@ -337,6 +363,9 @@ type counters struct {
 	rowsIngested atomic.Int64
 	cacheServed  atomic.Int64
 	queriesSeen  atomic.Int64
+	degraded     atomic.Int64
+	stale        atomic.Int64
+	shed         atomic.Int64
 
 	errMu     sync.Mutex
 	firstErrs []string
@@ -421,12 +450,16 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Classes:    map[string]ClassStats{},
 
-		TotalRequests: total,
-		ThroughputRPS: float64(total) / cfg.Duration.Seconds(),
-		ErrorCount:    cnt.errors.Load(),
-		FirstErrors:   cnt.firstErrs,
-		RowsIngested:  cnt.rowsIngested.Load(),
-		CacheServed:   cnt.cacheServed.Load(),
+		TotalRequests:     total,
+		ThroughputRPS:     float64(total) / cfg.Duration.Seconds(),
+		ErrorCount:        cnt.errors.Load(),
+		FirstErrors:       cnt.firstErrs,
+		RowsIngested:      cnt.rowsIngested.Load(),
+		CacheServed:       cnt.cacheServed.Load(),
+		Chaos:             cfg.Chaos,
+		DegradedResponses: cnt.degraded.Load(),
+		StaleResponses:    cnt.stale.Load(),
+		ShedResponses:     cnt.shed.Load(),
 
 		DriverQueriesObserved: cnt.queriesSeen.Load(),
 		ServerQueriesDelta:    queriesAfter - queriesBefore,
@@ -508,6 +541,8 @@ func (s *user) replay(ctx context.Context, deadline time.Time) {
 type recommendResult struct {
 	QueriesExecuted int64 `json:"queries_executed"`
 	ServedFromCache bool  `json:"served_from_cache"`
+	Degraded        bool  `json:"degraded"`
+	Stale           bool  `json:"stale"`
 }
 
 // doRecommend issues one /api/recommend draw: Zipf-popular predicate,
@@ -529,11 +564,20 @@ func (s *user) doRecommend(ctx context.Context) {
 		"aggregates":   []string{"AVG"},
 		"backend":      s.cfg.Backend,
 	}
+	if s.cfg.AllowPartial {
+		req["allow_partial"] = true
+	}
 	var res recommendResult
 	if s.timedPost(ctx, ClassRecommend, "/api/recommend", req, &res) {
 		s.cnt.queriesSeen.Add(res.QueriesExecuted)
 		if res.ServedFromCache {
 			s.cnt.cacheServed.Add(1)
+		}
+		if res.Degraded {
+			s.cnt.degraded.Add(1)
+		}
+		if res.Stale {
+			s.cnt.stale.Add(1)
 		}
 	}
 }
@@ -542,6 +586,9 @@ func (s *user) doRecommend(ctx context.Context) {
 func (s *user) doQuery(ctx context.Context) {
 	sql := s.w.queries[int(s.qz.Uint64())]
 	req := map[string]any{"sql": sql, "backend": s.cfg.Backend}
+	if s.cfg.AllowPartial {
+		req["allow_partial"] = true
+	}
 	if s.timedPost(ctx, ClassQuery, "/api/query", req, nil) {
 		// One /api/query = exactly one backend execution folded into
 		// the server's queries_executed.
@@ -595,6 +642,9 @@ func (s *user) timedPost(ctx context.Context, class, path string, body any, out 
 	s.cnt.hists[class].Observe(elapsed)
 	s.cnt.counts[class].Add(1)
 	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
+			s.cnt.shed.Add(1)
+		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 200))
 		s.cnt.fail(class, fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, msg))
 		return false

@@ -1,0 +1,120 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrShed is returned when a request waited its full queue budget
+// without an in-flight slot freeing up. Maps to 503 + Retry-After.
+var ErrShed = errors.New("resilience: overloaded, request shed after queue wait")
+
+// ErrQueueFull is returned when the wait queue itself is at capacity,
+// so the request is refused immediately. Maps to 429 + Retry-After.
+var ErrQueueFull = errors.New("resilience: wait queue full, request refused")
+
+// GateStats is a point-in-time admission snapshot (JSON-tagged for the
+// server's /healthz payload).
+type GateStats struct {
+	InFlight  int64         `json:"in_flight"`
+	Waiting   int64         `json:"waiting"`
+	Admitted  int64         `json:"admitted"`
+	Shed      int64         `json:"shed"`       // timed out waiting
+	Refused   int64         `json:"refused"`    // queue full
+	MaxSlots  int           `json:"max_slots"`  // concurrent admission budget
+	QueueCap  int           `json:"queue_cap"`  // waiters beyond the budget
+	QueueWait time.Duration `json:"queue_wait"` // ns a waiter may queue
+}
+
+// Gate bounds concurrent admitted work. Up to maxInflight requests run
+// at once; up to queueCap more wait at most queueWait for a slot, after
+// which they are shed. Requests beyond the queue are refused outright.
+type Gate struct {
+	slots     chan struct{}
+	queueCap  int64
+	queueWait time.Duration
+
+	waiting  atomic.Int64
+	inflight atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
+	refused  atomic.Int64
+}
+
+// NewGate builds a gate. maxInflight < 1 is clamped to 1; queueCap < 0
+// is clamped to 0 (no waiting: every overflow request is refused).
+func NewGate(maxInflight, queueCap int, queueWait time.Duration) *Gate {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	if queueWait < 0 {
+		queueWait = 0
+	}
+	return &Gate{
+		slots:     make(chan struct{}, maxInflight),
+		queueCap:  int64(queueCap),
+		queueWait: queueWait,
+	}
+}
+
+// Acquire claims an in-flight slot, waiting up to the queue budget when
+// the gate is saturated. On success it returns a release func the
+// caller must invoke exactly once. On failure it returns ErrQueueFull,
+// ErrShed, or the ctx's error if the caller's context ended first.
+func (g *Gate) Acquire(ctx context.Context) (func(), error) {
+	// Fast path: a slot is free right now.
+	select {
+	case g.slots <- struct{}{}:
+		return g.admit(), nil
+	default:
+	}
+	// Saturated: join the wait queue if there's room.
+	if g.waiting.Add(1) > g.queueCap {
+		g.waiting.Add(-1)
+		g.refused.Add(1)
+		return nil, ErrQueueFull
+	}
+	defer g.waiting.Add(-1)
+	timer := time.NewTimer(g.queueWait)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return g.admit(), nil
+	case <-timer.C:
+		g.shed.Add(1)
+		return nil, ErrShed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *Gate) admit() func() {
+	g.admitted.Add(1)
+	g.inflight.Add(1)
+	var released atomic.Bool
+	return func() {
+		if released.CompareAndSwap(false, true) {
+			g.inflight.Add(-1)
+			<-g.slots
+		}
+	}
+}
+
+// Stats returns a snapshot of the gate's counters.
+func (g *Gate) Stats() GateStats {
+	return GateStats{
+		InFlight:  g.inflight.Load(),
+		Waiting:   g.waiting.Load(),
+		Admitted:  g.admitted.Load(),
+		Shed:      g.shed.Load(),
+		Refused:   g.refused.Load(),
+		MaxSlots:  cap(g.slots),
+		QueueCap:  int(g.queueCap),
+		QueueWait: g.queueWait,
+	}
+}

@@ -1,0 +1,166 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateFastPath(t *testing.T) {
+	g := NewGate(2, 2, 50*time.Millisecond)
+	rel1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	rel2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if got := g.Stats().InFlight; got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	rel1()
+	rel1() // double release must be a no-op
+	rel2()
+	st := g.Stats()
+	if st.InFlight != 0 || st.Admitted != 2 {
+		t.Fatalf("after release: %+v", st)
+	}
+}
+
+func TestGateShedAfterWait(t *testing.T) {
+	g := NewGate(1, 4, 20*time.Millisecond)
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	_, err = g.Acquire(context.Background())
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("saturated acquire error = %v, want ErrShed", err)
+	}
+	if waited := time.Since(start); waited < 15*time.Millisecond {
+		t.Fatalf("shed after %v, want a full queue wait (~20ms)", waited)
+	}
+	if got := g.Stats().Shed; got != 1 {
+		t.Fatalf("Shed = %d, want 1", got)
+	}
+}
+
+func TestGateQueueFull(t *testing.T) {
+	g := NewGate(1, 1, time.Second)
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	// Fill the single queue slot with a parked waiter.
+	parked := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(context.Background())
+		parked <- err
+	}()
+	// Wait until the waiter is actually queued.
+	for i := 0; i < 200 && g.Stats().Waiting == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if g.Stats().Waiting != 1 {
+		t.Fatal("waiter never queued")
+	}
+	_, err = g.Acquire(context.Background())
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow acquire error = %v, want ErrQueueFull", err)
+	}
+	if got := g.Stats().Refused; got != 1 {
+		t.Fatalf("Refused = %d, want 1", got)
+	}
+	rel() // free the slot: the parked waiter must get it
+	if err := <-parked; err != nil {
+		t.Fatalf("parked waiter error = %v, want admitted", err)
+	}
+}
+
+func TestGateCtxCancelWhileWaiting(t *testing.T) {
+	g := NewGate(1, 2, time.Second)
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx)
+		done <- err
+	}()
+	for i := 0; i < 200 && g.Stats().Waiting == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter error = %v, want context.Canceled", err)
+	}
+	if g.Stats().Waiting != 0 {
+		t.Fatalf("Waiting = %d after cancel, want 0", g.Stats().Waiting)
+	}
+}
+
+// TestGateConcurrentInvariant hammers the gate and checks the in-flight
+// bound is never exceeded. Run with -race in CI.
+func TestGateConcurrentInvariant(t *testing.T) {
+	const slots = 4
+	g := NewGate(slots, 64, 50*time.Millisecond)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				rel, err := g.Acquire(context.Background())
+				if err != nil {
+					continue
+				}
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(time.Microsecond)
+				cur.Add(-1)
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > slots {
+		t.Fatalf("observed %d concurrent holders, gate max is %d", p, slots)
+	}
+	st := g.Stats()
+	if st.InFlight != 0 || st.Waiting != 0 {
+		t.Fatalf("gate not drained: %+v", st)
+	}
+}
+
+func TestGateClamps(t *testing.T) {
+	g := NewGate(0, -1, -time.Second)
+	st := g.Stats()
+	if st.MaxSlots != 1 || st.QueueCap != 0 || st.QueueWait != 0 {
+		t.Fatalf("clamped stats = %+v", st)
+	}
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	// Zero queue capacity: overflow is refused immediately.
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("zero-queue overflow error = %v, want ErrQueueFull", err)
+	}
+}

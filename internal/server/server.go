@@ -48,13 +48,16 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seedb/internal/backend"
@@ -65,6 +68,7 @@ import (
 	"seedb/internal/core"
 	"seedb/internal/dataset"
 	"seedb/internal/distance"
+	"seedb/internal/resilience"
 	"seedb/internal/sqldb"
 	"seedb/internal/telemetry"
 )
@@ -108,13 +112,36 @@ type Server struct {
 	// side. Query-query concurrency is untouched; a write drains
 	// in-flight queries, applies, and releases.
 	dataMu sync.RWMutex
+
+	// Admission gates (SetAdmission; nil = admit everything). Queries
+	// and mutating ingest/load traffic hold separate budgets so neither
+	// class can starve the other. Install before serving traffic — the
+	// fields are read without synchronization on the hot path.
+	queryGate  *resilience.Gate
+	ingestGate *resilience.Gate
+
+	// Resilience counters for /metrics and /healthz: recovered handler
+	// panics, requests answered from partial shard coverage, and
+	// requests answered from the stale-result store during an outage.
+	panics           atomic.Int64
+	degradedRequests atomic.Int64
+	staleServes      atomic.Int64
 }
 
-// registeredBackend is one named backend with its engine.
+// registeredBackend is one named backend with its engine. raw is the
+// backend as registered, before the data-lock wrapper — the handle the
+// server probes for optional interfaces like breakerReporter.
 type registeredBackend struct {
 	name   string
 	be     backend.Backend
+	raw    backend.Backend
 	engine *core.Engine
+}
+
+// breakerReporter is implemented by backends (the shard router with
+// Options.Breakers set) that expose per-child circuit-breaker state.
+type breakerReporter interface {
+	BreakerStats() []resilience.BreakerStats
 }
 
 // executorStats accumulates, across every recommendation served by this
@@ -202,6 +229,7 @@ func (e *executorStats) healthSnapshot() map[string]any {
 		"hedged_partials":            m.HedgedPartials,
 		"hedge_wins":                 m.HedgeWins,
 		"net_retries":                m.NetRetries,
+		"shards_degraded":            m.ShardsDegraded,
 		"strategy_degraded_requests": degraded,
 	}
 }
@@ -279,6 +307,7 @@ func (s *Server) RegisterBackend(name string, be backend.Backend) error {
 	if name == "" {
 		return fmt.Errorf("server: backend name must be non-empty")
 	}
+	raw := be
 	be = guardedBackend{inner: be, mu: &s.dataMu}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -288,7 +317,41 @@ func (s *Server) RegisterBackend(name string, be backend.Backend) error {
 	eng := core.NewEngine(be)
 	eng.SetCache(s.cache)
 	eng.SetTelemetry(s.tel)
-	s.backends[name] = &registeredBackend{name: name, be: be, engine: eng}
+	s.backends[name] = &registeredBackend{name: name, be: be, raw: raw, engine: eng}
+	return nil
+}
+
+// SetAdmission installs admission control: at most maxInflight query
+// requests (/api/recommend, /api/query) execute concurrently, with
+// over-limit requests waiting up to queueWait for a slot before being
+// shed with 503 (a full wait queue refuses immediately with 429).
+// Mutating traffic (/api/ingest and the dataset loaders) gets its own
+// smaller budget — max(1, maxInflight/4) — so a query flood cannot
+// starve writes nor vice versa. maxInflight <= 0 disables admission
+// control. Call before serving traffic.
+func (s *Server) SetAdmission(maxInflight int, queueWait time.Duration) {
+	if maxInflight <= 0 {
+		s.queryGate, s.ingestGate = nil, nil
+		return
+	}
+	ingest := maxInflight / 4
+	if ingest < 1 {
+		ingest = 1
+	}
+	s.queryGate = resilience.NewGate(maxInflight, 4*maxInflight, queueWait)
+	s.ingestGate = resilience.NewGate(ingest, 4*ingest, queueWait)
+}
+
+// gateFor classifies a request path into an admission budget (nil =
+// ungated: health, metrics and introspection must stay reachable
+// exactly when the server is saturated).
+func (s *Server) gateFor(path string) *resilience.Gate {
+	switch path {
+	case "/api/recommend", "/api/query":
+		return s.queryGate
+	case "/api/ingest", "/api/datasets/load", "/api/datasets/synth":
+		return s.ingestGate
+	}
 	return nil
 }
 
@@ -301,11 +364,27 @@ func (s *Server) RegisterBackend(name string, be backend.Backend) error {
 // n = 1 is a valid degenerate router (the single-shard baseline of the
 // shard bench experiment).
 func (s *Server) EnableSharding(n int) error {
+	return s.EnableShardingOpts(n, shardbe.Options{}, nil)
+}
+
+// EnableShardingOpts is EnableSharding with explicit router options
+// (circuit breakers, degraded-results mode, hedging, ...) and an
+// optional per-child wrapper: wrap(i, child) replaces child i in the
+// router, letting callers interpose fault injection or instrumentation
+// between the router and an embedded shard. The options' Telemetry is
+// always the server's collector.
+func (s *Server) EnableShardingOpts(n int, opts shardbe.Options, wrap func(int, backend.Backend) backend.Backend) error {
 	if n < 1 {
 		return fmt.Errorf("server: sharding needs at least 1 shard, got %d", n)
 	}
 	dbs, bes := shardbe.EmbeddedChildren(n)
-	router, err := shardbe.New(bes, shardbe.Options{Telemetry: s.tel})
+	if wrap != nil {
+		for i, be := range bes {
+			bes[i] = wrap(i, be)
+		}
+	}
+	opts.Telemetry = s.tel
+	router, err := shardbe.New(bes, opts)
 	if err != nil {
 		return err
 	}
@@ -386,8 +465,53 @@ func (s *Server) backendSnapshot() []backendInfo {
 	return out
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: admission control, then panic
+// containment, then the route mux. A handler panic is converted to a
+// 500 (instead of net/http's per-connection reset, which looks like an
+// outage to load balancers), counted in seedb_panics_total, and logged
+// with its stack to the slow-query sink.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if gate := s.gateFor(r.URL.Path); gate != nil {
+		release, err := gate.Acquire(r.Context())
+		if err != nil {
+			s.writeAdmissionError(w, err)
+			return
+		}
+		defer release()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			if sl := s.tel.Slow(); sl != nil {
+				sl.Log(telemetry.SlowEntry{
+					Kind:  "panic",
+					Path:  r.URL.Path,
+					Stack: fmt.Sprintf("panic: %v\n%s", p, debug.Stack()),
+				})
+			}
+			// Best-effort: if the handler already wrote headers this is a
+			// no-op on the status, but the connection still closes cleanly.
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", p))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeAdmissionError maps a gate rejection to its HTTP shape: 429 for
+// a full wait queue (clients should back off harder), 503 for a timed
+// shed, and the blameless 503 for a caller that gave up while queued.
+// Both overload statuses carry Retry-After so well-behaved clients
+// pace themselves.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+	status := http.StatusServiceUnavailable
+	if errors.Is(err, resilience.ErrQueueFull) {
+		status = http.StatusTooManyRequests
+	}
+	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, status, err)
+}
 
 // errorResponse is the uniform error payload.
 type errorResponse struct {
@@ -412,11 +536,77 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // backends with their capability flags.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"cache":    s.cache.Stats(),
-		"executor": s.exec.healthSnapshot(),
-		"backends": s.backendSnapshot(),
+		"status":     "ok",
+		"cache":      s.cache.Stats(),
+		"executor":   s.exec.healthSnapshot(),
+		"backends":   s.backendSnapshot(),
+		"resilience": s.resilienceSnapshot(),
 	})
+}
+
+// breakerHealth is one circuit breaker's /healthz description.
+type breakerHealth struct {
+	Backend     string                 `json:"backend"`
+	Child       int                    `json:"child"`
+	State       string                 `json:"state"`
+	Successes   int64                  `json:"successes"`
+	Failures    int64                  `json:"failures"`
+	Refusals    int64                  `json:"refusals"`
+	Transitions resilience.Transitions `json:"transitions"`
+}
+
+// breakerSnapshot collects per-child breaker state from every backend
+// that reports it, in backend-name order.
+func (s *Server) breakerSnapshot() []breakerHealth {
+	s.mu.RLock()
+	type namedReporter struct {
+		name string
+		rep  breakerReporter
+	}
+	var reps []namedReporter
+	for name, rb := range s.backends {
+		if rep, ok := rb.raw.(breakerReporter); ok {
+			reps = append(reps, namedReporter{name, rep})
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(reps, func(a, b int) bool { return reps[a].name < reps[b].name })
+	var out []breakerHealth
+	for _, nr := range reps {
+		for i, bs := range nr.rep.BreakerStats() {
+			out = append(out, breakerHealth{
+				Backend:     nr.name,
+				Child:       i,
+				State:       bs.State.String(),
+				Successes:   bs.Successes,
+				Failures:    bs.Failures,
+				Refusals:    bs.Refusals,
+				Transitions: bs.Transitions,
+			})
+		}
+	}
+	return out
+}
+
+// resilienceSnapshot renders the graceful-degradation counters for
+// /healthz: admission gates, circuit breakers, and the degraded/stale
+// serve counts.
+func (s *Server) resilienceSnapshot() map[string]any {
+	out := map[string]any{
+		"panics":            s.panics.Load(),
+		"degraded_requests": s.degradedRequests.Load(),
+		"stale_serves":      s.staleServes.Load(),
+	}
+	if s.queryGate != nil {
+		out["query_gate"] = s.queryGate.Stats()
+	}
+	if s.ingestGate != nil {
+		out["ingest_gate"] = s.ingestGate.Stats()
+	}
+	if brs := s.breakerSnapshot(); len(brs) > 0 {
+		out["breakers"] = brs
+	}
+	return out
 }
 
 // handleMetrics implements GET /metrics: the Prometheus text exposition
@@ -453,6 +643,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	pw.Counter("seedb_net_retries_total", "Transparent retries performed by network child backends.", float64(m.NetRetries))
 	pw.Gauge("seedb_scan_workers_max", "Widest per-query scan worker pool observed.", float64(m.ScanWorkers))
 
+	// Graceful-degradation families (docs/RESILIENCE.md).
+	pw.Counter("seedb_panics_total", "Handler panics recovered by the middleware.", float64(s.panics.Load()))
+	pw.Counter("seedb_degraded_requests_total", "Requests answered from partial shard coverage under allow_partial.", float64(s.degradedRequests.Load()))
+	pw.Counter("seedb_stale_serves_total", "Requests answered from the stale-result store during an outage.", float64(s.staleServes.Load()))
+	shed := map[string]float64{}
+	if s.queryGate != nil {
+		gs := s.queryGate.Stats()
+		shed["query"] = float64(gs.Shed + gs.Refused)
+	}
+	if s.ingestGate != nil {
+		gs := s.ingestGate.Stats()
+		shed["ingest"] = float64(gs.Shed + gs.Refused)
+	}
+	pw.CounterVec("seedb_shed_requests_total", "Requests rejected by admission control (shed after queueing plus queue-full refusals) by traffic class.", "class", shed)
+	states := map[string]float64{}
+	transitions := map[string]float64{}
+	for _, bh := range s.breakerSnapshot() {
+		states[fmt.Sprintf("%s/%d", bh.Backend, bh.Child)] = float64(breakerStateCode(bh.State))
+		transitions["closed_to_open"] += float64(bh.Transitions.ClosedToOpen)
+		transitions["open_to_half_open"] += float64(bh.Transitions.OpenToHalfOpen)
+		transitions["half_open_to_closed"] += float64(bh.Transitions.HalfOpenToClosed)
+		transitions["half_open_to_open"] += float64(bh.Transitions.HalfOpenToOpen)
+	}
+	pw.GaugeVec("seedb_breaker_state", "Per-child circuit breaker state (0=closed, 1=open, 2=half_open).", "child", states)
+	pw.CounterVec("seedb_breaker_transitions_total", "Circuit breaker state transitions by edge, summed across children.", "transition", transitions)
+
 	pw.Counter("seedb_cache_hits_total", "Result-cache hits.", float64(cs.Hits))
 	pw.Counter("seedb_cache_misses_total", "Result-cache misses.", float64(cs.Misses))
 	pw.Counter("seedb_cache_shared_total", "Lookups collapsed onto an in-flight identical computation.", float64(cs.Shared))
@@ -465,6 +681,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	pw.Histogram("seedb_request_duration_seconds", "End-to-end recommendation request latency.", s.tel.RequestLatency.Snapshot())
 	pw.Histogram("seedb_query_duration_seconds", "Per-view-query backend execution latency.", s.tel.QueryLatency.Snapshot())
 	pw.Histogram("seedb_shard_partial_duration_seconds", "Per-shard child execution latency under fan-out.", s.tel.ShardLatency.Snapshot())
+}
+
+// breakerStateCode maps a breaker state name to its stable gauge code.
+func breakerStateCode(state string) int {
+	switch state {
+	case "closed":
+		return int(resilience.Closed)
+	case "open":
+		return int(resilience.Open)
+	case "half_open":
+		return int(resilience.HalfOpen)
+	default:
+		return -1
+	}
 }
 
 // handleCacheStats implements GET /api/cache.
@@ -627,11 +857,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Hi:                 req.Hi,
 		Workers:            req.Workers,
 		NoSelectionKernels: req.NoSelectionKernels,
+		AllowPartial:       req.AllowPartial,
 	})
 	elapsed := time.Since(start)
 	if err != nil {
 		writeError(w, statusForError(err), err)
 		return
+	}
+	if stats.ShardsDegraded > 0 {
+		s.degradedRequests.Add(1)
 	}
 	s.tel.ObserveQuery(elapsed)
 	var m core.Metrics
@@ -686,6 +920,17 @@ type RecommendRequest struct {
 	// this request, in milliseconds (0 = server default; ignored when no
 	// slow log is configured).
 	SlowQueryMS float64 `json:"slow_query_ms"`
+	// AllowPartial opts this request into degraded results: when the
+	// selected backend is a shard router with circuit breakers, queries
+	// proceed over the surviving shards instead of failing while a child
+	// is down. Responses computed this way carry "degraded": true and
+	// are never cached.
+	AllowPartial bool `json:"allow_partial"`
+	// ServeStale opts this request into stale-on-outage serving: when
+	// the backend is entirely unavailable, the last complete result for
+	// this request shape (if any) is returned marked "stale": true
+	// instead of a 5xx. Requires caching (the default).
+	ServeStale bool `json:"serve_stale"`
 }
 
 // RecommendedView is one ranked visualization.
@@ -729,11 +974,18 @@ type RecommendResponse struct {
 	// strategy actually executed there (capability degradation may turn
 	// a phased request into single-pass SHARING). StrategyDegraded flags
 	// that rewrite explicitly, with DegradedFrom naming what was asked.
-	Backend          string  `json:"backend"`
-	Strategy         string  `json:"strategy"`
-	StrategyDegraded bool    `json:"strategy_degraded"`
-	DegradedFrom     string  `json:"degraded_from,omitempty"`
-	ElapsedMS        float64 `json:"elapsed_ms"`
+	Backend          string `json:"backend"`
+	Strategy         string `json:"strategy"`
+	StrategyDegraded bool   `json:"strategy_degraded"`
+	DegradedFrom     string `json:"degraded_from,omitempty"`
+	// Degraded marks a result computed from partial shard coverage under
+	// allow_partial; DegradedShards lists the shard indices that were
+	// skipped. Stale marks a result served from the stale-result store
+	// under serve_stale while the backend was unavailable.
+	Degraded       bool    `json:"degraded,omitempty"`
+	DegradedShards []int   `json:"degraded_shards,omitempty"`
+	Stale          bool    `json:"stale,omitempty"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
 	// Trace is the request's span tree, present only when the request set
 	// {"trace": true}. Rendered client-side by seedb -trace.
 	Trace *telemetry.SpanNode `json:"trace,omitempty"`
@@ -773,6 +1025,8 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		EnableCache:        req.Cache == nil || *req.Cache,
 		ScanParallelism:    req.ScanParallelism,
 		SlowQueryThreshold: time.Duration(req.SlowQueryMS * float64(time.Millisecond)),
+		AllowPartial:       req.AllowPartial,
+		ServeStaleOnError:  req.ServeStale,
 	}
 	switch strings.ToLower(req.Strategy) {
 	case "noopt":
@@ -829,6 +1083,12 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.exec.record(res.Metrics)
+	if res.Metrics.ShardsDegraded > 0 {
+		s.degradedRequests.Add(1)
+	}
+	if res.Metrics.ServedStale {
+		s.staleServes.Add(1)
+	}
 
 	resp := RecommendResponse{
 		Backend:          rb.name,
@@ -854,6 +1114,9 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		ShardStragglerMS: float64(res.Metrics.ShardStragglerMax.Microseconds()) / 1000,
 		StrategyDegraded: res.Metrics.StrategyDegraded,
 		DegradedFrom:     res.Metrics.DegradedFrom,
+		Degraded:         res.Metrics.ShardsDegraded > 0,
+		DegradedShards:   res.Metrics.DegradedShards,
+		Stale:            res.Metrics.ServedStale,
 		ElapsedMS:        float64(res.Metrics.Elapsed.Microseconds()) / 1000,
 	}
 	if tr != nil {

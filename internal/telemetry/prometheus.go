@@ -61,6 +61,20 @@ func (p *PromWriter) Gauge(name, help string, value float64) {
 	p.printf("%s %s\n", name, formatFloat(value))
 }
 
+// GaugeVec writes one gauge family with a single label, in sorted
+// label-value order so scrapes are byte-stable.
+func (p *PromWriter) GaugeVec(name, help, label string, values map[string]float64) {
+	p.header(name, help, "gauge")
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.printf("%s{%s=%q} %s\n", name, label, escapeLabel(k), formatFloat(values[k]))
+	}
+}
+
 // Histogram writes one histogram family from a snapshot, converting the
 // microsecond-based bucket bounds to seconds (the Prometheus base unit)
 // and closing with the mandatory +Inf bucket, _sum and _count.

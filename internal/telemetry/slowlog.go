@@ -41,7 +41,9 @@ func (l *SlowLog) Threshold() time.Duration {
 }
 
 // SlowEntry is one slow-query log line. Kind distinguishes a single SQL
-// query ("query") from a whole Recommend invocation ("request").
+// query ("query") from a whole Recommend invocation ("request"); the
+// server also routes recovered handler panics here as Kind "panic" —
+// the slow log is the process's one structured operational sink.
 type SlowEntry struct {
 	Time string `json:"time"` // RFC3339Nano wall clock
 	Kind string `json:"kind"` // "query" | "request"
@@ -65,6 +67,10 @@ type SlowEntry struct {
 	// Trace is the span subtree of the slow operation, present when the
 	// request carried a trace context.
 	Trace *SpanNode `json:"trace,omitempty"`
+	// Path and Stack describe a recovered handler panic (Kind "panic"):
+	// the request path that triggered it and the goroutine stack.
+	Path  string `json:"path,omitempty"`
+	Stack string `json:"stack,omitempty"`
 }
 
 // Log emits one entry, stamping the wall-clock time. Nil-safe no-op.
