@@ -102,6 +102,10 @@ func run() error {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
 			"how long in-flight requests get to complete after SIGINT/SIGTERM before the\n"+
 				"server exits anyway (0 = wait forever)")
+		traceSample = flag.Float64("trace-sample", 0,
+			"probabilistic head sampling: trace this fraction of recommendation requests\n"+
+				"(0..1) and retain the trees in the trace store for GET /api/traces;\n"+
+				"an explicit {\"trace\": true} always traces regardless")
 	)
 	flag.Parse()
 
@@ -213,6 +217,10 @@ func run() error {
 	if *maxInflight > 0 {
 		srv.SetAdmission(*maxInflight, *queueWait)
 		fmt.Printf("admission control: %d in-flight queries, %v queue wait\n", *maxInflight, *queueWait)
+	}
+	if *traceSample > 0 {
+		srv.SetTraceSampling(*traceSample)
+		fmt.Printf("trace sampling: %.4g of requests retained (GET /api/traces)\n", *traceSample)
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -255,7 +255,9 @@ func run() error {
 		}
 	}
 	if tr != nil {
-		fmt.Printf("\ntrace:\n%s", tr.Finish().Render())
+		// Remote subtrees (netbe children behind -join) render with a
+		// "»" marker and a process attribute naming the child.
+		fmt.Printf("\ntrace %s:\n%s", tr.ID(), tr.Finish().Render())
 	}
 	return nil
 }

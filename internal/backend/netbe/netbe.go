@@ -15,6 +15,12 @@
 //	GET  /api/backend/version  TableVersion token
 //	POST /api/query            Exec with {"wire":true}: typed values + ExecStats
 //
+// Tracing: when the caller's context carries a span, every call is
+// stamped with a Traceparent header (telemetry.TraceparentHeader), and
+// /api/query responses bring the child process's span tree home, which
+// Exec grafts under the calling span — one stitched cross-process
+// trace. Untraced calls send no header and pay nothing.
+//
 // Robustness: every call runs under a per-call timeout and a bounded,
 // jittered-backoff retry budget. Retries are safe because every call is
 // an idempotent read (the server's query path is SELECT-only); they
@@ -41,6 +47,7 @@ import (
 
 	"seedb/internal/backend"
 	"seedb/internal/backend/netbe/wire"
+	"seedb/internal/telemetry"
 )
 
 // DefaultName is the backend name when Options.Name is empty.
@@ -244,6 +251,18 @@ func (c *Client) Exec(ctx context.Context, query string, opts backend.ExecOption
 	}
 	stats := w.Stats.ToExecStats()
 	stats.NetRetries += retries
+	if w.Trace != nil {
+		if sp := telemetry.SpanFromContext(ctx); sp != nil {
+			// Stitch the child process's span tree under the span that
+			// issued the call, marked so renderers show the process hop.
+			if w.Trace.Attrs == nil {
+				w.Trace.Attrs = make(map[string]string, 2)
+			}
+			w.Trace.Attrs["remote"] = "child"
+			w.Trace.Attrs["process"] = c.opts.Name + " " + c.base
+			sp.AttachRemote(w.Trace)
+		}
+	}
 	return &backend.Rows{Columns: w.Columns, Rows: rows}, stats, nil
 }
 
@@ -338,6 +357,12 @@ func (c *Client) attempt(ctx context.Context, method, url string, body []byte, o
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tp := telemetry.SpanFromContext(ctx).Traceparent(); tp != "" {
+		// Cross-process propagation: the child server opens its own
+		// trace under the span that issued this call and returns its
+		// span tree in the wire response.
+		req.Header.Set(telemetry.TraceparentHeader, tp)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 
 	"seedb/internal/backend"
 	"seedb/internal/sqldb"
+	"seedb/internal/telemetry"
 )
 
 // ProtoVersion identifies the wire protocol generation. The handshake
@@ -281,11 +282,15 @@ type QueryRequest struct {
 	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
-// QueryResponse is the typed /api/query response (Wire true).
+// QueryResponse is the typed /api/query response (Wire true). Trace is
+// the child process's span tree for this execution, present only when
+// the request carried a Traceparent header: the client grafts it under
+// the span that issued the call, stitching one cross-process tree.
 type QueryResponse struct {
-	Columns []string  `json:"columns"`
-	Rows    [][]Value `json:"vrows"`
-	Stats   ExecStats `json:"stats"`
+	Columns []string            `json:"columns"`
+	Rows    [][]Value           `json:"vrows"`
+	Stats   ExecStats           `json:"stats"`
+	Trace   *telemetry.SpanNode `json:"trace,omitempty"`
 }
 
 // Error is the uniform error payload netbe decodes from non-200

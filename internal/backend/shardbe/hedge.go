@@ -53,6 +53,15 @@ type HedgeOptions struct {
 // before trusting a percentile over MinDelay.
 const hedgeHistoryMin = 8
 
+// hedgeLoserGrace bounds how long a winning attempt waits for the
+// cancelled loser to unwind. A cooperative child aborts its scan within
+// microseconds of cancellation, so the loser's span is closed — marked
+// status=cancelled — by the time Exec returns and a trace snapshot is
+// taken. A child that ignores cancellation costs the hedge this grace
+// period, never an unbounded stall; its span then ends whenever the
+// goroutine finally dies.
+const hedgeLoserGrace = 20 * time.Millisecond
+
 // hedgeDelay computes the current hedge delay.
 func (r *Router) hedgeDelay() time.Duration {
 	if r.hedge.Delay > 0 {
@@ -156,6 +165,7 @@ func (r *Router) execHedged(ctx context.Context, t childTask, childSQL string, c
 		start := time.Now()
 		rows, stats, err := r.children[t.child].Exec(cctx, childSQL, childOpts)
 		lat := time.Since(start)
+		stampChildSpan(csp, stats, err)
 		csp.End()
 		return childRun{rows: rows, stats: stats, lat: lat, err: err}
 	}
@@ -190,6 +200,7 @@ func (r *Router) execHedged(ctx context.Context, t childTask, childSQL string, c
 				return be.Exec(cctx, childSQL, childOpts)
 			}()
 			lat := time.Since(start)
+			stampChildSpan(csp, stats, err)
 			csp.End()
 			results <- attempt{run: childRun{rows: rows, stats: stats, lat: lat, err: err}, hedged: hedged}
 		}()
@@ -224,6 +235,18 @@ func (r *Router) execHedged(ctx context.Context, t childTask, childSQL string, c
 				a.run.hedged = hedgedIssued
 				a.run.hedgeWon = a.hedged
 				r.hedgeLat.Observe(a.run.lat)
+				if outstanding > 0 {
+					grace := time.NewTimer(hedgeLoserGrace)
+					for outstanding > 0 {
+						select {
+						case <-results:
+							outstanding--
+						case <-grace.C:
+							outstanding = 0
+						}
+					}
+					grace.Stop()
+				}
 				return a.run
 			}
 			// Keep the most diagnostic failure: a real error over the
@@ -236,6 +259,29 @@ func (r *Router) execHedged(ctx context.Context, t childTask, childSQL string, c
 				return failure
 			}
 		}
+	}
+}
+
+// stampChildSpan records one child attempt's outcome on its span:
+// resource counters on success, a status marker on failure. Hedge
+// losers cancelled by the winner land here with a context error, so the
+// stitched tree shows them as cancelled — ended exactly once, never
+// dangling open.
+func stampChildSpan(sp *telemetry.Span, stats backend.ExecStats, err error) {
+	if sp == nil {
+		return
+	}
+	if err != nil {
+		if isCtxErr(err) {
+			sp.SetAttr("status", "cancelled")
+		} else {
+			sp.SetAttr("status", "error")
+		}
+		return
+	}
+	sp.SetAttr("rows_scanned", strconv.Itoa(stats.RowsScanned))
+	if stats.NetRetries > 0 {
+		sp.SetAttr("net_retries", strconv.Itoa(stats.NetRetries))
 	}
 }
 

@@ -553,6 +553,26 @@ func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOption
 		tasks = append(tasks, t)
 	}
 
+	// Children skipped at planning time — open breaker or introspection
+	// outage — never become tasks, but a traced tree must still account
+	// for every shard: emit a closed, status-marked span per skipped
+	// child so the stitched tree shows the hole instead of silently
+	// missing a partition.
+	if down != nil {
+		for i := range r.children {
+			if !down[i] {
+				continue
+			}
+			_, ssp := telemetry.StartSpan(ctx, "shard.exec")
+			ssp.SetAttr("shard", strconv.Itoa(i))
+			ssp.SetAttr("status", "skipped")
+			if r.childDown(i) {
+				ssp.SetAttr("circuit", "open")
+			}
+			ssp.End()
+		}
+	}
+
 	childSQL := sp.ChildSQL()
 	runs := make([]childRun, len(tasks))
 
@@ -581,6 +601,14 @@ func (r *Router) Exec(ctx context.Context, query string, opts backend.ExecOption
 					br := r.breakerFor(t.child)
 					if br != nil && !br.Allow() {
 						// Open circuit: fail fast without touching the child.
+						// The skip still leaves a closed, status-marked span,
+						// so a traced tree shows the hole instead of silently
+						// missing a shard.
+						_, ssp := telemetry.StartSpan(fanCtx, "shard.exec")
+						ssp.SetAttr("shard", strconv.Itoa(t.child))
+						ssp.SetAttr("status", "skipped")
+						ssp.SetAttr("circuit", "open")
+						ssp.End()
 						if partial {
 							runs[ti] = childRun{degraded: true}
 						} else {

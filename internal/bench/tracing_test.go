@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"seedb/internal/core"
+	"seedb/internal/dataset"
 	"seedb/internal/sqldb"
 	"seedb/internal/telemetry"
 )
@@ -51,5 +53,79 @@ func TestTracingDisabledOverheadBound(t *testing.T) {
 	if limit := queryDur / 50; overhead > limit {
 		t.Errorf("disabled tracing overhead %v (32 hooks at %v) exceeds 2%% of the %v filter query",
 			overhead, perHook, queryDur)
+	}
+}
+
+// TestTracingSampledOverheadBound guards the always-on sampling
+// acceptance bar: 1% head sampling must cost under 5% on the
+// cached-Recommend hot path. One in a hundred requests pays the full
+// span-tree cost, every request pays one sampling decision — so the
+// amortized per-request overhead is the decision plus 1% of the
+// traced-vs-untraced delta, bounded against the untraced cache hit.
+func TestTracingSampledOverheadBound(t *testing.T) {
+	spec, err := dataset.ByName("syn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = spec.WithRows(10_000)
+	db, err := build(spec, sqldb.LayoutCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := newEngine(db)
+	req := requestFor(spec)
+	opts := core.Options{Strategy: core.Sharing, K: 5, EnableCache: true}
+	ctx := context.Background()
+	if _, err := eng.Recommend(ctx, req, opts); err != nil {
+		t.Fatal(err) // cold run warms the whole-request cache
+	}
+
+	best := func(traced bool) time.Duration {
+		var b time.Duration
+		for i := 0; i < 7; i++ {
+			rctx := ctx
+			var tr *telemetry.Trace
+			if traced {
+				rctx, tr = telemetry.WithTrace(ctx, "request")
+			}
+			start := time.Now()
+			if _, err := eng.Recommend(rctx, req, opts); err != nil {
+				t.Fatal(err)
+			}
+			d := time.Since(start)
+			if tr != nil {
+				tr.Finish()
+			}
+			if b == 0 || d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	plain := best(false)
+	traced := best(true)
+
+	// Per-request cost of the sampling decision itself.
+	const decisions = 1_000_000
+	sampled := 0
+	start := time.Now()
+	for i := 0; i < decisions; i++ {
+		if telemetry.ShouldSample(0.01) {
+			sampled++
+		}
+	}
+	perDecision := time.Since(start) / decisions
+	if sampled == 0 || sampled == decisions {
+		t.Fatalf("ShouldSample(0.01) hit %d of %d decisions", sampled, decisions)
+	}
+
+	var delta time.Duration
+	if traced > plain {
+		delta = traced - plain
+	}
+	amortized := perDecision + delta/100
+	if limit := plain / 20; amortized > limit {
+		t.Errorf("1%% head sampling costs %v per request (decision %v + 1%% of %v trace delta), over 5%% of the %v cached hot path",
+			amortized, perDecision, delta, plain)
 	}
 }

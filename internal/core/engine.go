@@ -280,6 +280,25 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 	if res.Metrics.ServedFromCache {
 		sp.SetAttr("served_from_cache", "true")
 	}
+	if sp != nil {
+		// Per-request cost rollup: the root of the recommend subtree
+		// answers "where did the rows go" without walking every query
+		// span. Zero-valued shard/net counters stay off leaf-backend
+		// traces.
+		m := res.Metrics
+		sp.SetAttr("rows_scanned", strconv.FormatInt(m.RowsScanned, 10))
+		sp.SetAttr("cache_hits", strconv.Itoa(m.CacheHits))
+		sp.SetAttr("cache_misses", strconv.Itoa(m.CacheMisses))
+		if m.ShardFanout > 0 {
+			sp.SetAttr("shard_fanout", strconv.Itoa(m.ShardFanout))
+		}
+		if m.NetRetries > 0 {
+			sp.SetAttr("net_retries", strconv.Itoa(m.NetRetries))
+		}
+		if m.HedgedPartials > 0 {
+			sp.SetAttr("hedged_partials", strconv.Itoa(m.HedgedPartials))
+		}
+	}
 	if sl := tel.Slow(); sl != nil {
 		thr := opts.SlowQueryThreshold
 		if thr <= 0 {
@@ -293,6 +312,7 @@ func (e *Engine) Recommend(ctx context.Context, req Request, opts Options) (*Res
 				Queries:     res.Metrics.QueriesExecuted,
 				ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
 				ThresholdMS: float64(thr) / float64(time.Millisecond),
+				TraceID:     sp.TraceID(),
 				Trace:       sp.Node(),
 			})
 		}

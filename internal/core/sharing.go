@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -488,6 +489,19 @@ func (s *execState) runQuery(ctx context.Context, sql string, qi, lo, hi int, re
 		if err != nil {
 			return nil, err
 		}
+		if qsp != nil {
+			// Cost attribution on the paid path: the query span carries
+			// the execution's resource counters, so a trace shows where
+			// the rows went, not just where the time went.
+			qsp.SetAttr("rows_scanned", strconv.Itoa(stats.RowsScanned))
+			qsp.SetAttr("groups", strconv.Itoa(stats.Groups))
+			if stats.ShardFanout > 0 {
+				qsp.SetAttr("shard_fanout", strconv.Itoa(stats.ShardFanout))
+			}
+			if stats.NetRetries > 0 {
+				qsp.SetAttr("net_retries", strconv.Itoa(stats.NetRetries))
+			}
+		}
 		s.tel.ObserveQuery(d)
 		s.logSlowQuery(sql, lo, hi, d, stats, qsp)
 		return &execResult{rows: rows, stats: stats}, nil
@@ -592,6 +606,7 @@ func (s *execState) logSlowQuery(sql string, lo, hi int, d time.Duration, stats 
 		Vectorized:     stats.Vectorized,
 		FallbackReason: stats.FallbackReason,
 		ShardFanout:    stats.ShardFanout,
+		TraceID:        sp.TraceID(),
 		Trace:          sp.Node(),
 	})
 }

@@ -104,7 +104,9 @@ func TestArchitectureDocsLinkedFromREADME(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Capabilities", "TableVersion", "conformancetest",
-		"SupportsPhasedExecution", "SupportsVectorized", "RegisterBackend"} {
+		"SupportsPhasedExecution", "SupportsVectorized", "RegisterBackend",
+		// cross-process tracing wire contract
+		"Traceparent", "child.query", "remote=child"} {
 		if !strings.Contains(string(be), want) {
 			t.Errorf("BACKENDS.md does not mention %s", want)
 		}
@@ -177,6 +179,12 @@ func TestObservabilityDocPinned(t *testing.T) {
 		// slow-log schema + knobs
 		"elapsed_ms", "threshold_ms", "SlowQueryThreshold",
 		"-slowlog", "-pprof", "trace",
+		// distributed tracing: identity, propagation, sampling, retention
+		"Traceparent", "WithRemoteTrace", "child.query", "AttachRemote",
+		"-trace-sample", "SetTraceSampling", "/api/traces",
+		"spans_dropped", "trace_id", "TraceStore",
+		"seedb_traces_sampled_total", "seedb_trace_dropped_total",
+		"seedb_trace_store_entries", "seedb_trace_store_bytes",
 		// tooling
 		"seedb-promlint", "ValidatePrometheusText",
 	} {

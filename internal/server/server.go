@@ -16,6 +16,8 @@
 //	GET  /api/tables            tables with schemas and row counts
 //	POST /api/query             {"sql"} → columns + rows ({"wire":true} → typed)
 //	POST /api/recommend         RecommendRequest → RecommendResponse
+//	GET  /api/traces            recent completed trace summaries
+//	GET  /api/traces/{id}       one retained trace's full span tree
 //	GET  /api/cache             result-cache statistics
 //	POST /api/cache/clear       drop every cached entry
 //	GET  /api/backend/caps      netbe handshake: wire protocol + capabilities
@@ -55,6 +57,7 @@ import (
 	"net/http/pprof"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -95,6 +98,12 @@ type Server struct {
 	// (exported on /metrics) and the optional slow-query log. Every
 	// registered engine and the shard router share it.
 	tel *telemetry.Collector
+	// traces retains recently completed traces for GET /api/traces;
+	// traceSample is the head-sampling probability for requests that did
+	// not ask for a trace themselves (SetTraceSampling; read without
+	// synchronization on the hot path, so set it before serving).
+	traces      *telemetry.TraceStore
+	traceSample float64
 	// Timeout bounds each recommendation request (default 2 minutes).
 	Timeout time.Duration
 
@@ -247,6 +256,7 @@ func NewWithCacheBudget(db *sqldb.DB, cacheBudgetBytes int64) *Server {
 		cache:    cache.New(cacheBudgetBytes),
 		mux:      http.NewServeMux(),
 		tel:      telemetry.NewCollector(),
+		traces:   telemetry.NewTraceStore(0, 0),
 		Timeout:  2 * time.Minute,
 		backends: make(map[string]*registeredBackend),
 	}
@@ -264,6 +274,8 @@ func NewWithCacheBudget(db *sqldb.DB, cacheBudgetBytes int64) *Server {
 	s.mux.HandleFunc("POST /api/recommend", s.handleRecommend)
 	s.mux.HandleFunc("GET /api/cache", s.handleCacheStats)
 	s.mux.HandleFunc("POST /api/cache/clear", s.handleCacheClear)
+	s.mux.HandleFunc("GET /api/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /api/traces/{id}", s.handleTraceByID)
 	s.mux.HandleFunc("GET /api/backend/caps", s.handleBackendCaps)
 	s.mux.HandleFunc("GET /api/backend/info", s.handleBackendInfo)
 	s.mux.HandleFunc("GET /api/backend/stats", s.handleBackendStats)
@@ -284,6 +296,19 @@ func (s *Server) Telemetry() *telemetry.Collector { return s.tel }
 func (s *Server) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
 	s.tel.SlowLog = telemetry.NewSlowLog(w, threshold)
 }
+
+// SetTraceSampling enables probabilistic head sampling: each
+// recommendation request that did not opt into tracing itself is traced
+// with probability p (an explicit {"trace": true} always wins) and the
+// completed tree is retained in the trace store for GET /api/traces —
+// sampled requests do not carry the tree in their response, only its
+// "trace_id". p <= 0 disables sampling. Call before serving traffic.
+func (s *Server) SetTraceSampling(p float64) {
+	s.traceSample = p
+}
+
+// TraceStore returns the server's bounded ring of completed traces.
+func (s *Server) TraceStore() *telemetry.TraceStore { return s.traces }
 
 // EnablePprof mounts the net/http/pprof profiling handlers under
 // /debug/pprof/. Off by default — profiling endpoints expose heap and
@@ -669,6 +694,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	pw.GaugeVec("seedb_breaker_state", "Per-child circuit breaker state (0=closed, 1=open, 2=half_open).", "child", states)
 	pw.CounterVec("seedb_breaker_transitions_total", "Circuit breaker state transitions by edge, summed across children.", "transition", transitions)
 
+	// Trace retention families (docs/OBSERVABILITY.md, "Trace store").
+	tss := s.traces.Stats()
+	pw.Counter("seedb_traces_sampled_total", "Completed traces captured to the trace store (explicit trace requests plus head-sampled ones).", float64(tss.Sampled))
+	pw.Counter("seedb_trace_dropped_total", "Completed traces evicted from the trace store under its count/byte caps.", float64(tss.Dropped))
+	pw.Gauge("seedb_trace_store_entries", "Traces currently retained in the trace store.", float64(tss.Entries))
+	pw.Gauge("seedb_trace_store_bytes", "Serialized bytes currently retained in the trace store.", float64(tss.Bytes))
+
 	pw.Counter("seedb_cache_hits_total", "Result-cache hits.", float64(cs.Hits))
 	pw.Counter("seedb_cache_misses_total", "Result-cache misses.", float64(cs.Misses))
 	pw.Counter("seedb_cache_shared_total", "Lookups collapsed onto an in-flight identical computation.", float64(cs.Shared))
@@ -851,6 +883,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.Timeout)
 		defer cancel()
 	}
+	// A Traceparent header means a remote caller (netbe) is tracing:
+	// open a child-side trace under the caller's span, so the executor
+	// spans of this process travel home in the wire response.
+	var ctr *telemetry.Trace
+	if tid, psid, ok := telemetry.ParseTraceparent(r.Header.Get(telemetry.TraceparentHeader)); ok {
+		ctx, ctr = telemetry.WithRemoteTrace(ctx, "child.query", tid, psid)
+	}
 	start := time.Now()
 	res, stats, err := rb.be.Exec(ctx, req.SQL, backend.ExecOptions{
 		Lo:                 req.Lo,
@@ -864,6 +903,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusForError(err), err)
 		return
 	}
+	// Snapshot the child trace now, not after response encoding: the
+	// child.query span then measures exactly the execution, so the
+	// caller can read wire/encode overhead as the gap between its own
+	// span and the grafted subtree.
+	var childTrace *telemetry.SpanNode
+	if ctr != nil {
+		stampExecAttrs(ctr.Root(), stats)
+		childTrace = ctr.Finish()
+	}
 	if stats.ShardsDegraded > 0 {
 		s.degradedRequests.Add(1)
 	}
@@ -872,11 +920,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	m.RecordExec(stats)
 	s.exec.recordQuery(m)
 	if req.Wire {
-		writeJSON(w, http.StatusOK, wire.QueryResponse{
+		wresp := wire.QueryResponse{
 			Columns: res.Columns,
 			Rows:    wire.EncodeRows(res.Rows),
 			Stats:   wire.FromExecStats(stats),
-		})
+		}
+		wresp.Trace = childTrace
+		writeJSON(w, http.StatusOK, wresp)
 		return
 	}
 	resp := queryResponse{Columns: res.Columns, Count: len(res.Rows), Rows: [][]string{}}
@@ -888,6 +938,54 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Rows = append(resp.Rows, cells)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// stampExecAttrs threads one execution's resource counters into span
+// attributes — the cost-attribution half of tracing: where the rows
+// went, not just where the time went. Zero counters stay off the span.
+func stampExecAttrs(sp *telemetry.Span, stats backend.ExecStats) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("rows_scanned", fmt.Sprintf("%d", stats.RowsScanned))
+	sp.SetAttr("groups", fmt.Sprintf("%d", stats.Groups))
+	if stats.ShardFanout > 0 {
+		sp.SetAttr("shard_fanout", fmt.Sprintf("%d", stats.ShardFanout))
+	}
+	if stats.NetRetries > 0 {
+		sp.SetAttr("net_retries", fmt.Sprintf("%d", stats.NetRetries))
+	}
+}
+
+// handleTraces implements GET /api/traces: summaries of the retained
+// traces, newest first (?limit=N caps the list, default 50).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 50
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	sums := s.traces.List(limit)
+	if sums == nil {
+		sums = []telemetry.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": sums})
+}
+
+// handleTraceByID implements GET /api/traces/{id}: the full stored
+// span tree for one completed trace.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.traces.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no retained trace %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // RecommendRequest is the POST /api/recommend payload.
@@ -986,9 +1084,14 @@ type RecommendResponse struct {
 	DegradedShards []int   `json:"degraded_shards,omitempty"`
 	Stale          bool    `json:"stale,omitempty"`
 	ElapsedMS      float64 `json:"elapsed_ms"`
-	// Trace is the request's span tree, present only when the request set
-	// {"trace": true}. Rendered client-side by seedb -trace.
-	Trace *telemetry.SpanNode `json:"trace,omitempty"`
+	// TraceID identifies the request's trace when it was traced or
+	// head-sampled; the completed tree is retrievable from GET
+	// /api/traces/{id} while it stays in the trace store. Trace is the
+	// tree itself, present only when the request set {"trace": true}
+	// (sampled requests get the ID alone). Rendered client-side by
+	// seedb -trace.
+	TraceID string              `json:"trace_id,omitempty"`
+	Trace   *telemetry.SpanNode `json:"trace,omitempty"`
 }
 
 // handleRecommend implements POST /api/recommend.
@@ -1073,8 +1176,12 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.Timeout)
 		defer cancel()
 	}
+	// Tracing: an explicit {"trace": true} always traces (the
+	// per-request override); otherwise head sampling may pick the
+	// request up, retaining its tree in the trace store without
+	// inflating the response.
 	var tr *telemetry.Trace
-	if req.Trace {
+	if req.Trace || (s.traceSample > 0 && telemetry.ShouldSample(s.traceSample)) {
 		ctx, tr = telemetry.WithTrace(ctx, "request")
 	}
 	res, err := rb.engine.Recommend(ctx, coreReq, opts)
@@ -1120,7 +1227,12 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS:        float64(res.Metrics.Elapsed.Microseconds()) / 1000,
 	}
 	if tr != nil {
-		resp.Trace = tr.Finish()
+		node := tr.Finish()
+		resp.TraceID = tr.ID()
+		if req.Trace {
+			resp.Trace = node
+		}
+		s.traces.Add(tr.ID(), node)
 	}
 	for i, rec := range res.Recommendations {
 		title := fmt.Sprintf("%s    [utility %.4f]", rec.View.String(), rec.Utility)

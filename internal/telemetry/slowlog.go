@@ -64,9 +64,11 @@ type SlowEntry struct {
 	ShardFanout    int    `json:"shard_fanout,omitempty"`
 	Queries        int    `json:"queries_executed,omitempty"`
 	Strategy       string `json:"strategy,omitempty"`
-	// Trace is the span subtree of the slow operation, present when the
-	// request carried a trace context.
-	Trace *SpanNode `json:"trace,omitempty"`
+	// TraceID joins the entry against the trace store (GET
+	// /api/traces/{id}) when the request was traced or head-sampled;
+	// Trace is the span subtree of the slow operation itself.
+	TraceID string    `json:"trace_id,omitempty"`
+	Trace   *SpanNode `json:"trace,omitempty"`
 	// Path and Stack describe a recovered handler panic (Kind "panic"):
 	// the request path that triggered it and the goroutine stack.
 	Path  string `json:"path,omitempty"`

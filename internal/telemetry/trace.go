@@ -15,21 +15,50 @@ package telemetry
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // spanKey is the context key a trace's current span travels under.
 type spanKey struct{}
 
+// DefaultSpanBudget caps how many spans one trace may materialize. A
+// traced request over a huge view space creates one span per query;
+// past the budget, StartSpan degrades to counting — it returns a nil
+// span and the trace's root gains a spans_dropped attribute at Finish —
+// instead of growing the tree (and the trace store) without bound.
+const DefaultSpanBudget = 4096
+
+// TraceparentHeader is the HTTP header netbe clients stamp on every
+// wire call ("/api/query" and "/api/backend/*") so the child server can
+// open its own trace under the caller's: "00-<32 hex trace id>-<16 hex
+// span id>-01", the W3C traceparent layout.
+const TraceparentHeader = "Traceparent"
+
+// traceState is the per-trace state every span shares: the 128-bit
+// trace identity and the span-budget accounting.
+type traceState struct {
+	id      string // 32 lowercase hex chars (128-bit)
+	budget  int64
+	spans   atomic.Int64 // spans materialized, root included
+	dropped atomic.Int64 // StartSpan calls refused by the budget
+}
+
 // Trace is one request's trace: a tree of timed spans rooted at the
-// span WithTrace created. Safe for concurrent span attachment.
+// span WithTrace created, identified by a random 128-bit trace ID.
+// Safe for concurrent span attachment.
 type Trace struct {
-	start time.Time
-	root  *Span
+	start      time.Time
+	root       *Span
+	st         *traceState
+	parentSpan string // remote parent span ID ("" for a locally rooted trace)
 }
 
 // Span is one timed operation inside a trace. Spans are created with
@@ -38,31 +67,82 @@ type Trace struct {
 // are nil-receiver safe, which is what makes the untraced path free.
 type Span struct {
 	name  string
+	id    string // 16 lowercase hex chars (64-bit)
 	start time.Time
+	st    *traceState
 
 	mu       sync.Mutex
 	dur      time.Duration
 	ended    bool
 	attrs    map[string]string
 	children []*Span
+	// remote holds pre-serialized span subtrees grafted from other
+	// processes (AttachRemote); Node emits them after the local children
+	// with their offsets rebased onto this span's start.
+	remote []*SpanNode
+}
+
+// newID returns n random bytes as lowercase hex. crypto/rand failure is
+// unrecoverable enough to not matter for observability identifiers; a
+// zero ID is still a valid (if unlucky) one.
+func newID(n int) string {
+	b := make([]byte, n)
+	_, _ = crand.Read(b)
+	return hex.EncodeToString(b)
 }
 
 // WithTrace attaches a new trace to ctx, rooted at a span with the
-// given name. The returned context carries the root span, so every
-// StartSpan below it builds the tree. Finish the trace (which ends the
-// root) before reading the tree.
+// given name and identified by a fresh random 128-bit trace ID. The
+// returned context carries the root span, so every StartSpan below it
+// builds the tree. Finish the trace (which ends the root) before
+// reading the tree.
 func WithTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	return withTrace(ctx, name, newID(16), "", DefaultSpanBudget)
+}
+
+// WithTraceBudget is WithTrace with an explicit span budget (<= 0
+// selects DefaultSpanBudget).
+func WithTraceBudget(ctx context.Context, name string, budget int) (context.Context, *Trace) {
+	return withTrace(ctx, name, newID(16), "", budget)
+}
+
+// WithRemoteTrace attaches a trace continuing a remote caller's:
+// it adopts the caller's trace ID (falling back to a fresh one when the
+// ID is not 32 hex chars) and records the caller's span ID as the
+// parent, so the child-side tree the wire response carries home can be
+// stitched under the exact span that issued the call.
+func WithRemoteTrace(ctx context.Context, name, traceID, parentSpanID string) (context.Context, *Trace) {
+	if !validHexID(traceID, 32) {
+		traceID = newID(16)
+	}
+	return withTrace(ctx, name, traceID, parentSpanID, DefaultSpanBudget)
+}
+
+func withTrace(ctx context.Context, name, traceID, parentSpanID string, budget int) (context.Context, *Trace) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if budget <= 0 {
+		budget = DefaultSpanBudget
+	}
 	now := time.Now()
-	tr := &Trace{start: now, root: &Span{name: name, start: now}}
+	st := &traceState{id: traceID, budget: int64(budget)}
+	st.spans.Store(1) // the root
+	tr := &Trace{
+		start:      now,
+		root:       &Span{name: name, id: newID(8), start: now, st: st},
+		st:         st,
+		parentSpan: parentSpanID,
+	}
 	return context.WithValue(ctx, spanKey{}, tr.root), tr
 }
 
 // StartSpan starts a child span under the context's current span. When
 // the context carries no trace (or is nil), it returns ctx unchanged
-// and a nil span — the no-op fast path.
+// and a nil span — the no-op fast path. When the trace's span budget is
+// exhausted it also returns a nil span, counting the refusal instead of
+// growing the tree (the count surfaces as the root's spans_dropped
+// attribute).
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if ctx == nil {
 		return ctx, nil
@@ -71,7 +151,16 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if parent == nil {
 		return ctx, nil
 	}
-	sp := &Span{name: name, start: time.Now()}
+	if st := parent.st; st != nil {
+		// Racing creators may overshoot the budget by a handful of spans;
+		// the budget bounds growth, it is not an exact quota.
+		if st.spans.Load() >= st.budget {
+			st.dropped.Add(1)
+			return ctx, nil
+		}
+		st.spans.Add(1)
+	}
+	sp := &Span{name: name, id: newID(8), start: time.Now(), st: parent.st}
 	parent.mu.Lock()
 	parent.children = append(parent.children, sp)
 	parent.mu.Unlock()
@@ -85,6 +174,88 @@ func SpanFromContext(ctx context.Context) *Span {
 	}
 	sp, _ := ctx.Value(spanKey{}).(*Span)
 	return sp
+}
+
+// TraceID returns the 128-bit trace ID the span belongs to ("" on a nil
+// span), which is how slow-log entries join against the trace store.
+func (s *Span) TraceID() string {
+	if s == nil || s.st == nil {
+		return ""
+	}
+	return s.st.id
+}
+
+// SpanID returns the span's 64-bit ID ("" on a nil span).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// Traceparent renders the span as an outgoing propagation header value,
+// "00-<trace id>-<span id>-01". Empty on a nil span, so untraced calls
+// send no header.
+func (s *Span) Traceparent() string {
+	if s == nil || s.st == nil {
+		return ""
+	}
+	return "00-" + s.st.id + "-" + s.id + "-01"
+}
+
+// ParseTraceparent splits an incoming propagation header into the
+// caller's trace and span IDs. ok is false for absent or malformed
+// values — the callee then simply does not trace.
+func ParseTraceparent(h string) (traceID, spanID string, ok bool) {
+	parts := strings.Split(h, "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return "", "", false
+	}
+	if !validHexID(parts[1], 32) || !validHexID(parts[2], 16) {
+		return "", "", false
+	}
+	return parts[1], parts[2], true
+}
+
+// validHexID reports whether s is exactly n lowercase hex characters.
+func validHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ShouldSample makes one head-sampling decision at probability p
+// (p <= 0 never samples, p >= 1 always does).
+func ShouldSample(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rand.Float64() < p
+}
+
+// AttachRemote grafts a span subtree produced by another process (the
+// child tree a wire response carries) under this span. The subtree is
+// emitted after the local children when the trace is snapshotted, with
+// its offsets rebased onto this span's start — the network gap between
+// the two processes shows up as the difference between this span's
+// duration and the grafted root's. Nil-safe on both sides.
+func (s *Span) AttachRemote(n *SpanNode) {
+	if s == nil || n == nil {
+		return
+	}
+	s.mu.Lock()
+	s.remote = append(s.remote, n)
+	s.mu.Unlock()
 }
 
 // SetAttr annotates the span. Nil-safe.
@@ -141,11 +312,36 @@ func (s *Span) node(origin time.Time) *SpanNode {
 		}
 	}
 	children := append([]*Span(nil), s.children...)
+	remote := append([]*SpanNode(nil), s.remote...)
 	s.mu.Unlock()
 	for _, c := range children {
 		n.Children = append(n.Children, c.node(origin))
 	}
+	for _, rn := range remote {
+		n.Children = append(n.Children, shiftNode(rn, n.StartMS))
+	}
 	return n
+}
+
+// shiftNode deep-copies a remote subtree with every offset shifted by
+// deltaMS, rebasing the child process's trace origin onto the grafting
+// span's start.
+func shiftNode(n *SpanNode, deltaMS float64) *SpanNode {
+	out := &SpanNode{
+		Name:    n.Name,
+		StartMS: n.StartMS + deltaMS,
+		DurMS:   n.DurMS,
+	}
+	if len(n.Attrs) > 0 {
+		out.Attrs = make(map[string]string, len(n.Attrs))
+		for k, v := range n.Attrs {
+			out.Attrs[k] = v
+		}
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, shiftNode(c, deltaMS))
+	}
+	return out
 }
 
 // Open lists the names of spans still open, excluding the root (which
@@ -172,11 +368,27 @@ func (tr *Trace) Open() []string {
 }
 
 // Finish ends the root span (and any still-open descendants, which keep
-// the duration elapsed at finish time) and returns the trace tree.
+// the duration elapsed at finish time) and returns the trace tree. When
+// the span budget refused spans, the root carries a spans_dropped
+// attribute with the refusal count.
 func (tr *Trace) Finish() *SpanNode {
+	if d := tr.st.dropped.Load(); d > 0 {
+		tr.root.SetAttr("spans_dropped", fmt.Sprintf("%d", d))
+	}
 	tr.endAll(tr.root)
 	return tr.root.node(tr.start)
 }
+
+// ID returns the trace's 128-bit identifier (32 hex chars).
+func (tr *Trace) ID() string { return tr.st.id }
+
+// ParentSpanID returns the remote caller's span ID for a trace opened
+// with WithRemoteTrace ("" otherwise).
+func (tr *Trace) ParentSpanID() string { return tr.parentSpan }
+
+// SpansDropped returns how many StartSpan calls the span budget has
+// refused so far.
+func (tr *Trace) SpansDropped() int64 { return tr.st.dropped.Load() }
 
 // endAll ends every span in the subtree that is still open.
 func (tr *Trace) endAll(s *Span) {
@@ -240,7 +452,12 @@ func (n *SpanNode) Render() string {
 }
 
 func (n *SpanNode) render(b *strings.Builder, depth int) {
-	fmt.Fprintf(b, "%s%-*s %9.3fms", strings.Repeat("  ", depth), 24-2*depth, n.Name, n.DurMS)
+	name := n.Name
+	if n.Attrs["remote"] != "" {
+		// Mark subtrees that ran in another process (netbe child spans).
+		name = "» " + name
+	}
+	fmt.Fprintf(b, "%s%-*s %9.3fms", strings.Repeat("  ", depth), 24-2*depth, name, n.DurMS)
 	if len(n.Attrs) > 0 {
 		keys := make([]string, 0, len(n.Attrs))
 		for k := range n.Attrs {

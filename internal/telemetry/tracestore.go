@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Trace-store defaults: how many completed traces the ring retains and
+// how many serialized bytes they may occupy, plus the window over which
+// the slowest trace is pinned.
+const (
+	DefaultTraceStoreEntries = 256
+	DefaultTraceStoreBytes   = 8 << 20 // 8 MiB
+	DefaultSlowestWindow     = time.Minute
+)
+
+// StoredTrace is one completed trace retained for after-the-fact
+// debugging: the full span tree plus its identity and completion time —
+// the GET /api/traces/{id} payload.
+type StoredTrace struct {
+	ID string `json:"id"`
+	// Time is the RFC3339Nano completion (store) time.
+	Time  string  `json:"time"`
+	Name  string  `json:"name"`
+	DurMS float64 `json:"duration_ms"`
+	// Bytes is the serialized size of the span tree, the unit the
+	// store's byte cap is accounted in.
+	Bytes int64     `json:"bytes"`
+	Root  *SpanNode `json:"trace"`
+}
+
+// TraceSummary is one GET /api/traces line: enough to pick a trace
+// worth fetching in full.
+type TraceSummary struct {
+	ID    string  `json:"id"`
+	Time  string  `json:"time"`
+	Name  string  `json:"name"`
+	DurMS float64 `json:"duration_ms"`
+	Bytes int64   `json:"bytes"`
+	// Slowest marks the trace pinned in the always-keep slot: the
+	// slowest completed trace of the current window, which byte/count
+	// eviction never removes.
+	Slowest bool `json:"slowest,omitempty"`
+}
+
+// TraceStoreStats is the store's occupancy and lifetime counters, the
+// source of the seedb_trace{s_sampled,_store_*,_dropped} metric
+// families.
+type TraceStoreStats struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Sampled counts every trace ever added (explicitly requested and
+	// head-sampled alike); Dropped counts traces evicted from the ring
+	// under the count/byte caps.
+	Sampled int64 `json:"sampled"`
+	Dropped int64 `json:"dropped"`
+}
+
+// TraceStore is a bounded in-memory ring of recently completed traces,
+// capped by entry count and serialized bytes (oldest evicted first),
+// with one always-keep slot pinning the slowest trace per window so a
+// burst of fast traces cannot flush the one worth debugging. All
+// methods are nil-receiver safe.
+type TraceStore struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	window     time.Duration
+
+	entries []*StoredTrace // oldest first
+	bytes   int64
+	sampled int64
+	dropped int64
+
+	slowest     *StoredTrace
+	windowStart time.Time
+}
+
+// NewTraceStore creates a store retaining up to maxEntries traces and
+// maxBytes of serialized trees (<= 0 selects the defaults).
+func NewTraceStore(maxEntries int, maxBytes int64) *TraceStore {
+	if maxEntries <= 0 {
+		maxEntries = DefaultTraceStoreEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultTraceStoreBytes
+	}
+	return &TraceStore{maxEntries: maxEntries, maxBytes: maxBytes, window: DefaultSlowestWindow}
+}
+
+// Add retains one completed trace. The root's serialized size is
+// accounted against the byte cap; eviction runs immediately, so the
+// store never exceeds its caps by more than the entry being added.
+func (ts *TraceStore) Add(id string, root *SpanNode) {
+	if ts == nil || root == nil || id == "" {
+		return
+	}
+	data, err := json.Marshal(root)
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	st := &StoredTrace{
+		ID:    id,
+		Time:  now.UTC().Format(time.RFC3339Nano),
+		Name:  root.Name,
+		DurMS: root.DurMS,
+		Bytes: int64(len(data)),
+		Root:  root,
+	}
+	ts.mu.Lock()
+	ts.sampled++
+	if ts.slowest == nil || now.Sub(ts.windowStart) >= ts.window {
+		ts.slowest, ts.windowStart = st, now
+	} else if st.DurMS > ts.slowest.DurMS {
+		ts.slowest = st
+	}
+	ts.entries = append(ts.entries, st)
+	ts.bytes += st.Bytes
+	for len(ts.entries) > 0 && (len(ts.entries) > ts.maxEntries || ts.bytes > ts.maxBytes) {
+		old := ts.entries[0]
+		ts.entries = ts.entries[1:]
+		ts.bytes -= old.Bytes
+		ts.dropped++
+	}
+	ts.mu.Unlock()
+}
+
+// Get returns the stored trace with the given ID (the pinned slowest
+// slot included), or false.
+func (ts *TraceStore) Get(id string) (*StoredTrace, bool) {
+	if ts == nil {
+		return nil, false
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for i := len(ts.entries) - 1; i >= 0; i-- {
+		if ts.entries[i].ID == id {
+			return ts.entries[i], true
+		}
+	}
+	if ts.slowest != nil && ts.slowest.ID == id {
+		return ts.slowest, true
+	}
+	return nil, false
+}
+
+// List returns up to limit summaries, newest first (limit <= 0 means
+// all). The pinned slowest trace is flagged, and included even when
+// eviction has already pushed it out of the ring.
+func (ts *TraceStore) List(limit int) []TraceSummary {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]TraceSummary, 0, len(ts.entries)+1)
+	slowID := ""
+	if ts.slowest != nil {
+		slowID = ts.slowest.ID
+	}
+	inRing := false
+	for i := len(ts.entries) - 1; i >= 0; i-- {
+		e := ts.entries[i]
+		if e.ID == slowID {
+			inRing = true
+		}
+		out = append(out, TraceSummary{
+			ID: e.ID, Time: e.Time, Name: e.Name, DurMS: e.DurMS,
+			Bytes: e.Bytes, Slowest: e.ID == slowID,
+		})
+	}
+	if ts.slowest != nil && !inRing {
+		e := ts.slowest
+		out = append(out, TraceSummary{
+			ID: e.ID, Time: e.Time, Name: e.Name, DurMS: e.DurMS,
+			Bytes: e.Bytes, Slowest: true,
+		})
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Stats snapshots occupancy and lifetime counters.
+func (ts *TraceStore) Stats() TraceStoreStats {
+	if ts == nil {
+		return TraceStoreStats{}
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return TraceStoreStats{
+		Entries: len(ts.entries),
+		Bytes:   ts.bytes,
+		Sampled: ts.sampled,
+		Dropped: ts.dropped,
+	}
+}
